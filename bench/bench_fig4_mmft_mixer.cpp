@@ -1,0 +1,79 @@
+// Fig. 4 reproduction — MMFT analysis of the double-balanced switching
+// mixer (paper Section 2.2).
+//
+// Paper setup: RF input 100 kHz sinusoid, 100 mV amplitude (mildly
+// nonlinear); LO a large 900 MHz square wave switching the mixer. MMFT with
+// 3 harmonics in the RF tone, shooting along the LO axis. The paper reports
+// the time-varying first and third harmonics X1(t2), X3(t2) (Figs. 4a/4b),
+// a 900.1 MHz mix amplitude of ≈ 60 mV, a 900.3 MHz amplitude of ≈ 1.1 mV,
+// and ≈ 35 dB of distortion separation.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/dc.hpp"
+#include "bench_util.hpp"
+#include "hb/spectrum.hpp"
+#include "mixer_circuit.hpp"
+#include "mpde/mmft.hpp"
+
+using namespace rfic;
+using namespace rfic::bench;
+
+int main() {
+  header("Fig. 4 — MMFT switching mixer: time-varying harmonics");
+  const Real fRF = 100e3;   // paper's RF tone
+  const Real fLO = 900e6;   // paper's LO
+  circuit::Circuit ckt;
+  const MixerNodes nodes = buildSwitchingMixer(ckt, fRF, fLO, 0.1, 3.0);
+  circuit::MnaSystem sys(ckt);
+  const auto dc = analysis::dcOperatingPoint(sys);
+
+  mpde::MMFTOptions mo;
+  mo.slowHarmonics = 3;  // paper: "3 harmonics were taken in the RF tone"
+  mo.fastSteps = 160;
+  Stopwatch sw;
+  const auto res = mpde::runMMFT(sys, fRF, fLO, dc.x, mo);
+  const Real seconds = sw.seconds();
+  std::printf("converged=%d  shooting iterations=%zu  wall=%.2f s\n",
+              res.converged ? 1 : 0, res.shootingIterations, seconds);
+  if (!res.converged) return 1;
+
+  const auto up = static_cast<std::size_t>(nodes.outp);
+  const auto um = static_cast<std::size_t>(nodes.outm);
+
+  // Differential time-varying harmonics X_k(t2) over one LO period
+  // (Fig. 4a: k = 1; Fig. 4b: k = 3). Printed decimated.
+  for (int k : {1, 3}) {
+    const auto hp = res.grid.slowHarmonicVsFast(up, k);
+    const auto hm = res.grid.slowHarmonicVsFast(um, k);
+    std::printf("\nFig. 4%s — harmonic %d of the RF tone vs LO time "
+                "(differential, volts):\n",
+                k == 1 ? "a" : "b", k);
+    std::printf("%-12s %-14s %-14s\n", "t2/T2", "Re", "Im");
+    for (std::size_t j = 0; j < hp.size(); j += hp.size() / 16) {
+      const Complex v = hp[j] - hm[j];
+      std::printf("%-12.4f %-14.6e %-14.6e\n",
+                  static_cast<Real>(j) / static_cast<Real>(hp.size()),
+                  v.real(), v.imag());
+    }
+  }
+
+  // Mix-product amplitudes: |k1·fRF + k2·fLO| tones of the differential
+  // output; amplitude of a non-DC tone is 2|X|.
+  auto mixAmp = [&](int k1, int k2) {
+    const Complex d =
+        res.grid.mixCoefficient(up, k1, k2) - res.grid.mixCoefficient(um, k1, k2);
+    return 2.0 * std::abs(d);
+  };
+  const Real a11 = mixAmp(1, 1);   // 900.1 MHz
+  const Real a31 = mixAmp(3, 1);   // 900.3 MHz
+  rule();
+  std::printf("mix product     freq (MHz)   amplitude (mV)\n");
+  std::printf("fRF + fLO       %10.1f   %10.3f   (paper: ~60 mV)\n",
+              (fRF + fLO) * 1e-6, a11 * 1e3);
+  std::printf("3 fRF + fLO     %10.1f   %10.3f   (paper: ~1.1 mV)\n",
+              (3 * fRF + fLO) * 1e-6, a31 * 1e3);
+  std::printf("distortion: %0.1f dB below the desired mix (paper: ~35 dB)\n",
+              -hb::toDb(a31, a11));
+  return 0;
+}

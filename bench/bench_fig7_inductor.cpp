@@ -1,0 +1,70 @@
+// Fig. 7 reproduction — "Comparison of inductor simulations and
+// measurements": L(f) and Q(f) of an integrated square spiral over a lossy
+// substrate.
+//
+// Substitution (DESIGN.md §1.4): the measured device is replaced by a
+// synthetic reference — the same spiral extracted with a 4× finer PEEC
+// discretization and finer quadrature, perturbed by 2% "instrument" noise.
+// The comparison path (production extraction vs independent reference) and
+// the physical shape — flat low-frequency L, substrate-loss Q peak,
+// self-resonance — are what Fig. 7 demonstrates.
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hpp"
+#include "extraction/spiral.hpp"
+
+using namespace rfic;
+using namespace rfic::bench;
+using namespace rfic::extraction;
+
+int main() {
+  header("Fig. 7 — spiral inductor: simulation vs (synthetic) measurement");
+  SpiralParams sim;  // production model: 1 segment/side
+  SpiralParams ref = sim;
+  ref.segmentsPerSide = 4;  // fine reference = "measurement"
+  ref.quadraturePoints = 24;
+
+  const SpiralModel mSim = buildSpiralModel(sim);
+  const SpiralModel mRef = buildSpiralModel(ref);
+  std::printf("geometry: %zu turns, %.0f um outer, w=%.0f um, s=%.0f um\n",
+              sim.turns, sim.outerSize * 1e6, sim.width * 1e6,
+              sim.spacing * 1e6);
+  std::printf("simulated  L = %.3f nH, Rdc = %.2f ohm\n", mSim.seriesL * 1e9,
+              mSim.seriesRdc);
+  std::printf("reference  L = %.3f nH, Rdc = %.2f ohm\n", mRef.seriesL * 1e9,
+              mRef.seriesRdc);
+
+  std::mt19937_64 rng(2026);
+  std::normal_distribution<Real> noise(0.0, 0.02);  // 2% instrument noise
+
+  std::printf("\n%-10s %-12s %-12s %-10s %-12s %-12s %-10s\n", "f (GHz)",
+              "L sim (nH)", "L meas (nH)", "dL %", "Q sim", "Q meas", "dQ %");
+  rule();
+  Real maxLErr = 0, maxQErr = 0, qPeakSim = 0, qPeakF = 0;
+  for (Real f = 0.1e9; f <= 12.01e9; f *= std::pow(10.0, 0.125)) {
+    const Real lSim = mSim.effectiveInductance(f);
+    const Real qSim = mSim.qualityFactor(f);
+    const Real lMeas = mRef.effectiveInductance(f) * (1.0 + noise(rng));
+    const Real qMeas = mRef.qualityFactor(f) * (1.0 + noise(rng));
+    const Real dl = 100.0 * (lSim - lMeas) / std::abs(lMeas);
+    const Real dq = 100.0 * (qSim - qMeas) / std::abs(qMeas);
+    if (qSim > qPeakSim && qSim > 0) {
+      qPeakSim = qSim;
+      qPeakF = f;
+    }
+    if (f < 6e9) {  // below self-resonance, where Fig. 7 compares
+      maxLErr = std::max(maxLErr, std::abs(dl));
+      maxQErr = std::max(maxQErr, std::abs(dq));
+    }
+    std::printf("%-10.2f %-12.3f %-12.3f %-10.1f %-12.2f %-12.2f %-10.1f\n",
+                f * 1e-9, lSim * 1e9, lMeas * 1e9, dl, qSim, qMeas, dq);
+  }
+  rule();
+  std::printf("Q peaks at %.2f GHz (Q = %.2f); substrate loss rolls Q off "
+              "beyond the peak\n", qPeakF * 1e-9, qPeakSim);
+  std::printf("max |dL| = %.1f%%, max |dQ| = %.1f%% below self-resonance "
+              "(paper: close sim/meas agreement)\n", maxLErr, maxQErr);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the reproduction benches: wall-clock timing and
+// uniform table output. Every bench prints the rows/series of the paper
+// artifact it regenerates (see DESIGN.md experiment index); EXPERIMENTS.md
+// records the measured numbers against the paper's.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common.hpp"
+
+namespace rfic::bench {
+
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(std::chrono::steady_clock::now()) {}
+  Real seconds() const {
+    return std::chrono::duration<Real>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+  void reset() { t0_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("-----------------------------------------------------------\n");
+}
+
+/// Set RFIC_BENCH_QUICK=1 to trim the most expensive sweep points during
+/// development; the recorded EXPERIMENTS.md numbers use the full runs.
+inline bool quickMode() {
+  const char* v = std::getenv("RFIC_BENCH_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace rfic::bench

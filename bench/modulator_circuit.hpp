@@ -1,0 +1,86 @@
+// Quadrature modulator testbench for the Fig. 1 reproduction.
+//
+// Substitution (DESIGN.md §1.4): the paper's proprietary dual-conversion
+// quadrature modulator chip is replaced by a behaviour-equivalent
+// single-conversion quadrature upconverter — ideal-multiplier mixer cores
+// (Gilbert-cell idealizations), a mildly nonlinear baseband buffer, a
+// deliberate I/Q gain imbalance, and a small LO feedthrough path. The
+// phenomena Fig. 1 reports are all structural and survive the substitution:
+//  * desired single-sideband output at fLO − fBB,
+//  * image sideband at fLO + fBB set by the imbalance (paper: −35 dBc),
+//  * a weak LO feedthrough spur (paper: −78 dBc, below the transient
+//    noise floor),
+//  * odd-order baseband distortion products at fLO ± 3·fBB.
+#pragma once
+
+#include <memory>
+
+#include "circuit/devices.hpp"
+#include "circuit/sources.hpp"
+
+namespace rfic::bench {
+
+struct ModulatorConfig {
+  Real fBB = 80e3;          ///< baseband tone (paper: 80 kHz)
+  Real fLO = 1.62e9;        ///< carrier (paper: 1.62 GHz)
+  Real bbAmp = 0.1;
+  Real loAmp = 1.0;
+  Real mixerGain = 1e-3;    ///< multiplier k [A/V²]
+  Real iqImbalance = 0.0355;  ///< ΔK/K → image at 20·log10(ε/2) ≈ −35 dBc
+  Real loLeak = 6.3e-9;     ///< LO feedthrough gm [S] → spur ≈ −78 dBc
+  Real bbCubic = 4e-4;      ///< baseband buffer 3rd-order coefficient
+};
+
+struct ModulatorNodes {
+  int out = 0;
+  int bbI = 0, bbQ = 0;
+};
+
+inline ModulatorNodes buildQuadratureModulator(circuit::Circuit& c,
+                                               const ModulatorConfig& cfg) {
+  using namespace rfic::circuit;
+  ModulatorNodes n;
+  const int bbsI = c.node("bbsI"), bbsQ = c.node("bbsQ");
+  n.bbI = c.node("bbI");
+  n.bbQ = c.node("bbQ");
+  const int loI = c.node("loI"), loQ = c.node("loQ");
+  n.out = c.node("out");
+
+  // Baseband I/Q pair (cos / sin), slow axis.
+  const int b1 = c.allocBranch("VbbI"), b2 = c.allocBranch("VbbQ");
+  c.add<VSource>("VbbI", bbsI, -1, b1,
+                 std::make_shared<SineWave>(cfg.bbAmp, cfg.fBB, 0.5 * kPi),
+                 TimeAxis::slow);
+  c.add<VSource>("VbbQ", bbsQ, -1, b2,
+                 std::make_shared<SineWave>(cfg.bbAmp, cfg.fBB),
+                 TimeAxis::slow);
+  // Mildly nonlinear baseband buffers (source R into a cubic load):
+  // generate the odd-order in-band products the paper's spectrum shows.
+  c.add<Resistor>("RbI", bbsI, n.bbI, 500.0);
+  c.add<Resistor>("RbQ", bbsQ, n.bbQ, 500.0);
+  c.add<CubicConductance>("GnI", n.bbI, -1, 2e-3, cfg.bbCubic);
+  c.add<CubicConductance>("GnQ", n.bbQ, -1, 2e-3, cfg.bbCubic);
+
+  // Quadrature LO (cos / sin), fast axis.
+  const int b3 = c.allocBranch("VloI"), b4 = c.allocBranch("VloQ");
+  c.add<VSource>("VloI", loI, -1, b3,
+                 std::make_shared<SineWave>(cfg.loAmp, cfg.fLO, 0.5 * kPi),
+                 TimeAxis::fast);
+  c.add<VSource>("VloQ", loQ, -1, b4,
+                 std::make_shared<SineWave>(cfg.loAmp, cfg.fLO),
+                 TimeAxis::fast);
+
+  // Mixer cores with the deliberate gain imbalance in the Q path.
+  c.add<Multiplier>("MXI", n.out, -1, n.bbI, -1, loI, -1, cfg.mixerGain);
+  c.add<Multiplier>("MXQ", n.out, -1, n.bbQ, -1, loQ, -1,
+                    cfg.mixerGain * (1.0 + cfg.iqImbalance));
+  // LO feedthrough (layout coupling).
+  c.add<VCCS>("Gleak", n.out, -1, loI, -1, cfg.loLeak);
+
+  // Output load.
+  c.add<Resistor>("Rl", n.out, -1, 1000.0);
+  c.add<Capacitor>("Cl", n.out, -1, 1e-14);
+  return n;
+}
+
+}  // namespace rfic::bench

@@ -1,0 +1,65 @@
+// Quickstart: parse a SPICE-style netlist, solve its DC operating point,
+// run a transient, and sweep the small-signal AC response.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "analysis/ac.hpp"
+#include "analysis/dc.hpp"
+#include "analysis/transient.hpp"
+#include "circuit/netlist.hpp"
+
+using namespace rfic;
+
+int main() {
+  // A diode clamp driven through an RC network, written as a netlist.
+  const char* netlist = R"(
+* diode clamp demo
+.model dfast d (is=1e-14 n=1.05 cjo=1p tt=2n)
+V1 in 0 SIN(0 3 100k)
+R1 in a 1k
+C1 a 0 2n
+D1 a out dfast
+R2 out 0 10k
+C2 out 0 10n
+)";
+  circuit::Circuit ckt;
+  circuit::parseNetlist(netlist, ckt);
+  analysis::MnaSystem sys(ckt);
+  std::printf("parsed netlist: %zu unknowns, %zu devices\n", sys.dim(),
+              ckt.devices().size());
+
+  // 1. DC operating point (sources at t = 0).
+  const auto dc = analysis::dcOperatingPoint(sys);
+  std::printf("\nDC operating point (%s, %zu iterations):\n",
+              dc.strategy.c_str(), dc.iterations);
+  for (std::size_t i = 0; i < sys.dim(); ++i)
+    std::printf("  %-10s %12.6f\n", ckt.unknownName(i).c_str(), dc.x[i]);
+
+  // 2. Transient: three periods of the 100 kHz drive.
+  analysis::TransientOptions to;
+  to.tstop = 30e-6;
+  to.dt = 20e-9;
+  const auto tran = analysis::runTransient(sys, dc.x, to);
+  const auto out = static_cast<std::size_t>(ckt.findNode("out"));
+  std::printf("\ntransient: %zu steps; v(out) sampled every 2 us:\n",
+              tran.steps);
+  for (std::size_t k = 0; k < tran.time.size(); k += 100)
+    std::printf("  t=%8.2f us   v(out)=%8.4f V\n", tran.time[k] * 1e6,
+                tran.x[k][out]);
+
+  // 3. AC sweep of the linearized circuit, driven through V1.
+  const auto* vsrc = dynamic_cast<const circuit::VSource*>(
+      ckt.devices().front().get());
+  const auto stim = analysis::acStimulusVSource(sys, *vsrc);
+  const auto freqs = analysis::logspace(1e3, 1e8, 11);
+  const auto ac = analysis::acSweep(sys, dc.x, freqs, stim);
+  std::printf("\nAC transfer |v(out)/v(in)|:\n");
+  for (std::size_t k = 0; k < freqs.size(); ++k)
+    std::printf("  f=%10.3e Hz   |H|=%10.3e\n", freqs[k],
+                std::abs(ac.x[k][out]));
+  return 0;
+}

@@ -1,0 +1,158 @@
+#include "analysis/dc.hpp"
+
+#include <cmath>
+
+#include "sparse/sparse_lu.hpp"
+
+namespace rfic::analysis {
+
+namespace {
+
+// SPICE-style componentwise KCL check: every residual entry small against
+// the local current level.
+bool residualConverged(const RVec& r, const circuit::MnaEval& e,
+                       Real sourceScale, const DCOptions& opts) {
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const Real level = std::abs(e.f[i]) + std::abs(sourceScale * e.b[i]);
+    if (std::abs(r[i]) > opts.tolRelative * level + opts.tolResidual)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
+              const DCOptions& opts, std::size_t& itersOut) {
+  const std::size_t n = sys.dim();
+  circuit::MnaEval e;
+  RVec xPrev = x;
+  // The componentwise relative test alone is satisfiable by garbage iterates
+  // whose device currents are astronomically large (r ≈ f there); require
+  // the last Newton update to have settled as well, SPICE-style.
+  Real lastUpdate = 1e300;
+  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    itersOut = it + 1;
+    // Convergence is judged on the TRUE residual (no junction limiting):
+    // the limited evaluation can look perfectly KCL-consistent while the
+    // actual iterate is far from a solution.
+    {
+      circuit::MnaEval eTrue;
+      sys.eval(x, 0.0, eTrue, false);
+      RVec rTrue(n);
+      for (std::size_t i = 0; i < n; ++i)
+        rTrue[i] = eTrue.f[i] - sourceScale * eTrue.b[i] + gshunt * x[i];
+      if (residualConverged(rTrue, eTrue, sourceScale, opts)) {
+        const bool updateSettled =
+            lastUpdate < opts.tolUpdate * (1.0 + numeric::normInf(x));
+        if (updateSettled || numeric::norm2(rTrue) < opts.tolResidual)
+          return true;
+      }
+    }
+    // The Newton step itself uses the limited evaluation.
+    sys.eval(x, 0.0, e, true, it > 0 ? &xPrev : nullptr);
+    RVec r(n);
+    for (std::size_t i = 0; i < n; ++i)
+      r[i] = e.f[i] - sourceScale * e.b[i] + gshunt * x[i];
+    const Real rnorm = numeric::norm2(r);
+
+    // J = G + gshunt·I
+    sparse::RTriplets j = e.G;
+    for (std::size_t i = 0; i < n; ++i) j.add(i, i, gshunt);
+    RVec dx;
+    try {
+      sparse::RSparseLU lu(j);
+      dx = lu.solve(r);
+    } catch (const NumericalError&) {
+      return false;
+    }
+
+    // Damped update: halve the step until the residual stops blowing up.
+    xPrev = x;
+    Real alpha = 1.0;
+    for (int damp = 0;; ++damp) {
+      RVec trial = x;
+      numeric::axpy(-alpha, dx, trial);
+      circuit::MnaEval et;
+      sys.eval(trial, 0.0, et, false, &xPrev);
+      RVec rt(n);
+      for (std::size_t i = 0; i < n; ++i)
+        rt[i] = et.f[i] - sourceScale * et.b[i] + gshunt * trial[i];
+      const Real rtNorm = numeric::norm2(rt);
+      // Junction limiting makes the evaluated residual differ from the pure
+      // Newton model, so accept any non-diverging step.
+      if ((std::isfinite(rtNorm) && rtNorm <= 2.0 * rnorm) || damp >= 8) {
+        x = trial;
+        lastUpdate = alpha * numeric::normInf(dx);
+        break;
+      }
+      alpha *= 0.5;
+    }
+  }
+  return false;
+}
+
+DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
+  DCResult res;
+  res.x = RVec(sys.dim(), 0.0);
+
+  // Strategy 1: plain Newton from zero.
+  if (dcNewton(sys, res.x, 1.0, 0.0, opts, res.iterations)) {
+    res.converged = true;
+    res.strategy = "newton";
+    return res;
+  }
+
+  // Strategy 2: gmin stepping.
+  {
+    RVec x(sys.dim(), 0.0);
+    bool ok = true;
+    std::size_t iters = 0;
+    for (std::size_t k = 0; k <= opts.gminSteps; ++k) {
+      const Real g = (k == opts.gminSteps)
+                         ? 0.0
+                         : opts.initialGmin * std::pow(0.1, static_cast<Real>(k));
+      std::size_t it = 0;
+      if (!dcNewton(sys, x, 1.0, g, opts, it)) {
+        ok = false;
+        break;
+      }
+      iters += it;
+    }
+    if (ok) {
+      res.x = x;
+      res.converged = true;
+      res.iterations = iters;
+      res.strategy = "gmin";
+      return res;
+    }
+  }
+
+  // Strategy 3: source stepping.
+  {
+    RVec x(sys.dim(), 0.0);
+    bool ok = true;
+    std::size_t iters = 0;
+    for (std::size_t k = 1; k <= opts.sourceSteps; ++k) {
+      const Real scale =
+          static_cast<Real>(k) / static_cast<Real>(opts.sourceSteps);
+      std::size_t it = 0;
+      if (!dcNewton(sys, x, scale, 0.0, opts, it)) {
+        ok = false;
+        break;
+      }
+      iters += it;
+    }
+    if (ok) {
+      res.x = x;
+      res.converged = true;
+      res.iterations = iters;
+      res.strategy = "source";
+      return res;
+    }
+  }
+
+  failNumerical("dcOperatingPoint: no convergence with any strategy");
+}
+
+}  // namespace rfic::analysis

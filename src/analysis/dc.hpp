@@ -1,0 +1,39 @@
+// DC operating-point analysis: damped Newton with gmin stepping and source
+// stepping continuation — the robustness workhorse every other analysis
+// starts from.
+#pragma once
+
+#include "circuit/mna.hpp"
+
+namespace rfic::analysis {
+
+using circuit::MnaSystem;
+using numeric::RVec;
+
+struct DCOptions {
+  std::size_t maxIterations = 200;
+  Real tolResidual = 1e-12;  ///< absolute residual floor [A] (KCL abstol)
+  Real tolRelative = 1e-6;   ///< relative residual vs local current level
+  Real tolUpdate = 1e-9;     ///< absolute update norm target [V]
+  std::size_t gminSteps = 10;    ///< decades of gmin continuation
+  std::size_t sourceSteps = 10;  ///< source-stepping ramp points
+  Real initialGmin = 1e-2;
+};
+
+struct DCResult {
+  RVec x;
+  bool converged = false;
+  std::size_t iterations = 0;
+  std::string strategy;  ///< "newton", "gmin", or "source"
+};
+
+/// Solve f(x) = b(0). Tries plain Newton, then gmin stepping, then source
+/// stepping. Throws NumericalError if all strategies fail.
+DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts = {});
+
+/// Newton solve of f(x) = scale·b(0) + gshunt·x-leak starting from x0.
+/// Exposed for the continuation strategies and for tests.
+bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
+              const DCOptions& opts, std::size_t& itersOut);
+
+}  // namespace rfic::analysis

@@ -1,0 +1,161 @@
+#include "analysis/shooting.hpp"
+
+#include <cmath>
+
+#include "numeric/lu.hpp"
+
+namespace rfic::analysis {
+
+namespace {
+
+// Integrate one period from x0 with sensitivity propagation; fills the
+// trajectory and returns the monodromy matrix in `sens`.
+bool sweepPeriod(const circuit::MnaSystem& sys, Real t0, Real period,
+                 const RVec& x0, const ShootingOptions& opts,
+                 std::vector<Real>& times, std::vector<RVec>& traj,
+                 RMat& sens) {
+  const std::size_t n = sys.dim();
+  const std::size_t m = opts.stepsPerPeriod;
+  const Real h = period / static_cast<Real>(m);
+  sens = RMat::identity(n);
+  times.assign(1, t0);
+  traj.assign(1, x0);
+  RVec x = x0, x1;
+  for (std::size_t k = 0; k < m; ++k) {
+    const Real t = t0 + h * static_cast<Real>(k);
+    if (!integrateStep(sys, opts.method, t, h, x, nullptr, x1, &sens)) {
+      return false;
+    }
+    x = x1;
+    times.push_back(t + h);
+    traj.push_back(x);
+  }
+  return true;
+}
+
+// ẋ at state x, time t, assuming invertible C: C·ẋ = b − f.
+RVec stateDerivative(const circuit::MnaSystem& sys, const RVec& x, Real t) {
+  circuit::MnaEval e;
+  sys.eval(x, t, e, true);
+  const std::size_t n = sys.dim();
+  RVec rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = e.b[i] - e.f[i];
+  numeric::RMat c = e.C.toDense();
+  return numeric::solveDense(std::move(c), rhs);
+}
+
+}  // namespace
+
+PSSResult shootingPSS(const circuit::MnaSystem& sys, Real period,
+                      const RVec& guess, const ShootingOptions& opts) {
+  RFIC_REQUIRE(period > 0, "shootingPSS: period must be positive");
+  const std::size_t n = sys.dim();
+  RFIC_REQUIRE(guess.size() == n, "shootingPSS: guess size mismatch");
+
+  PSSResult res;
+  res.period = period;
+  res.method = opts.method;
+  res.x0 = guess;
+
+  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    ++res.newtonIterations;
+    if (!sweepPeriod(sys, 0.0, period, res.x0, opts, res.times,
+                     res.trajectory, res.monodromy)) {
+      return res;
+    }
+    RVec g = res.trajectory.back();
+    g -= res.x0;
+    if (numeric::norm2(g) < opts.tolerance * (1.0 + numeric::norm2(res.x0))) {
+      res.converged = true;
+      return res;
+    }
+    // Solve (M − I)·dx = −g.
+    RMat j = res.monodromy;
+    for (std::size_t i = 0; i < n; ++i) j(i, i) -= 1.0;
+    const RVec dx = numeric::solveDense(std::move(j), g);
+    res.x0 -= dx;
+  }
+  return res;
+}
+
+PSSResult shootingOscillatorPSS(const circuit::MnaSystem& sys,
+                                Real periodGuess, const RVec& guess,
+                                std::size_t anchorIndex, Real anchorValue,
+                                const ShootingOptions& opts) {
+  RFIC_REQUIRE(periodGuess > 0, "shootingOscillatorPSS: bad period guess");
+  const std::size_t n = sys.dim();
+  RFIC_REQUIRE(guess.size() == n && anchorIndex < n,
+               "shootingOscillatorPSS: bad arguments");
+
+  PSSResult res;
+  res.period = periodGuess;
+  res.method = opts.method;
+  res.x0 = guess;
+  res.x0[anchorIndex] = anchorValue;
+
+  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    ++res.newtonIterations;
+    if (!sweepPeriod(sys, 0.0, res.period, res.x0, opts, res.times,
+                     res.trajectory, res.monodromy)) {
+      return res;
+    }
+    RVec g = res.trajectory.back();
+    g -= res.x0;
+    const Real gnorm = numeric::norm2(g);
+    if (gnorm < opts.tolerance * (1.0 + numeric::norm2(res.x0))) {
+      res.converged = true;
+      return res;
+    }
+
+    // Augmented Newton system:
+    //   [ M − I   ẋ(T) ] [dx]   [ −g ]
+    //   [ e_aᵀ      0  ] [dT] = [  0 ]
+    const RVec xdotT =
+        stateDerivative(sys, res.trajectory.back(), res.period);
+    RMat j(n + 1, n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) j(i, k) = res.monodromy(i, k);
+      j(i, i) -= 1.0;
+      j(i, n) = xdotT[i];
+    }
+    j(n, anchorIndex) = 1.0;
+    RVec rhs(n + 1);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = g[i];
+    rhs[n] = res.x0[anchorIndex] - anchorValue;
+    const RVec d = numeric::solveDense(std::move(j), rhs);
+
+    // Damped update guards against period sign flips far from the orbit.
+    Real alpha = 1.0;
+    if (std::abs(d[n]) > 0.3 * res.period)
+      alpha = 0.3 * res.period / std::abs(d[n]);
+    for (std::size_t i = 0; i < n; ++i) res.x0[i] -= alpha * d[i];
+    res.period -= alpha * d[n];
+    RFIC_REQUIRE(res.period > 0, "shootingOscillatorPSS: period collapsed");
+  }
+  return res;
+}
+
+Real estimatePeriod(const TransientResult& tran, std::size_t index,
+                    Real level) {
+  RFIC_REQUIRE(tran.x.size() >= 4, "estimatePeriod: trajectory too short");
+  std::vector<Real> crossings;
+  for (std::size_t k = 1; k < tran.x.size(); ++k) {
+    const Real a = tran.x[k - 1][index] - level;
+    const Real b = tran.x[k][index] - level;
+    if (a < 0 && b >= 0) {
+      const Real w = a / (a - b);
+      crossings.push_back(tran.time[k - 1] +
+                          w * (tran.time[k] - tran.time[k - 1]));
+    }
+  }
+  RFIC_REQUIRE(crossings.size() >= 2,
+               "estimatePeriod: fewer than two rising crossings");
+  // Average the intervals over the last half of the crossings (startup
+  // transient discarded).
+  const std::size_t first = crossings.size() / 2;
+  const std::size_t count = crossings.size() - 1 - first;
+  RFIC_REQUIRE(count >= 1, "estimatePeriod: not enough steady crossings");
+  return (crossings.back() - crossings[first]) / static_cast<Real>(count);
+}
+
+}  // namespace rfic::analysis

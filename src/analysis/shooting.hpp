@@ -1,0 +1,68 @@
+// Periodic steady state by shooting.
+//
+// The shooting method finds x0 with Φ_T(x0) = x0, where Φ_T is the state
+// transition over one period computed by transient integration; Newton uses
+// the monodromy matrix M = ∂Φ_T/∂x0 propagated alongside the trajectory.
+// Three roles in this library:
+//  * the univariate baseline the MMFT mixer comparison of Fig. 5 times,
+//  * the inner solver of the multi-time methods (Section 2.2),
+//  * the provider of steady state + monodromy for the Floquet/phase-noise
+//    machinery of Section 3 (autonomous variant with unknown period).
+#pragma once
+
+#include <vector>
+
+#include "analysis/transient.hpp"
+#include "circuit/mna.hpp"
+#include "numeric/dense.hpp"
+
+namespace rfic::analysis {
+
+using numeric::RMat;
+using numeric::RVec;
+
+struct ShootingOptions {
+  std::size_t stepsPerPeriod = 400;
+  std::size_t maxIterations = 50;
+  Real tolerance = 1e-9;  ///< on ‖Φ(x0) − x0‖
+  /// Backward Euler by default: trapezoidal integration propagates the
+  /// sensitivity of *algebraic* MNA unknowns (source branches, resistive
+  /// nodes) with a factor −1 per step, so after an even step count the
+  /// discrete monodromy acquires an exact +1 eigenvalue and Newton's
+  /// (M − I) goes singular. BE propagates those components to the
+  /// physically-correct 0 and is robust for the stiff switching circuits
+  /// the MPDE methods target.
+  IntegrationMethod method = IntegrationMethod::backwardEuler;
+};
+
+struct PSSResult {
+  bool converged = false;
+  Real period = 0;
+  IntegrationMethod method = IntegrationMethod::backwardEuler;
+  RVec x0;                       ///< state at t = 0 on the periodic orbit
+  std::vector<Real> times;       ///< stepsPerPeriod+1 sample instants
+  std::vector<RVec> trajectory;  ///< states at `times`
+  RMat monodromy;                ///< ∂Φ_T/∂x0 at the solution
+  std::size_t newtonIterations = 0;
+};
+
+/// PSS of a periodically driven circuit with known period.
+PSSResult shootingPSS(const circuit::MnaSystem& sys, Real period,
+                      const RVec& guess, const ShootingOptions& opts = {});
+
+/// PSS of an autonomous oscillator: the period is an extra unknown and the
+/// phase is pinned by the condition x0[anchorIndex] = anchorValue (pick a
+/// value the orbit crosses transversally, e.g. from a transient run).
+/// Requires an invertible C(x) (state at every node), as the extra Jacobian
+/// column is ẋ(T) = C⁻¹(b − f).
+PSSResult shootingOscillatorPSS(const circuit::MnaSystem& sys,
+                                Real periodGuess, const RVec& guess,
+                                std::size_t anchorIndex, Real anchorValue,
+                                const ShootingOptions& opts = {});
+
+/// Estimate the oscillation period from the last stretch of a transient by
+/// averaging intervals between rising zero crossings of x[index] − level.
+Real estimatePeriod(const TransientResult& tran, std::size_t index,
+                    Real level);
+
+}  // namespace rfic::analysis

@@ -1,0 +1,116 @@
+#include "analysis/sparams.hpp"
+
+#include <cmath>
+
+#include "numeric/eig.hpp"
+#include "numeric/lu.hpp"
+#include "sparse/sparse_lu.hpp"
+
+namespace rfic::analysis {
+
+using numeric::CMat;
+using numeric::CVec;
+
+Real SParameters::magDb(std::size_t i, std::size_t j) const {
+  const Real m = std::abs(s(i, j));
+  return m > 0 ? 20.0 * std::log10(m) : -400.0;
+}
+
+SParameters sParameters(const MnaSystem& sys, const numeric::RVec& xop,
+                        const std::vector<Port>& ports, Real freqHz,
+                        Real z0) {
+  RFIC_REQUIRE(!ports.empty(), "sParameters: at least one port");
+  RFIC_REQUIRE(z0 > 0, "sParameters: positive reference impedance");
+  const std::size_t np = ports.size();
+
+  // Z-matrix: inject 1 A into port j (others open), read port voltages.
+  // One factorization serves all ports. Tiny shunt conductances at the
+  // port nodes regularize networks that float when every port is open
+  // (e.g. a bare series element) — the |S| error is ~Z0·gminPort ≈ 5e-11.
+  circuit::MnaEval e;
+  sys.eval(xop, 0.0, e, true);
+  const std::size_t n = sys.dim();
+  sparse::CTriplets a(n, n);
+  for (const auto& en : e.G.entries())
+    a.add(en.row, en.col, Complex(en.value, 0.0));
+  const Real w = kTwoPi * freqHz;
+  for (const auto& en : e.C.entries())
+    a.add(en.row, en.col, Complex(0.0, w * en.value));
+  const Real gminPort = 1e-12;
+  for (const auto& p : ports) {
+    if (p.nodePlus >= 0)
+      a.add(static_cast<std::size_t>(p.nodePlus),
+            static_cast<std::size_t>(p.nodePlus), gminPort);
+    if (p.nodeMinus >= 0)
+      a.add(static_cast<std::size_t>(p.nodeMinus),
+            static_cast<std::size_t>(p.nodeMinus), gminPort);
+  }
+  const sparse::CSparseLU lu0(a);
+
+  CMat z(np, np);
+  for (std::size_t j = 0; j < np; ++j) {
+    const CVec u = acStimulusCurrent(sys, ports[j].nodeMinus,
+                                     ports[j].nodePlus, {1.0, 0.0});
+    const CVec x = lu0.solve(u);
+    for (std::size_t i = 0; i < np; ++i) {
+      const Complex vp = ports[i].nodePlus >= 0
+                             ? x[static_cast<std::size_t>(ports[i].nodePlus)]
+                             : 0.0;
+      const Complex vm = ports[i].nodeMinus >= 0
+                             ? x[static_cast<std::size_t>(ports[i].nodeMinus)]
+                             : 0.0;
+      z(i, j) = vp - vm;
+    }
+  }
+
+  // S = (Z − Z0 I)(Z + Z0 I)⁻¹.
+  CMat num = z, den = z;
+  for (std::size_t i = 0; i < np; ++i) {
+    num(i, i) -= z0;
+    den(i, i) += z0;
+  }
+  SParameters out;
+  out.freq = freqHz;
+  // Solve (Z + Z0)ᵀ Xᵀ = (Z − Z0)ᵀ  ⇔  X = num · den⁻¹.
+  const numeric::CLU lu(den.transposed());  // NOLINT (small dense)
+  out.s = CMat(np, np);
+  CVec col(np);
+  const CMat numT = num.transposed();
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t k = 0; k < np; ++k) col[k] = numT(k, i);
+    const CVec row = lu.solve(col);
+    for (std::size_t k = 0; k < np; ++k) out.s(i, k) = row[k];
+  }
+  return out;
+}
+
+std::vector<SParameters> sParameterSweep(const MnaSystem& sys,
+                                         const numeric::RVec& xop,
+                                         const std::vector<Port>& ports,
+                                         const std::vector<Real>& freqs,
+                                         Real z0) {
+  std::vector<SParameters> out;
+  out.reserve(freqs.size());
+  for (const Real f : freqs) out.push_back(sParameters(sys, xop, ports, f, z0));
+  return out;
+}
+
+bool isPassiveSample(const SParameters& sp, Real tol) {
+  // Eigenvalues of the Hermitian matrix I − SᴴS must be ≥ −tol.
+  const std::size_t n = sp.s.rows();
+  CMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex acc = (i == j) ? Complex(1.0, 0.0) : Complex(0.0, 0.0);
+      for (std::size_t k = 0; k < n; ++k)
+        acc -= std::conj(sp.s(k, i)) * sp.s(k, j);
+      m(i, j) = acc;
+    }
+  }
+  const numeric::CVec eig = numeric::eigenvalues(m);
+  for (std::size_t i = 0; i < n; ++i)
+    if (eig[i].real() < -tol) return false;
+  return true;
+}
+
+}  // namespace rfic::analysis

@@ -1,0 +1,296 @@
+#include "analysis/transient.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "sparse/sparse_lu.hpp"
+
+namespace rfic::analysis {
+
+namespace {
+
+// Apply a triplet matrix to every column of S: out = T·S (dense result).
+numeric::RMat tripletsTimesDense(const sparse::RTriplets& t,
+                                 const numeric::RMat& s) {
+  numeric::RMat out(t.rows(), s.cols());
+  for (const auto& e : t.entries()) {
+    if (e.value == 0.0) continue;
+    for (std::size_t j = 0; j < s.cols(); ++j)
+      out(e.row, j) += e.value * s(e.col, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
+                   Real h, const RVec& x0, const RVec* xPrevStep, RVec& x1,
+                   numeric::RMat* sensitivity, std::size_t maxNewton,
+                   Real tol, std::size_t* newtonIters) {
+  const std::size_t n = sys.dim();
+  const Real t1 = t0 + h;
+
+  // History evaluation at (x0, t0).
+  circuit::MnaEval e0;
+  const bool needHist = (method != IntegrationMethod::backwardEuler) ||
+                        (sensitivity != nullptr);
+  sys.eval(x0, t0, e0, sensitivity != nullptr);
+  circuit::MnaEval ePrev;
+  if (method == IntegrationMethod::gear2 && xPrevStep) {
+    RFIC_REQUIRE(sensitivity == nullptr,
+                 "integrateStep: Gear-2 does not propagate sensitivities");
+    sys.eval(*xPrevStep, t0 - h, ePrev, false);
+  }
+  (void)needHist;
+
+  x1 = x0;
+  RVec xIter = x0;
+  circuit::MnaEval e1;
+  bool converged = false;
+  for (std::size_t it = 0; it < maxNewton; ++it) {
+    if (newtonIters) ++*newtonIters;
+    sys.eval(x1, t1, e1, true, it > 0 ? &xIter : nullptr);
+    RVec r(n);
+    Real jacQ = 0, jacG = 0;  // coefficients J = jacQ·C1 + jacG·G1
+    switch (method) {
+      case IntegrationMethod::backwardEuler:
+        for (std::size_t i = 0; i < n; ++i)
+          r[i] = e1.q[i] - e0.q[i] + h * (e1.f[i] - e1.b[i]);
+        jacQ = 1.0;
+        jacG = h;
+        break;
+      case IntegrationMethod::trapezoidal:
+        for (std::size_t i = 0; i < n; ++i)
+          r[i] = e1.q[i] - e0.q[i] +
+                 0.5 * h * (e1.f[i] - e1.b[i] + e0.f[i] - e0.b[i]);
+        jacQ = 1.0;
+        jacG = 0.5 * h;
+        break;
+      case IntegrationMethod::gear2:
+        if (xPrevStep) {
+          for (std::size_t i = 0; i < n; ++i)
+            r[i] = 1.5 * e1.q[i] - 2.0 * e0.q[i] + 0.5 * ePrev.q[i] +
+                   h * (e1.f[i] - e1.b[i]);
+          jacQ = 1.5;
+          jacG = h;
+        } else {  // BDF1 start-up step
+          for (std::size_t i = 0; i < n; ++i)
+            r[i] = e1.q[i] - e0.q[i] + h * (e1.f[i] - e1.b[i]);
+          jacQ = 1.0;
+          jacG = h;
+        }
+        break;
+    }
+    const Real rnorm = numeric::normInf(r);
+    // Residual is in charge units; scale tolerance by h to make it a
+    // current tolerance.
+    if (rnorm < tol * std::max(h, 1e-30)) {
+      converged = true;
+      break;
+    }
+
+    sparse::RTriplets j(n, n);
+    for (const auto& en : e1.C.entries()) j.add(en.row, en.col, jacQ * en.value);
+    for (const auto& en : e1.G.entries()) j.add(en.row, en.col, jacG * en.value);
+    try {
+      sparse::RSparseLU lu(j);
+      const RVec dx = lu.solve(r);
+      xIter = x1;
+      x1 -= dx;
+      if (numeric::norm2(dx) < tol * (1.0 + numeric::norm2(x1))) {
+        converged = true;
+        // One more residual evaluation next loop iteration would confirm;
+        // accept here to avoid an extra factorization.
+        break;
+      }
+    } catch (const NumericalError&) {
+      return false;
+    }
+  }
+  if (!converged) return false;
+
+  if (sensitivity) {
+    // dx1/dx0 from the converged step:
+    //   BE:   (C1 + h·G1)·dx1 = C0·dx0
+    //   trap: (C1 + h/2·G1)·dx1 = (C0 − h/2·G0)·dx0
+    circuit::MnaEval ej;
+    sys.eval(x1, t1, ej, true);
+    const Real gw = (method == IntegrationMethod::trapezoidal) ? 0.5 * h : h;
+    sparse::RTriplets j(n, n);
+    for (const auto& en : ej.C.entries()) j.add(en.row, en.col, en.value);
+    for (const auto& en : ej.G.entries()) j.add(en.row, en.col, gw * en.value);
+    sparse::RSparseLU lu(j);
+
+    sparse::RTriplets rhsOp(n, n);
+    for (const auto& en : e0.C.entries()) rhsOp.add(en.row, en.col, en.value);
+    if (method == IntegrationMethod::trapezoidal) {
+      for (const auto& en : e0.G.entries())
+        rhsOp.add(en.row, en.col, -0.5 * h * en.value);
+    }
+    const numeric::RMat rhs = tripletsTimesDense(rhsOp, *sensitivity);
+    numeric::RMat out(n, sensitivity->cols());
+    RVec col(n);
+    for (std::size_t c = 0; c < rhs.cols(); ++c) {
+      for (std::size_t i = 0; i < n; ++i) col[i] = rhs(i, c);
+      const RVec sol = lu.solve(col);
+      for (std::size_t i = 0; i < n; ++i) out(i, c) = sol[i];
+    }
+    *sensitivity = std::move(out);
+  }
+  return true;
+}
+
+TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
+                             const TransientOptions& opts) {
+  RFIC_REQUIRE(opts.tstop > opts.tstart, "runTransient: tstop must exceed tstart");
+  RFIC_REQUIRE(opts.dt > 0, "runTransient: dt must be positive");
+  TransientResult res;
+  const Real dtMin = opts.dtMin > 0 ? opts.dtMin : opts.dt * 1e-6;
+
+  Real t = opts.tstart;
+  Real h = opts.dt;
+  RVec x = x0;
+  RVec xPrev;        // state one accepted step back (for Gear-2 / LTE)
+  Real hPrev = 0.0;
+  bool havePrev = false;
+
+  // Local truncation error applies to *dynamic* unknowns only: algebraic
+  // components (source branch currents, purely resistive nodes) may jump
+  // with the excitation and must not drive step rejection.
+  std::vector<char> dynamicMask(x0.size(), 0);
+  if (opts.adaptive) {
+    circuit::MnaEval e0;
+    sys.eval(x0, opts.tstart, e0, true);
+    for (const auto& en : e0.C.entries())
+      if (en.value != 0.0) dynamicMask[en.row] = 1;
+  }
+
+  res.time.push_back(t);
+  res.x.push_back(x);
+
+  while (t < opts.tstop - 1e-12 * opts.tstop) {
+    h = std::min(h, opts.tstop - t);
+    RVec x1;
+    const bool ok = integrateStep(
+        sys, opts.method, t, h, x, havePrev ? &xPrev : nullptr, x1, nullptr,
+        opts.maxNewton, opts.newtonTol, &res.newtonIterations);
+    if (!ok) {
+      h *= 0.5;
+      if (h < dtMin) return res;  // res.ok stays false
+      continue;
+    }
+
+    bool accept = true;
+    if (opts.adaptive && havePrev) {
+      // Divided-difference LTE proxy: compare against linear extrapolation
+      // of the last two accepted points.
+      Real err = 0;
+      for (std::size_t i = 0; i < x1.size(); ++i) {
+        if (!dynamicMask[i]) continue;
+        const Real pred = x[i] + (x[i] - xPrev[i]) * (h / hPrev);
+        const Real tolI = opts.reltol * std::abs(x1[i]) + opts.abstol;
+        err = std::max(err, std::abs(x1[i] - pred) / tolI);
+      }
+      if (err > 10.0 && h > dtMin) {
+        h = std::max(dtMin, 0.5 * h);
+        accept = false;
+      } else if (err < 0.5) {
+        h = std::min(opts.dt, 1.6 * h);
+      }
+    }
+    if (!accept) continue;
+
+    xPrev = x;
+    hPrev = h;
+    havePrev = true;
+    x = x1;
+    t += h;
+    ++res.steps;
+    if (opts.storeWaveforms) {
+      res.time.push_back(t);
+      res.x.push_back(x);
+    }
+  }
+  if (!opts.storeWaveforms) {
+    res.time.assign(1, t);
+    res.x.assign(1, x);
+  }
+  res.ok = true;
+  return res;
+}
+
+TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
+                                  const TransientOptions& opts,
+                                  std::uint64_t seed) {
+  RFIC_REQUIRE(opts.dt > 0, "runNoisyTransient: dt must be positive");
+  TransientResult res;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<Real> gauss(0.0, 1.0);
+
+  const std::size_t n = sys.dim();
+  Real t = opts.tstart;
+  RVec x = x0;
+  res.time.push_back(t);
+  res.x.push_back(x);
+  const Real h = opts.dt;
+
+  circuit::MnaEval e0, e1;
+  while (t < opts.tstop - 1e-12 * opts.tstop) {
+    // Sample device noise at the current operating point (cyclostationary
+    // modulation happens automatically through the x-dependence).
+    const auto sources = sys.noiseSources(x);
+    RVec inoise(n, 0.0);
+    for (const auto& src : sources) {
+      // One-sided white PSD S → discrete variance S/(2h).
+      const Real sigma =
+          std::sqrt(opts.noiseScale * std::max(0.0, src.white) / (2.0 * h));
+      const Real val = sigma * gauss(rng);
+      if (src.nodePlus >= 0) inoise[static_cast<std::size_t>(src.nodePlus)] -= val;
+      if (src.nodeMinus >= 0) inoise[static_cast<std::size_t>(src.nodeMinus)] += val;
+    }
+
+    // One BE Newton solve with the noise current on the RHS.
+    sys.eval(x, t, e0, false);
+    RVec x1 = x;
+    RVec xIter = x;
+    bool converged = false;
+    for (std::size_t it = 0; it < opts.maxNewton; ++it) {
+      ++res.newtonIterations;
+      sys.eval(x1, t + h, e1, true, it > 0 ? &xIter : nullptr);
+      RVec r(n);
+      for (std::size_t i = 0; i < n; ++i)
+        r[i] = e1.q[i] - e0.q[i] + h * (e1.f[i] - e1.b[i] - inoise[i]);
+      if (numeric::normInf(r) < opts.newtonTol * h) {
+        converged = true;
+        break;
+      }
+      sparse::RTriplets j(n, n);
+      for (const auto& en : e1.C.entries()) j.add(en.row, en.col, en.value);
+      for (const auto& en : e1.G.entries()) j.add(en.row, en.col, h * en.value);
+      sparse::RSparseLU lu(j);
+      const RVec dx = lu.solve(r);
+      xIter = x1;
+      x1 -= dx;
+      if (numeric::norm2(dx) < opts.newtonTol * (1.0 + numeric::norm2(x1))) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) return res;
+    x = x1;
+    t += h;
+    ++res.steps;
+    if (opts.storeWaveforms) {
+      res.time.push_back(t);
+      res.x.push_back(x);
+    }
+  }
+  if (!opts.storeWaveforms) {
+    res.time.assign(1, t);
+    res.x.assign(1, x);
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace rfic::analysis

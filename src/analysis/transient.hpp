@@ -1,0 +1,71 @@
+// Time-domain transient analysis: backward Euler, trapezoidal, and Gear-2
+// integration with Newton inner loops and optional local-truncation-error
+// step control.
+//
+// The paper's Section 2 argument starts here: for an RF circuit driven at
+// 1.62 GHz with an 80 kHz baseband, a conventional transient must resolve
+// hundreds of thousands of carrier cycles to see one baseband period. The
+// transient engine is therefore both a substrate (initial conditions,
+// shooting, Monte-Carlo noise ensembles) and the baseline the multi-scale
+// methods are measured against (Fig. 5).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/mna.hpp"
+
+namespace rfic::analysis {
+
+using circuit::MnaSystem;
+using numeric::RVec;
+
+enum class IntegrationMethod { backwardEuler, trapezoidal, gear2 };
+
+struct TransientOptions {
+  Real tstart = 0.0;
+  Real tstop = 0.0;
+  Real dt = 0.0;                 ///< base (maximum) step
+  IntegrationMethod method = IntegrationMethod::trapezoidal;
+  bool adaptive = false;         ///< LTE-based step control
+  Real reltol = 1e-4;
+  Real abstol = 1e-9;
+  Real dtMin = 0.0;              ///< 0 → dt/1e6
+  std::size_t maxNewton = 50;
+  Real newtonTol = 1e-9;
+  bool storeWaveforms = true;    ///< keep every accepted point
+  Real noiseScale = 1.0;         ///< PSD multiplier in runNoisyTransient
+};
+
+struct TransientResult {
+  std::vector<Real> time;
+  std::vector<RVec> x;
+  bool ok = false;
+  std::size_t steps = 0;
+  std::size_t newtonIterations = 0;
+};
+
+/// Integrate the circuit DAE from x0. If opts.storeWaveforms is false only
+/// the final state is kept (trajectory has one entry).
+TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
+                             const TransientOptions& opts);
+
+/// One integration step from (t0, x0) to t0+h. `xPrevStep` supplies the
+/// history state for Gear-2 (pass nullptr to fall back to BE on the first
+/// step). On return x1 holds the new state; when `sensitivity` is non-null
+/// it is updated in place: S ← (∂x1/∂x0)·S, the propagation used to build
+/// the monodromy matrix in shooting and Floquet analyses.
+bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
+                   Real h, const RVec& x0, const RVec* xPrevStep, RVec& x1,
+                   numeric::RMat* sensitivity, std::size_t maxNewton = 50,
+                   Real tol = 1e-9, std::size_t* newtonIters = nullptr);
+
+/// Additive white-noise transient (Euler–Maruyama on top of BE): at each
+/// step every device noise generator injects an independent Gaussian
+/// current of variance  S(op)/(2·h)  (one-sided PSD → per-step variance).
+/// Used by the Monte-Carlo jitter validation of Section 3.
+TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
+                                  const TransientOptions& opts,
+                                  std::uint64_t seed);
+
+}  // namespace rfic::analysis

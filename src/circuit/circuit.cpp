@@ -1,0 +1,32 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+
+namespace rfic::circuit {
+
+int Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return -1;
+  const auto it = std::find_if(nodeIndex_.begin(), nodeIndex_.end(),
+                               [&](const auto& p) { return p.first == name; });
+  if (it != nodeIndex_.end()) return it->second;
+  const int idx = static_cast<int>(unknownNames_.size());
+  unknownNames_.push_back("V(" + name + ")");
+  nodeIndex_.emplace_back(name, idx);
+  return idx;
+}
+
+int Circuit::allocBranch(const std::string& label) {
+  const int idx = static_cast<int>(unknownNames_.size());
+  unknownNames_.push_back("I(" + label + ")");
+  return idx;
+}
+
+int Circuit::findNode(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return -1;
+  const auto it = std::find_if(nodeIndex_.begin(), nodeIndex_.end(),
+                               [&](const auto& p) { return p.first == name; });
+  RFIC_REQUIRE(it != nodeIndex_.end(), "Circuit::findNode: unknown node " + name);
+  return it->second;
+}
+
+}  // namespace rfic::circuit

@@ -1,0 +1,155 @@
+// Circuit representation: nodes, extra branch unknowns, and the device
+// interface used by every analysis in the library.
+//
+// The library represents a circuit by the charge-oriented MNA
+// differential-algebraic equation of the paper's Section 2:
+//
+//     d/dt q(x) + f(x) = b(t)                                   (3)
+//
+// where x collects node voltages and branch currents, q the charge/flux
+// terms, f the resistive terms, and b the independent excitations. Every
+// analysis — DC, transient, AC, noise, shooting, harmonic balance, and the
+// multi-time MPDE methods — is built on evaluations of (f, q, b) and the
+// Jacobians G = ∂f/∂x and C = ∂q/∂x supplied by the devices.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numeric/dense.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace rfic::circuit {
+
+using numeric::RVec;
+
+/// Which time axis a source belongs to when a circuit is analyzed in the
+/// bivariate (multi-time) setting of Section 2.2. Slow sources read t1,
+/// fast sources read t2; in ordinary univariate analyses t1 == t2 == t and
+/// the distinction disappears.
+enum class TimeAxis { slow, fast };
+
+/// Accumulation target handed to Device::stamp(). Rows/columns < 0 denote
+/// the ground node and are silently dropped.
+class Stamp {
+ public:
+  Stamp(RVec& f, RVec& q, RVec& b, sparse::RTriplets* g, sparse::RTriplets* c,
+        Real t1, Real t2)
+      : f_(f), q_(q), b_(b), g_(g), c_(c), t1_(t1), t2_(t2) {}
+
+  /// Time seen by sources on the given axis.
+  Real time(TimeAxis axis) const { return axis == TimeAxis::fast ? t2_ : t1_; }
+  Real slowTime() const { return t1_; }
+  Real fastTime() const { return t2_; }
+  bool wantMatrices() const { return g_ != nullptr; }
+
+  void addF(int row, Real v) {
+    if (row >= 0) f_[static_cast<std::size_t>(row)] += v;
+  }
+  void addQ(int row, Real v) {
+    if (row >= 0) q_[static_cast<std::size_t>(row)] += v;
+  }
+  void addB(int row, Real v) {
+    if (row >= 0) b_[static_cast<std::size_t>(row)] += v;
+  }
+  /// ∂f/∂x entry.
+  void addG(int row, int col, Real v) {
+    if (row >= 0 && col >= 0 && g_)
+      g_->add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), v);
+  }
+  /// ∂q/∂x entry.
+  void addC(int row, int col, Real v) {
+    if (row >= 0 && col >= 0 && c_)
+      c_->add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), v);
+  }
+
+ private:
+  RVec& f_;
+  RVec& q_;
+  RVec& b_;
+  sparse::RTriplets* g_;
+  sparse::RTriplets* c_;
+  Real t1_, t2_;
+};
+
+/// One device noise generator: a stochastic current injected between two
+/// unknowns, with PSD  S(f) = white + flicker/f  (A²/Hz, one-sided),
+/// evaluated at the instantaneous operating point. Along a periodic steady
+/// state the operating-point dependence is what makes the noise
+/// cyclostationary (Section 3).
+struct NoiseSource {
+  int nodePlus = -1;
+  int nodeMinus = -1;
+  Real white = 0;
+  Real flicker = 0;
+  std::string label;
+};
+
+/// Voltage read from the unknown vector, ground mapped to 0.
+inline Real nodeVoltage(const RVec& x, int node) {
+  return node >= 0 ? x[static_cast<std::size_t>(node)] : 0.0;
+}
+
+/// Base class of all circuit elements.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Accumulate the device's contribution to f, q, b (and G, C when
+  /// s.wantMatrices()). `xPrev` is the previous Newton iterate, used by
+  /// junction devices for SPICE-style voltage limiting; it may be null.
+  virtual void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const = 0;
+
+  /// Append this device's noise generators at operating point x.
+  virtual void noiseSources(const RVec& x,
+                            std::vector<NoiseSource>& out) const {
+    (void)x;
+    (void)out;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// A circuit: a set of named nodes, extra branch unknowns, and devices.
+/// Unknown indices are assigned in creation order; ground is index -1.
+class Circuit {
+ public:
+  /// Get-or-create a named node. "0", "gnd", and "GND" map to ground (-1).
+  int node(const std::string& name);
+  /// Allocate an anonymous branch-current unknown (inductors, V-sources).
+  int allocBranch(const std::string& label);
+
+  std::size_t numUnknowns() const { return unknownNames_.size(); }
+  const std::string& unknownName(std::size_t i) const {
+    return unknownNames_[i];
+  }
+  /// Index of an existing named node; throws if absent.
+  int findNode(const std::string& name) const;
+
+  /// Construct a device in place and take ownership.
+  template <class D, class... Args>
+  D& add(Args&&... args) {
+    auto dev = std::make_unique<D>(std::forward<Args>(args)...);
+    D& ref = *dev;
+    devices_.push_back(std::move(dev));
+    return ref;
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+ private:
+  std::vector<std::string> unknownNames_;
+  std::vector<std::pair<std::string, int>> nodeIndex_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace rfic::circuit

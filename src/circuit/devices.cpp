@@ -1,0 +1,248 @@
+#include "circuit/devices.hpp"
+
+#include <cmath>
+
+namespace rfic::circuit {
+
+namespace {
+// Boltzmann constant times nominal temperature (300 K).
+constexpr Real kKT = 1.380649e-23 * 300.0;
+}  // namespace
+
+Resistor::Resistor(std::string name, int n1, int n2, Real ohms)
+    : Device(std::move(name)), n1_(n1), n2_(n2), r_(ohms), g_(1.0 / ohms) {
+  RFIC_REQUIRE(ohms > 0, "Resistor: resistance must be positive");
+}
+
+void Resistor::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real v = nodeVoltage(x, n1_) - nodeVoltage(x, n2_);
+  const Real i = g_ * v;
+  s.addF(n1_, i);
+  s.addF(n2_, -i);
+  if (s.wantMatrices()) {
+    s.addG(n1_, n1_, g_);
+    s.addG(n1_, n2_, -g_);
+    s.addG(n2_, n1_, -g_);
+    s.addG(n2_, n2_, g_);
+  }
+}
+
+void Resistor::noiseSources(const RVec&, std::vector<NoiseSource>& out) const {
+  NoiseSource n;
+  n.nodePlus = n1_;
+  n.nodeMinus = n2_;
+  n.white = 4.0 * kKT * g_;  // 4kT/R, one-sided
+  n.label = name() + ".thermal";
+  out.push_back(n);
+}
+
+Capacitor::Capacitor(std::string name, int n1, int n2, Real farads)
+    : Device(std::move(name)), n1_(n1), n2_(n2), c_(farads) {
+  RFIC_REQUIRE(farads > 0, "Capacitor: capacitance must be positive");
+}
+
+void Capacitor::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real v = nodeVoltage(x, n1_) - nodeVoltage(x, n2_);
+  const Real q = c_ * v;
+  s.addQ(n1_, q);
+  s.addQ(n2_, -q);
+  if (s.wantMatrices()) {
+    s.addC(n1_, n1_, c_);
+    s.addC(n1_, n2_, -c_);
+    s.addC(n2_, n1_, -c_);
+    s.addC(n2_, n2_, c_);
+  }
+}
+
+Inductor::Inductor(std::string name, int n1, int n2, int branch, Real henries)
+    : Device(std::move(name)), n1_(n1), n2_(n2), br_(branch), l_(henries) {
+  RFIC_REQUIRE(henries > 0, "Inductor: inductance must be positive");
+  RFIC_REQUIRE(branch >= 0, "Inductor: branch unknown required");
+}
+
+void Inductor::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real i = x[static_cast<std::size_t>(br_)];
+  const Real v = nodeVoltage(x, n1_) - nodeVoltage(x, n2_);
+  s.addF(n1_, i);
+  s.addF(n2_, -i);
+  s.addQ(br_, l_ * i);  // flux
+  s.addF(br_, -v);      // d(flux)/dt = v
+  if (s.wantMatrices()) {
+    s.addG(n1_, br_, 1.0);
+    s.addG(n2_, br_, -1.0);
+    s.addC(br_, br_, l_);
+    s.addG(br_, n1_, -1.0);
+    s.addG(br_, n2_, 1.0);
+  }
+}
+
+MutualInductance::MutualInductance(std::string name, const Inductor& l1,
+                                   const Inductor& l2, Real coupling)
+    : Device(std::move(name)),
+      br1_(l1.branch()),
+      br2_(l2.branch()),
+      m_(coupling * std::sqrt(l1.inductance() * l2.inductance())) {
+  RFIC_REQUIRE(coupling > -1.0 && coupling < 1.0,
+               "MutualInductance: |k| must be < 1");
+}
+
+void MutualInductance::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real i1 = x[static_cast<std::size_t>(br1_)];
+  const Real i2 = x[static_cast<std::size_t>(br2_)];
+  s.addQ(br1_, m_ * i2);
+  s.addQ(br2_, m_ * i1);
+  if (s.wantMatrices()) {
+    s.addC(br1_, br2_, m_);
+    s.addC(br2_, br1_, m_);
+  }
+}
+
+VCCS::VCCS(std::string name, int outPlus, int outMinus, int ctrlPlus,
+           int ctrlMinus, Real gm)
+    : Device(std::move(name)),
+      op_(outPlus),
+      om_(outMinus),
+      cp_(ctrlPlus),
+      cm_(ctrlMinus),
+      gm_(gm) {}
+
+void VCCS::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real vc = nodeVoltage(x, cp_) - nodeVoltage(x, cm_);
+  const Real i = gm_ * vc;
+  s.addF(op_, i);
+  s.addF(om_, -i);
+  if (s.wantMatrices()) {
+    s.addG(op_, cp_, gm_);
+    s.addG(op_, cm_, -gm_);
+    s.addG(om_, cp_, -gm_);
+    s.addG(om_, cm_, gm_);
+  }
+}
+
+VCVS::VCVS(std::string name, int outPlus, int outMinus, int ctrlPlus,
+           int ctrlMinus, int branch, Real gain)
+    : Device(std::move(name)),
+      op_(outPlus),
+      om_(outMinus),
+      cp_(ctrlPlus),
+      cm_(ctrlMinus),
+      br_(branch),
+      gain_(gain) {
+  RFIC_REQUIRE(branch >= 0, "VCVS: branch unknown required");
+}
+
+void VCVS::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real ib = x[static_cast<std::size_t>(br_)];
+  const Real vout = nodeVoltage(x, op_) - nodeVoltage(x, om_);
+  const Real vc = nodeVoltage(x, cp_) - nodeVoltage(x, cm_);
+  s.addF(op_, ib);
+  s.addF(om_, -ib);
+  s.addF(br_, vout - gain_ * vc);
+  if (s.wantMatrices()) {
+    s.addG(op_, br_, 1.0);
+    s.addG(om_, br_, -1.0);
+    s.addG(br_, op_, 1.0);
+    s.addG(br_, om_, -1.0);
+    s.addG(br_, cp_, -gain_);
+    s.addG(br_, cm_, gain_);
+  }
+}
+
+CCCS::CCCS(std::string name, int outPlus, int outMinus, int ctrlBranch,
+           Real gain)
+    : Device(std::move(name)),
+      op_(outPlus),
+      om_(outMinus),
+      cb_(ctrlBranch),
+      gain_(gain) {
+  RFIC_REQUIRE(ctrlBranch >= 0, "CCCS: controlling branch required");
+}
+
+void CCCS::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real i = gain_ * x[static_cast<std::size_t>(cb_)];
+  s.addF(op_, i);
+  s.addF(om_, -i);
+  if (s.wantMatrices()) {
+    s.addG(op_, cb_, gain_);
+    s.addG(om_, cb_, -gain_);
+  }
+}
+
+CCVS::CCVS(std::string name, int outPlus, int outMinus, int ctrlBranch,
+           int branch, Real transresistance)
+    : Device(std::move(name)),
+      op_(outPlus),
+      om_(outMinus),
+      cb_(ctrlBranch),
+      br_(branch),
+      r_(transresistance) {
+  RFIC_REQUIRE(ctrlBranch >= 0 && branch >= 0,
+               "CCVS: controlling and output branches required");
+}
+
+void CCVS::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real ib = x[static_cast<std::size_t>(br_)];
+  const Real vout = nodeVoltage(x, op_) - nodeVoltage(x, om_);
+  const Real ic = x[static_cast<std::size_t>(cb_)];
+  s.addF(op_, ib);
+  s.addF(om_, -ib);
+  s.addF(br_, vout - r_ * ic);
+  if (s.wantMatrices()) {
+    s.addG(op_, br_, 1.0);
+    s.addG(om_, br_, -1.0);
+    s.addG(br_, op_, 1.0);
+    s.addG(br_, om_, -1.0);
+    s.addG(br_, cb_, -r_);
+  }
+}
+
+Multiplier::Multiplier(std::string name, int outPlus, int outMinus, int aPlus,
+                       int aMinus, int bPlus, int bMinus, Real gain)
+    : Device(std::move(name)),
+      op_(outPlus),
+      om_(outMinus),
+      ap_(aPlus),
+      am_(aMinus),
+      bp_(bPlus),
+      bm_(bMinus),
+      k_(gain) {}
+
+void Multiplier::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real va = nodeVoltage(x, ap_) - nodeVoltage(x, am_);
+  const Real vb = nodeVoltage(x, bp_) - nodeVoltage(x, bm_);
+  const Real i = k_ * va * vb;
+  s.addF(op_, i);
+  s.addF(om_, -i);
+  if (s.wantMatrices()) {
+    const Real dia = k_ * vb;  // ∂i/∂va
+    const Real dib = k_ * va;  // ∂i/∂vb
+    s.addG(op_, ap_, dia);
+    s.addG(op_, am_, -dia);
+    s.addG(op_, bp_, dib);
+    s.addG(op_, bm_, -dib);
+    s.addG(om_, ap_, -dia);
+    s.addG(om_, am_, dia);
+    s.addG(om_, bp_, -dib);
+    s.addG(om_, bm_, dib);
+  }
+}
+
+CubicConductance::CubicConductance(std::string name, int n1, int n2, Real g1,
+                                   Real g3)
+    : Device(std::move(name)), n1_(n1), n2_(n2), g1_(g1), g3_(g3) {}
+
+void CubicConductance::stamp(const RVec& x, const RVec*, Stamp& s) const {
+  const Real v = nodeVoltage(x, n1_) - nodeVoltage(x, n2_);
+  const Real i = g1_ * v + g3_ * v * v * v;
+  const Real di = g1_ + 3.0 * g3_ * v * v;
+  s.addF(n1_, i);
+  s.addF(n2_, -i);
+  if (s.wantMatrices()) {
+    s.addG(n1_, n1_, di);
+    s.addG(n1_, n2_, -di);
+    s.addG(n2_, n1_, -di);
+    s.addG(n2_, n2_, di);
+  }
+}
+
+}  // namespace rfic::circuit

@@ -1,0 +1,139 @@
+// Passive and controlled linear devices.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace rfic::circuit {
+
+/// Linear resistor between two nodes. Contributes thermal noise 4kT/R.
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, int n1, int n2, Real ohms);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void noiseSources(const RVec& x, std::vector<NoiseSource>& out) const override;
+  Real resistance() const { return r_; }
+
+ private:
+  int n1_, n2_;
+  Real r_, g_;
+};
+
+/// Linear capacitor between two nodes: q = C·(v1 − v2).
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, int n1, int n2, Real farads);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+
+ private:
+  int n1_, n2_;
+  Real c_;
+};
+
+/// Linear inductor with a branch-current unknown: flux = L·i, branch
+/// equation  d(flux)/dt − (v1 − v2) = 0.
+class Inductor final : public Device {
+ public:
+  Inductor(std::string name, int n1, int n2, int branch, Real henries);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  int branch() const { return br_; }
+  Real inductance() const { return l_; }
+
+ private:
+  int n1_, n2_, br_;
+  Real l_;
+};
+
+/// Mutual inductance M = k·√(L1·L2) between two existing inductor branches:
+/// adds M·i2 to branch-1 flux and M·i1 to branch-2 flux.
+class MutualInductance final : public Device {
+ public:
+  MutualInductance(std::string name, const Inductor& l1, const Inductor& l2,
+                   Real coupling);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+
+ private:
+  int br1_, br2_;
+  Real m_;
+};
+
+/// Voltage-controlled current source: i(out+ → out−) = gm·(vc+ − vc−).
+class VCCS final : public Device {
+ public:
+  VCCS(std::string name, int outPlus, int outMinus, int ctrlPlus,
+       int ctrlMinus, Real gm);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+
+ private:
+  int op_, om_, cp_, cm_;
+  Real gm_;
+};
+
+/// Voltage-controlled voltage source with a branch unknown:
+/// v(out+) − v(out−) = gain·(vc+ − vc−).
+class VCVS final : public Device {
+ public:
+  VCVS(std::string name, int outPlus, int outMinus, int ctrlPlus,
+       int ctrlMinus, int branch, Real gain);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+
+ private:
+  int op_, om_, cp_, cm_, br_;
+  Real gain_;
+};
+
+/// Current-controlled current source: i(out+ → out−) = gain · i(branch),
+/// where the controlling current is an existing branch unknown (a V source
+/// or inductor branch).
+class CCCS final : public Device {
+ public:
+  CCCS(std::string name, int outPlus, int outMinus, int ctrlBranch, Real gain);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+
+ private:
+  int op_, om_, cb_;
+  Real gain_;
+};
+
+/// Current-controlled voltage source with its own branch unknown:
+/// v(out+) − v(out−) = r · i(ctrlBranch).
+class CCVS final : public Device {
+ public:
+  CCVS(std::string name, int outPlus, int outMinus, int ctrlBranch,
+       int branch, Real transresistance);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+
+ private:
+  int op_, om_, cb_, br_;
+  Real r_;
+};
+
+/// Ideal four-quadrant multiplier (behavioural double-balanced mixer):
+/// current k·v(a+,a−)·v(b+,b−) pushed from out+ to out−. The idealization
+/// of a Gilbert cell — used by the Fig. 1 modulator testbench, where gain
+/// imbalance between the I and Q multipliers reproduces the paper's
+/// layout-imbalance sideband.
+class Multiplier final : public Device {
+ public:
+  Multiplier(std::string name, int outPlus, int outMinus, int aPlus,
+             int aMinus, int bPlus, int bMinus, Real gain);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+
+ private:
+  int op_, om_, ap_, am_, bp_, bm_;
+  Real k_;
+};
+
+/// Nonlinear polynomial conductance i = g1·v + g3·v³ between two nodes.
+/// A compact stand-in for weakly nonlinear blocks in HB/MPDE tests
+/// (two-tone intermodulation has a closed-form answer for this device).
+class CubicConductance final : public Device {
+ public:
+  CubicConductance(std::string name, int n1, int n2, Real g1, Real g3);
+  void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+
+ private:
+  int n1_, n2_;
+  Real g1_, g3_;
+};
+
+}  // namespace rfic::circuit

@@ -1,0 +1,27 @@
+// SPICE-style netlist parser.
+//
+// Supports the element cards needed by the paper's circuit classes:
+//   R/C/L/K       passives and mutual coupling
+//   V/I           independent sources with DC / SIN / PULSE / SQUARE /
+//                 MULTITONE waveforms; optional AXIS=FAST tag assigns the
+//                 source to the fast time axis for MPDE analyses
+//   E/G           linear controlled sources (VCVS / VCCS)
+//   D/Q/M         diode, BJT, MOSFET — parameters via .model cards
+// plus `*` comments and standard engineering suffixes (f p n u m k meg g t).
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace rfic::circuit {
+
+/// Parse a netlist from text into a Circuit. Throws InvalidArgument with a
+/// line-numbered message on malformed input.
+void parseNetlist(const std::string& text, Circuit& ckt);
+
+/// Parse a numeric field with SPICE engineering suffixes ("2.2k", "1MEG",
+/// "100n"). Throws InvalidArgument on malformed numbers.
+Real parseSpiceNumber(const std::string& token);
+
+}  // namespace rfic::circuit

@@ -1,0 +1,230 @@
+// rficsim — netlist-driven command-line front end.
+//
+// Reads a SPICE-style netlist (see circuit/netlist.hpp for the element
+// cards) extended with analysis control cards:
+//
+//   .op                          DC operating point
+//   .tran <dt> <tstop>           transient; prints .print nodes
+//   .ac dec <pts> <f0> <f1>      AC sweep driven by the first V source
+//   .noise <node> dec <pts> <f0> <f1>   output-referred noise PSD
+//   .hb <f1> <h1> [<f2> <h2>]    harmonic balance, 1 or 2 tones
+//   .print <node> [<node>...]    selects output nodes (default: all)
+//
+// Usage: rficsim <netlist-file>     (or netlist on stdin with "-")
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/ac.hpp"
+#include "analysis/dc.hpp"
+#include "analysis/noise.hpp"
+#include "analysis/transient.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/sources.hpp"
+#include "hb/harmonic_balance.hpp"
+#include "hb/spectrum.hpp"
+
+namespace {
+
+using namespace rfic;
+
+std::vector<std::string> splitTokens(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (in >> t) toks.push_back(t);
+  return toks;
+}
+
+struct Job {
+  std::vector<std::string> tokens;
+};
+
+int runFile(const std::string& text) {
+  circuit::Circuit ckt;
+  circuit::parseNetlist(text, ckt);
+  analysis::MnaSystem sys(ckt);
+
+  // Collect analysis and print cards (parseNetlist ignores them).
+  std::vector<Job> jobs;
+  std::vector<std::string> printNodes;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] != '.') continue;
+      auto toks = splitTokens(line);
+      if (toks.empty()) continue;
+      std::string head = toks[0];
+      for (auto& ch : head) ch = static_cast<char>(std::tolower(ch));
+      if (head == ".model" || head == ".end") continue;
+      if (head == ".print") {
+        printNodes.assign(toks.begin() + 1, toks.end());
+        continue;
+      }
+      toks[0] = head;
+      jobs.push_back({std::move(toks)});
+    }
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "no analysis cards (.op/.tran/.ac/.noise/.hb)\n");
+    return 2;
+  }
+
+  // Output selection.
+  std::vector<std::pair<std::string, std::size_t>> outs;
+  if (printNodes.empty()) {
+    for (std::size_t i = 0; i < sys.dim(); ++i)
+      outs.emplace_back(ckt.unknownName(i), i);
+  } else {
+    for (const auto& name : printNodes)
+      outs.emplace_back("V(" + name + ")",
+                        static_cast<std::size_t>(ckt.findNode(name)));
+  }
+
+  const auto dc = analysis::dcOperatingPoint(sys);
+
+  for (const auto& job : jobs) {
+    const auto& t = job.tokens;
+    if (t[0] == ".op") {
+      std::printf("* .op (%s, %zu iterations)\n", dc.strategy.c_str(),
+                  dc.iterations);
+      for (const auto& [name, idx] : outs)
+        std::printf("%-14s %16.9e\n", name.c_str(), dc.x[idx]);
+    } else if (t[0] == ".tran" && t.size() >= 3) {
+      analysis::TransientOptions to;
+      to.dt = circuit::parseSpiceNumber(t[1]);
+      to.tstop = circuit::parseSpiceNumber(t[2]);
+      const auto tr = analysis::runTransient(sys, dc.x, to);
+      std::printf("* .tran dt=%g tstop=%g ok=%d steps=%zu\n", to.dt, to.tstop,
+                  tr.ok ? 1 : 0, tr.steps);
+      std::printf("%-16s", "time");
+      for (const auto& [name, idx] : outs) std::printf(" %-14s", name.c_str());
+      std::printf("\n");
+      const std::size_t stride = std::max<std::size_t>(1, tr.time.size() / 50);
+      for (std::size_t k = 0; k < tr.time.size(); k += stride) {
+        std::printf("%-16.8e", tr.time[k]);
+        for (const auto& [name, idx] : outs)
+          std::printf(" %-14.6e", tr.x[k][idx]);
+        std::printf("\n");
+      }
+    } else if (t[0] == ".ac" && t.size() >= 5) {
+      const auto pts = static_cast<std::size_t>(
+          circuit::parseSpiceNumber(t[2]));
+      const Real f0 = circuit::parseSpiceNumber(t[3]);
+      const Real f1 = circuit::parseSpiceNumber(t[4]);
+      const Real decades = std::log10(f1 / f0);
+      const auto freqs = analysis::logspace(
+          f0, f1,
+          std::max<std::size_t>(2, static_cast<std::size_t>(
+                                       std::lround(pts * decades)) + 1));
+      // Drive through the first voltage source in the netlist.
+      const circuit::VSource* src = nullptr;
+      for (const auto& dev : ckt.devices())
+        if ((src = dynamic_cast<const circuit::VSource*>(dev.get()))) break;
+      if (!src) {
+        std::fprintf(stderr, ".ac: no voltage source to drive\n");
+        return 2;
+      }
+      const auto sweep = analysis::acSweep(sys, dc.x, freqs,
+                                           analysis::acStimulusVSource(sys, *src));
+      std::printf("* .ac %zu points (driving %s)\n", freqs.size(),
+                  src->name().c_str());
+      std::printf("%-16s", "freq");
+      for (const auto& [name, idx] : outs)
+        std::printf(" %-14s %-10s", ("|" + name + "|").c_str(), "phase");
+      std::printf("\n");
+      for (std::size_t k = 0; k < freqs.size(); ++k) {
+        std::printf("%-16.8e", freqs[k]);
+        for (const auto& [name, idx] : outs) {
+          const Complex v = sweep.x[k][idx];
+          std::printf(" %-14.6e %-10.3f", std::abs(v),
+                      std::arg(v) * 180.0 / kPi);
+        }
+        std::printf("\n");
+      }
+    } else if (t[0] == ".noise" && t.size() >= 6) {
+      const int node = ckt.findNode(t[1]);
+      const auto pts = static_cast<std::size_t>(
+          circuit::parseSpiceNumber(t[3]));
+      const Real f0 = circuit::parseSpiceNumber(t[4]);
+      const Real f1 = circuit::parseSpiceNumber(t[5]);
+      const Real decades = std::log10(f1 / f0);
+      const auto freqs = analysis::logspace(
+          f0, f1,
+          std::max<std::size_t>(2, static_cast<std::size_t>(
+                                       std::lround(pts * decades)) + 1));
+      const auto nr = analysis::noiseAnalysis(sys, dc.x, node, freqs);
+      std::printf("* .noise at V(%s)\n", t[1].c_str());
+      std::printf("%-16s %-14s\n", "freq", "PSD (V^2/Hz)");
+      for (std::size_t k = 0; k < freqs.size(); ++k)
+        std::printf("%-16.8e %-14.6e\n", nr.freq[k], nr.totalPsd[k]);
+    } else if (t[0] == ".hb" && t.size() >= 3) {
+      std::vector<hb::Tone> tones;
+      tones.push_back({circuit::parseSpiceNumber(t[1]),
+                       static_cast<std::size_t>(
+                           circuit::parseSpiceNumber(t[2]))});
+      if (t.size() >= 5)
+        tones.push_back({circuit::parseSpiceNumber(t[3]),
+                         static_cast<std::size_t>(
+                             circuit::parseSpiceNumber(t[4]))});
+      hb::HBOptions ho;
+      ho.continuationSteps = 3;
+      hb::HarmonicBalance eng(sys, tones, ho);
+      const auto sol = eng.solve(dc.x);
+      std::printf("* .hb converged=%d unknowns=%zu newton=%zu gmres=%zu\n",
+                  sol.converged ? 1 : 0, sol.realUnknowns,
+                  sol.newtonIterations, sol.gmresIterations);
+      if (!sol.converged) return 3;
+      for (const auto& [name, idx] : outs) {
+        std::printf("spectrum of %s:\n", name.c_str());
+        std::printf("  %-14s %-6s %-6s %-14s %-8s\n", "freq", "k1", "k2",
+                    "amp (V)", "dBc");
+        for (const auto& l : hb::spectrumOf(sol, idx)) {
+          if (l.amplitude < 1e-15) continue;
+          std::printf("  %-14.6e %-6d %-6d %-14.6e %-8.1f\n", l.freq, l.k1,
+                      l.k2, l.amplitude, l.dbc);
+        }
+      }
+    } else {
+      std::fprintf(stderr, "unrecognized analysis card: %s\n",
+                   t[0].c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: rficsim <netlist-file | ->\n");
+    return 1;
+  }
+  std::string text;
+  if (std::string(argv[1]) == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  try {
+    return runFile(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

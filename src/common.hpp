@@ -1,0 +1,47 @@
+// Common scalar types and error handling for the rfic library.
+//
+// The library reproduces the RF-IC analysis tool suite described in
+// "Tools and Methodology for RF IC Design" (DAC 1998). All numerical code
+// works in double precision; complex quantities use std::complex<double>.
+#pragma once
+
+#include <complex>
+#include <stdexcept>
+#include <string>
+
+namespace rfic {
+
+using Real = double;
+using Complex = std::complex<double>;
+
+inline constexpr Real kPi = 3.14159265358979323846;
+inline constexpr Real kTwoPi = 2.0 * kPi;
+
+/// Thrown for invalid arguments, dimension mismatches, and solver setup
+/// errors — conditions a caller can prevent.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an iterative or direct numerical process fails to converge
+/// or encounters a singular system — conditions data-dependent at runtime.
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void failInvalid(const std::string& msg) {
+  throw InvalidArgument(msg);
+}
+[[noreturn]] inline void failNumerical(const std::string& msg) {
+  throw NumericalError(msg);
+}
+
+/// Precondition check used at public API boundaries.
+#define RFIC_REQUIRE(cond, msg) \
+  do {                          \
+    if (!(cond)) ::rfic::failInvalid(msg); \
+  } while (false)
+
+}  // namespace rfic

@@ -1,0 +1,390 @@
+#include "extraction/ies3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "extraction/panel_kernel.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/qr.hpp"
+#include "numeric/svd.hpp"
+
+namespace rfic::extraction {
+
+Real IES3Matrix::Cluster::diameter() const {
+  return (hi - lo).norm();
+}
+
+Real IES3Matrix::clusterDistance(const Cluster& a, const Cluster& b) {
+  auto axisGap = [](Real alo, Real ahi, Real blo, Real bhi) {
+    if (ahi < blo) return blo - ahi;
+    if (bhi < alo) return alo - bhi;
+    return 0.0;
+  };
+  const Real dx = axisGap(a.lo.x, a.hi.x, b.lo.x, b.hi.x);
+  const Real dy = axisGap(a.lo.y, a.hi.y, b.lo.y, b.hi.y);
+  const Real dz = axisGap(a.lo.z, a.hi.z, b.lo.z, b.hi.z);
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+int IES3Matrix::buildTree(std::vector<Vec3>& pts, std::size_t begin,
+                          std::size_t end, const IES3Options& opts) {
+  Cluster c;
+  c.begin = begin;
+  c.end = end;
+  c.lo = {1e300, 1e300, 1e300};
+  c.hi = {-1e300, -1e300, -1e300};
+  for (std::size_t t = begin; t < end; ++t) {
+    const Vec3& p = pts[perm_[t]];
+    c.lo.x = std::min(c.lo.x, p.x);
+    c.lo.y = std::min(c.lo.y, p.y);
+    c.lo.z = std::min(c.lo.z, p.z);
+    c.hi.x = std::max(c.hi.x, p.x);
+    c.hi.y = std::max(c.hi.y, p.y);
+    c.hi.z = std::max(c.hi.z, p.z);
+  }
+  const int self = static_cast<int>(clusters_.size());
+  clusters_.push_back(c);
+  if (end - begin > opts.leafSize) {
+    // Split along the longest box axis at the median.
+    const Vec3 ext = c.hi - c.lo;
+    auto key = [&](std::size_t orig) {
+      const Vec3& p = pts[orig];
+      if (ext.x >= ext.y && ext.x >= ext.z) return p.x;
+      if (ext.y >= ext.z) return p.y;
+      return p.z;
+    };
+    const std::size_t mid = begin + (end - begin) / 2;
+    std::nth_element(perm_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     perm_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     perm_.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::size_t a, std::size_t b) {
+                       return key(a) < key(b);
+                     });
+    const int l = buildTree(pts, begin, mid, opts);
+    const int r = buildTree(pts, mid, end, opts);
+    clusters_[static_cast<std::size_t>(self)].left = l;
+    clusters_[static_cast<std::size_t>(self)].right = r;
+  }
+  return self;
+}
+
+namespace {
+
+// Adaptive cross approximation with partial pivoting on an implicitly
+// defined m×n block; returns factors U (m×r), V (n×r) with block ≈ U·Vᵀ.
+void acaCompress(const std::function<Real(std::size_t, std::size_t)>& entry,
+                 std::size_t m, std::size_t n, Real tol, std::size_t maxRank,
+                 RMat& uOut, RMat& vOut) {
+  std::vector<RVec> us, vs;
+  std::vector<char> rowUsed(m, 0), colUsed(n, 0);
+  Real frob2 = 0;  // running ‖S_k‖²_F estimate
+  std::size_t pivotRow = 0;
+
+  for (std::size_t k = 0; k < std::min({m, n, maxRank}); ++k) {
+    // Residual row at pivotRow.
+    RVec row(n);
+    for (std::size_t j = 0; j < n; ++j) row[j] = entry(pivotRow, j);
+    for (std::size_t p = 0; p < us.size(); ++p)
+      for (std::size_t j = 0; j < n; ++j)
+        row[j] -= us[p][pivotRow] * vs[p][j];
+    // Column pivot.
+    std::size_t pj = n;
+    Real best = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (colUsed[j]) continue;
+      const Real a = std::abs(row[j]);
+      if (a > best) {
+        best = a;
+        pj = j;
+      }
+    }
+    rowUsed[pivotRow] = 1;
+    if (pj == n || best == 0) break;
+    colUsed[pj] = 1;
+
+    const Real piv = row[pj];
+    RVec v = row;
+    v *= 1.0 / piv;
+    RVec u(m);
+    for (std::size_t i = 0; i < m; ++i) u[i] = entry(i, pj);
+    for (std::size_t p = 0; p < us.size(); ++p)
+      for (std::size_t i = 0; i < m; ++i) u[i] -= vs[p][pj] * us[p][i];
+
+    const Real nu = numeric::norm2(u), nv = numeric::norm2(v);
+    frob2 += nu * nu * nv * nv;
+    us.push_back(std::move(u));
+    vs.push_back(std::move(v));
+    if (nu * nv <= tol * std::sqrt(frob2)) break;
+
+    // Next pivot row: largest unused residual entry of the new column.
+    pivotRow = m;
+    best = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (rowUsed[i]) continue;
+      const Real a = std::abs(us.back()[i]);
+      if (a >= best) {
+        best = a;
+        pivotRow = i;
+      }
+    }
+    if (pivotRow == m) break;
+  }
+
+  const std::size_t r = us.size();
+  uOut = RMat(m, r);
+  vOut = RMat(n, r);
+  for (std::size_t p = 0; p < r; ++p) {
+    for (std::size_t i = 0; i < m; ++i) uOut(i, p) = us[p][i];
+    for (std::size_t j = 0; j < n; ++j) vOut(j, p) = vs[p][j];
+  }
+}
+
+// SVD recompression of U·Vᵀ to minimal rank at relative tolerance tol.
+void svdRecompress(RMat& u, RMat& v, Real tol) {
+  const std::size_t r = u.cols();
+  if (r == 0 || u.rows() < r || v.rows() < r) return;
+  const numeric::ThinQR qu = numeric::thinQR(u);
+  const numeric::ThinQR qv = numeric::thinQR(v);
+  // Core = Ru · Rvᵀ (r × r).
+  const RMat core = qu.r * qv.r.transposed();
+  const numeric::SVD dec = numeric::svd(core);
+  const std::size_t keep = numeric::numericalRank(dec, tol);
+  if (keep >= r) return;  // nothing gained
+  // U ← Qu·Us·diag(s)  (m×keep), V ← Qv·Vs  (n×keep).
+  RMat usS(r, keep);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t k = 0; k < keep; ++k) usS(i, k) = dec.u(i, k) * dec.s[k];
+  RMat vsK(r, keep);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t k = 0; k < keep; ++k) vsK(i, k) = dec.v(i, k);
+  u = qu.q * usS;
+  v = qv.q * vsK;
+}
+
+}  // namespace
+
+void IES3Matrix::buildBlocks(std::size_t rc, std::size_t cc,
+                             const IES3Options& opts) {
+  const Cluster& a = clusters_[rc];
+  const Cluster& b = clusters_[cc];
+  const Real dist = clusterDistance(a, b);
+  // Admissibility: both clusters separated on the scale of their diameters.
+  // The ACA+SVD pass then finds the numerical rank by sampling the actual
+  // matrix — the IES³ kernel-independence observation: no multipole
+  // expansion and no 1/r assumption is involved.
+  const Real diam = std::max(a.diameter(), b.diameter());
+
+  if (dist > 0 && diam <= opts.eta * dist) {
+    // Admissible: sample-and-compress, kernel independently.
+    const std::size_t m = a.end - a.begin, n = b.end - b.begin;
+    auto entry = [&](std::size_t i, std::size_t j) {
+      return kernel_(perm_[a.begin + i], perm_[b.begin + j]);
+    };
+    LowRankBlock blk;
+    blk.rowCluster = rc;
+    blk.colCluster = cc;
+    acaCompress(entry, m, n, 0.1 * opts.tolerance, opts.maxRank, blk.u,
+                blk.v);
+    svdRecompress(blk.u, blk.v, opts.tolerance);
+    if (blk.u.cols() > 0) {
+      storedEntries_ += blk.u.cols() * (m + n);
+      lowRankBlocks_.push_back(std::move(blk));
+    }
+    return;
+  }
+
+  const bool aLeaf = a.left < 0, bLeaf = b.left < 0;
+  if (aLeaf && bLeaf) {
+    const std::size_t m = a.end - a.begin, n = b.end - b.begin;
+    DenseBlock blk;
+    blk.rowCluster = rc;
+    blk.colCluster = cc;
+    blk.a = RMat(m, n);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        blk.a(i, j) = kernel_(perm_[a.begin + i], perm_[b.begin + j]);
+    storedEntries_ += m * n;
+    denseBlocks_.push_back(std::move(blk));
+    return;
+  }
+  // Quadtree recursion: split both sides when possible so blocks stay
+  // roughly square (tall thin blocks compress poorly).
+  if (!aLeaf && !bLeaf) {
+    buildBlocks(static_cast<std::size_t>(a.left),
+                static_cast<std::size_t>(b.left), opts);
+    buildBlocks(static_cast<std::size_t>(a.left),
+                static_cast<std::size_t>(b.right), opts);
+    buildBlocks(static_cast<std::size_t>(a.right),
+                static_cast<std::size_t>(b.left), opts);
+    buildBlocks(static_cast<std::size_t>(a.right),
+                static_cast<std::size_t>(b.right), opts);
+  } else if (!aLeaf) {
+    buildBlocks(static_cast<std::size_t>(a.left), cc, opts);
+    buildBlocks(static_cast<std::size_t>(a.right), cc, opts);
+  } else {
+    buildBlocks(rc, static_cast<std::size_t>(b.left), opts);
+    buildBlocks(rc, static_cast<std::size_t>(b.right), opts);
+  }
+}
+
+IES3Matrix::IES3Matrix(const std::vector<Vec3>& positions, KernelFn kernel,
+                       const IES3Options& opts)
+    : n_(positions.size()), kernel_(std::move(kernel)) {
+  RFIC_REQUIRE(n_ > 0, "IES3Matrix: empty geometry");
+  perm_.resize(n_);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  std::vector<Vec3> pts = positions;
+  buildTree(pts, 0, n_, opts);
+  buildBlocks(0, 0, opts);
+  diag_ = RVec(n_);
+  for (std::size_t i = 0; i < n_; ++i) diag_[i] = kernel_(i, i);
+}
+
+void IES3Matrix::apply(const RVec& x, RVec& y) const {
+  RFIC_REQUIRE(x.size() == n_, "IES3Matrix::apply size mismatch");
+  RVec xt(n_), yt(n_);
+  for (std::size_t t = 0; t < n_; ++t) xt[t] = x[perm_[t]];
+
+  for (const auto& blk : denseBlocks_) {
+    const Cluster& a = clusters_[blk.rowCluster];
+    const Cluster& b = clusters_[blk.colCluster];
+    const std::size_t m = a.end - a.begin, n = b.end - b.begin;
+    for (std::size_t i = 0; i < m; ++i) {
+      Real s = 0;
+      const Real* row = blk.a.rowPtr(i);
+      for (std::size_t j = 0; j < n; ++j) s += row[j] * xt[b.begin + j];
+      yt[a.begin + i] += s;
+    }
+  }
+  for (const auto& blk : lowRankBlocks_) {
+    const Cluster& a = clusters_[blk.rowCluster];
+    const Cluster& b = clusters_[blk.colCluster];
+    const std::size_t m = a.end - a.begin, n = b.end - b.begin;
+    const std::size_t r = blk.u.cols();
+    RVec t(r);
+    for (std::size_t k = 0; k < r; ++k) {
+      Real s = 0;
+      for (std::size_t j = 0; j < n; ++j) s += blk.v(j, k) * xt[b.begin + j];
+      t[k] = s;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      Real s = 0;
+      const Real* row = blk.u.rowPtr(i);
+      for (std::size_t k = 0; k < r; ++k) s += row[k] * t[k];
+      yt[a.begin + i] += s;
+    }
+  }
+
+  y.resize(n_);
+  for (std::size_t t = 0; t < n_; ++t) y[perm_[t]] = yt[t];
+}
+
+namespace {
+
+// Block-Jacobi over the diagonal leaf blocks; unit action elsewhere.
+class BlockJacobiPrec final : public sparse::LinearOperator<Real> {
+ public:
+  BlockJacobiPrec(std::size_t n, const std::vector<std::size_t>& perm,
+                  std::vector<std::pair<std::size_t, std::size_t>> ranges,
+                  std::vector<numeric::LU<Real>> lus)
+      : n_(n), perm_(perm), ranges_(std::move(ranges)), lus_(std::move(lus)) {}
+
+  std::size_t dim() const override { return n_; }
+  void apply(const RVec& x, RVec& y) const override {
+    RVec xt(n_);
+    for (std::size_t t = 0; t < n_; ++t) xt[t] = x[perm_[t]];
+    RVec yt = xt;  // identity outside the diagonal blocks
+    for (std::size_t b = 0; b < ranges_.size(); ++b) {
+      const auto [lo, hi] = ranges_[b];
+      RVec seg(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) seg[i - lo] = xt[i];
+      const RVec sol = lus_[b].solve(seg);
+      for (std::size_t i = lo; i < hi; ++i) yt[i] = sol[i - lo];
+    }
+    y.resize(n_);
+    for (std::size_t t = 0; t < n_; ++t) y[perm_[t]] = yt[t];
+  }
+
+ private:
+  std::size_t n_;
+  const std::vector<std::size_t>& perm_;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges_;
+  std::vector<numeric::LU<Real>> lus_;
+};
+
+class DiagPrec final : public sparse::LinearOperator<Real> {
+ public:
+  explicit DiagPrec(const RVec& d) : inv_(d.size()) {
+    for (std::size_t i = 0; i < d.size(); ++i)
+      inv_[i] = d[i] != 0 ? 1.0 / d[i] : 1.0;
+  }
+  std::size_t dim() const override { return inv_.size(); }
+  void apply(const RVec& x, RVec& y) const override {
+    y.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = inv_[i] * x[i];
+  }
+
+ private:
+  RVec inv_;
+};
+
+}  // namespace
+
+std::unique_ptr<sparse::LinearOperator<Real>> IES3Matrix::makeBlockJacobi()
+    const {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  std::vector<numeric::LU<Real>> lus;
+  for (const auto& blk : denseBlocks_) {
+    if (blk.rowCluster != blk.colCluster) continue;
+    const Cluster& c = clusters_[blk.rowCluster];
+    ranges.emplace_back(c.begin, c.end);
+    lus.emplace_back(blk.a);
+  }
+  return std::make_unique<BlockJacobiPrec>(n_, perm_, std::move(ranges),
+                                           std::move(lus));
+}
+
+IES3CapacitanceResult extractCapacitanceIES3(const PanelMesh& mesh,
+                                             const IES3Options& opts) {
+  const std::size_t n = mesh.panels.size();
+  const std::size_t nc = mesh.numConductors();
+  RFIC_REQUIRE(n > 0 && nc > 0, "extractCapacitanceIES3: empty mesh");
+
+  std::vector<Vec3> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[i] = mesh.panels[i].centroid();
+  const IES3Matrix a(
+      pos,
+      [&mesh](std::size_t i, std::size_t j) {
+        return panelPotential(mesh.panels[j], mesh.panels[i].centroid());
+      },
+      opts);
+
+  IES3CapacitanceResult out;
+  out.panelCount = n;
+  out.storedEntries = a.storedEntries();
+  out.matrix = RMat(nc, nc);
+
+  const auto prec = a.makeBlockJacobi();
+  sparse::IterativeOptions io;
+  io.tolerance = 1e-8;
+  io.maxIterations = 1000;
+  io.restart = 120;
+
+  RVec v(n), q(n);
+  for (std::size_t k = 0; k < nc; ++k) {
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = (mesh.panels[i].conductor == static_cast<int>(k)) ? 1.0 : 0.0;
+    q.setZero();
+    const auto st = sparse::gmres(a, v, q, prec.get(), io);
+    if (!st.converged)
+      failNumerical("extractCapacitanceIES3: GMRES failed to converge");
+    out.gmresIterations += st.iterations;
+    for (std::size_t i = 0; i < n; ++i)
+      out.matrix(static_cast<std::size_t>(mesh.panels[i].conductor), k) +=
+          q[i];
+  }
+  return out;
+}
+
+}  // namespace rfic::extraction

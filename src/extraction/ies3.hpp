@@ -1,0 +1,105 @@
+// IES³-style kernel-independent compressed representation of the dense MoM
+// interaction matrix (Section 4, [21]).
+//
+// The matrix is recursively decomposed over a geometric cluster tree;
+// blocks coupling well-separated panel groups are compressed to low-rank
+// outer products U·Vᵀ. Following IES³'s kernel independence, compression
+// uses only sampled matrix entries (adaptive cross approximation) followed
+// by an SVD recompression to minimal rank — no multipole expansion and no
+// assumption of a 1/r kernel, which is exactly the advantage over
+// FastCap-style multipole methods the paper emphasizes. Storage and matvec
+// cost scale near-linearly (Fig. 6); combined with Krylov iteration this
+// gives the fast integral-equation solver of Table 1's right column.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "extraction/geometry.hpp"
+#include "numeric/dense.hpp"
+#include "sparse/krylov.hpp"
+
+namespace rfic::extraction {
+
+using numeric::RMat;
+using numeric::RVec;
+
+struct IES3Options {
+  std::size_t leafSize = 24;   ///< max panels per cluster-tree leaf
+  Real eta = 2.0;              ///< admissibility: dist ≥ diam/η
+  Real tolerance = 1e-6;       ///< relative block compression tolerance
+  std::size_t maxRank = 80;    ///< ACA rank cap per block
+};
+
+/// Entry generator: kernel(i, j) = matrix entry for panels i, j.
+using KernelFn = std::function<Real(std::size_t, std::size_t)>;
+
+/// Hierarchically compressed kernel matrix.
+class IES3Matrix final : public sparse::LinearOperator<Real> {
+ public:
+  /// Build from panel positions (cluster geometry) and an entry generator.
+  IES3Matrix(const std::vector<Vec3>& positions, KernelFn kernel,
+             const IES3Options& opts = {});
+
+  std::size_t dim() const override { return n_; }
+  void apply(const RVec& x, RVec& y) const override;
+
+  /// Stored floats (dense blocks + low-rank factors) — the Fig. 6 memory
+  /// metric. Dense storage would be dim()².
+  std::size_t storedEntries() const { return storedEntries_; }
+  std::size_t denseBlockCount() const { return denseBlocks_.size(); }
+  std::size_t lowRankBlockCount() const { return lowRankBlocks_.size(); }
+  /// Inverse of panel self-interaction (Jacobi) preconditioner values.
+  const RVec& diagonal() const { return diag_; }
+
+  /// Block-Jacobi preconditioner: LU factors of every diagonal leaf block
+  /// (near-field self interactions). Far stronger than the scalar diagonal
+  /// for refined meshes. The returned operator references this matrix.
+  std::unique_ptr<sparse::LinearOperator<Real>> makeBlockJacobi() const;
+
+ private:
+  struct Cluster {
+    std::size_t begin = 0, end = 0;  // range in perm_
+    Vec3 lo, hi;                     // bounding box
+    int left = -1, right = -1;
+    Real diameter() const;
+  };
+  struct DenseBlock {
+    std::size_t rowCluster, colCluster;
+    RMat a;
+  };
+  struct LowRankBlock {
+    std::size_t rowCluster, colCluster;
+    RMat u, v;  // block ≈ u · vᵀ
+  };
+
+  int buildTree(std::vector<Vec3>& pts, std::size_t begin, std::size_t end,
+                const IES3Options& opts);
+  void buildBlocks(std::size_t rc, std::size_t cc, const IES3Options& opts);
+  static Real clusterDistance(const Cluster& a, const Cluster& b);
+
+  std::size_t n_ = 0;
+  KernelFn kernel_;
+  std::vector<std::size_t> perm_;  // tree ordering -> original index
+  std::vector<Cluster> clusters_;
+  std::vector<DenseBlock> denseBlocks_;
+  std::vector<LowRankBlock> lowRankBlocks_;
+  std::size_t storedEntries_ = 0;
+  RVec diag_;
+};
+
+/// Capacitance extraction with the compressed matrix + preconditioned
+/// GMRES. Reports solver statistics for the Fig. 6 study.
+struct IES3CapacitanceResult {
+  RMat matrix;  ///< Maxwell capacitance matrix [F]
+  std::size_t panelCount = 0;
+  std::size_t storedEntries = 0;
+  std::size_t gmresIterations = 0;
+};
+
+IES3CapacitanceResult extractCapacitanceIES3(const PanelMesh& mesh,
+                                             const IES3Options& opts = {});
+
+}  // namespace rfic::extraction

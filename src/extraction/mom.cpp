@@ -1,0 +1,207 @@
+#include "extraction/mom.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "extraction/panel_kernel.hpp"
+#include "numeric/lu.hpp"
+#include "sparse/krylov.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace rfic::extraction {
+
+RMat assembleMoMMatrix(const PanelMesh& mesh) {
+  const std::size_t n = mesh.panels.size();
+  RMat p(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const Panel& src = mesh.panels[j];
+    for (std::size_t i = 0; i < n; ++i)
+      p(i, j) = panelPotential(src, mesh.panels[i].centroid());
+  }
+  return p;
+}
+
+CapacitanceResult extractCapacitanceDense(const PanelMesh& mesh) {
+  const std::size_t n = mesh.panels.size();
+  const std::size_t nc = mesh.numConductors();
+  RFIC_REQUIRE(n > 0 && nc > 0, "extractCapacitanceDense: empty mesh");
+
+  CapacitanceResult out;
+  out.panelCount = n;
+  out.matrix = RMat(nc, nc);
+
+  const numeric::LU<Real> lu(assembleMoMMatrix(mesh));
+  RVec v(n);
+  for (std::size_t k = 0; k < nc; ++k) {
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = (mesh.panels[i].conductor == static_cast<int>(k)) ? 1.0 : 0.0;
+    const RVec q = lu.solve(v);
+    for (std::size_t i = 0; i < n; ++i)
+      out.matrix(static_cast<std::size_t>(mesh.panels[i].conductor), k) +=
+          q[i];
+    if (k == nc - 1) out.charges = q;
+  }
+  return out;
+}
+
+Real parallelPlateEstimate(Real side, Real gap) {
+  return kEps0 * side * side / gap;
+}
+
+FDLaplaceResult solveParallelPlatesFD(Real side, Real gap, std::size_t n) {
+  RFIC_REQUIRE(n >= 8, "solveParallelPlatesFD: grid too coarse");
+  // Domain: [0, 2·side]² × [0, 3·gap]; plates of size `side` centered in
+  // x-y at z = gap and z = 2·gap; box boundary grounded.
+  const Real lx = 2.0 * side, lz = 3.0 * gap;
+  const std::size_t nx = n, ny = n;
+  const Real h = lx / static_cast<Real>(nx - 1);
+  const std::size_t nz = std::max<std::size_t>(
+      7, static_cast<std::size_t>(std::lround(lz / h)) + 1);
+  const Real hz = lz / static_cast<Real>(nz - 1);
+
+  auto idx = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return (k * ny + j) * nx + i;
+  };
+  const std::size_t total = nx * ny * nz;
+
+  // Classify nodes: -1 free, 0 grounded Dirichlet, 1 plate at 1 V.
+  std::vector<int> kind(total, -1);
+  const std::size_t kPlateLo =
+      static_cast<std::size_t>(std::lround(gap / hz));
+  const std::size_t kPlateHi =
+      static_cast<std::size_t>(std::lround(2.0 * gap / hz));
+  const Real x0 = 0.5 * side, x1 = 1.5 * side;
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        if (i == 0 || j == 0 || k == 0 || i == nx - 1 || j == ny - 1 ||
+            k == nz - 1) {
+          kind[idx(i, j, k)] = 0;
+          continue;
+        }
+        const Real x = static_cast<Real>(i) * h;
+        const Real y = static_cast<Real>(j) * h;
+        const bool inFootprint = x >= x0 && x <= x1 && y >= x0 && y <= x1;
+        if (inFootprint && k == kPlateHi) kind[idx(i, j, k)] = 1;
+        else if (inFootprint && k == kPlateLo) kind[idx(i, j, k)] = 2;
+      }
+    }
+  }
+
+  // Free-node numbering.
+  std::vector<std::size_t> number(total, SIZE_MAX);
+  std::size_t nFree = 0;
+  for (std::size_t t = 0; t < total; ++t)
+    if (kind[t] == -1) number[t] = nFree++;
+
+  // 7-point Laplacian with anisotropic spacing: coefficients 1/h² per x/y
+  // neighbor, 1/hz² per z neighbor.
+  const Real cxy = 1.0 / (h * h), cz = 1.0 / (hz * hz);
+  sparse::RTriplets a(nFree, nFree);
+  numeric::RVec rhs(nFree, 0.0);
+  for (std::size_t k = 1; k + 1 < nz; ++k) {
+    for (std::size_t j = 1; j + 1 < ny; ++j) {
+      for (std::size_t i = 1; i + 1 < nx; ++i) {
+        const std::size_t t = idx(i, j, k);
+        if (kind[t] != -1) continue;
+        const std::size_t row = number[t];
+        const std::array<std::pair<std::size_t, Real>, 6> nbs{{
+            {idx(i - 1, j, k), cxy},
+            {idx(i + 1, j, k), cxy},
+            {idx(i, j - 1, k), cxy},
+            {idx(i, j + 1, k), cxy},
+            {idx(i, j, k - 1), cz},
+            {idx(i, j, k + 1), cz},
+        }};
+        Real diag = 0;
+        for (const auto& [nb, c] : nbs) {
+          diag += c;
+          if (kind[nb] == -1)
+            a.add(row, number[nb], -c);
+          else if (kind[nb] == 1)
+            rhs[row] += c;  // 1 V Dirichlet neighbor
+        }  // kinds 0 and 2 are grounded Dirichlet: no RHS term
+        a.add(row, row, diag);
+      }
+    }
+  }
+
+  const sparse::RCSR csr(a);
+  sparse::CSROperator<Real> op(csr);
+  numeric::RVec phiFree(nFree, 0.0);
+  sparse::IterativeOptions io;
+  io.tolerance = 1e-10;
+  io.maxIterations = 20000;
+  const auto st = sparse::conjugateGradient(op, rhs, phiFree, io);
+  if (!st.converged)
+    failNumerical("solveParallelPlatesFD: CG failed to converge");
+
+  // Flux out of the 1 V plate: Q = ε₀ Σ over plate-adjacent links of
+  // (1 − φ_neighbor)·(link area / link spacing).
+  auto phiAt = [&](std::size_t t) -> Real {
+    if (kind[t] == -1) return phiFree[number[t]];
+    return kind[t] == 1 ? 1.0 : 0.0;
+  };
+  // Induced charge on the grounded plate — the mutual capacitance, directly
+  // comparable to −C01 from the MoM solve (box-wall coupling excluded).
+  Real q = 0;
+  for (std::size_t k = 1; k + 1 < nz; ++k) {
+    for (std::size_t j = 1; j + 1 < ny; ++j) {
+      for (std::size_t i = 1; i + 1 < nx; ++i) {
+        const std::size_t t = idx(i, j, k);
+        if (kind[t] != 2) continue;
+        const std::array<std::pair<std::size_t, Real>, 6> nbs{{
+            {idx(i - 1, j, k), h * hz / h},
+            {idx(i + 1, j, k), h * hz / h},
+            {idx(i, j - 1, k), h * hz / h},
+            {idx(i, j + 1, k), h * hz / h},
+            {idx(i, j, k - 1), h * h / hz},
+            {idx(i, j, k + 1), h * h / hz},
+        }};
+        for (const auto& [nb, w] : nbs) {
+          if (kind[nb] == 2) continue;  // internal plate link
+          q += kEps0 * w * phiAt(nb);
+        }
+      }
+    }
+  }
+
+  FDLaplaceResult res;
+  res.unknowns = nFree;
+  res.nnz = csr.nnz();
+  res.cgIterations = st.iterations;
+  res.capacitance = q;
+  return res;
+}
+
+Real symmetricConditionEstimate(const numeric::RMat& a, std::size_t iters) {
+  RFIC_REQUIRE(a.rows() == a.cols() && a.rows() > 1,
+               "symmetricConditionEstimate: square matrix required");
+  const std::size_t n = a.rows();
+  // Power iteration for |λ|max.
+  RVec v(n, 1.0);
+  Real lmax = 0;
+  for (std::size_t it = 0; it < iters; ++it) {
+    RVec w = a * v;
+    lmax = numeric::norm2(w);
+    if (lmax == 0) break;
+    v = w;
+    v *= 1.0 / lmax;
+  }
+  // Inverse power iteration for |λ|min.
+  const numeric::LU<Real> lu(a);
+  RVec u(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = (i % 2 == 0) ? 1.0 : -0.5;
+  Real inv = 0;
+  for (std::size_t it = 0; it < iters; ++it) {
+    RVec w = lu.solve(u);
+    inv = numeric::norm2(w);
+    if (inv == 0) break;
+    u = w;
+    u *= 1.0 / inv;
+  }
+  const Real lmin = inv > 0 ? 1.0 / inv : 0.0;
+  return lmin > 0 ? lmax / lmin : 0.0;
+}
+
+}  // namespace rfic::extraction

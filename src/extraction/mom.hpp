@@ -1,0 +1,49 @@
+// Method-of-moments electrostatic solver (Section 4, integral-equation
+// class) and a finite-difference Laplace solver (differential-equation
+// class) on the same physical problem — the two columns of Table 1.
+#pragma once
+
+#include "extraction/geometry.hpp"
+#include "numeric/dense.hpp"
+
+namespace rfic::extraction {
+
+using numeric::RMat;
+using numeric::RVec;
+
+/// Dense collocation matrix P with P(i,j) = potential at centroid i per
+/// unit total charge on panel j.
+RMat assembleMoMMatrix(const PanelMesh& mesh);
+
+struct CapacitanceResult {
+  RMat matrix;      ///< Maxwell capacitance matrix [F], numConductors²
+  RVec charges;     ///< panel charges of the last solve
+  std::size_t panelCount = 0;
+};
+
+/// Capacitance matrix by dense LU: column k = charges with conductor k at
+/// 1 V, all others grounded.
+CapacitanceResult extractCapacitanceDense(const PanelMesh& mesh);
+
+/// Parallel-plate analytic estimate ε₀·A/d (no fringe) for sanity checks.
+Real parallelPlateEstimate(Real side, Real gap);
+
+/// --- Differential-equation contender for Table 1 --------------------- //
+/// 3-D finite-difference Laplace solve of the parallel-plate problem on an
+/// n³ grid: Dirichlet plates embedded in a grounded box. Reports the
+/// quantities Table 1 contrasts: unknown count (volume vs surface),
+/// matrix storage (sparse nnz vs dense n²), and conditioning.
+struct FDLaplaceResult {
+  std::size_t unknowns = 0;
+  std::size_t nnz = 0;
+  std::size_t cgIterations = 0;
+  Real capacitance = 0;  ///< from the plate flux [F]
+};
+
+FDLaplaceResult solveParallelPlatesFD(Real side, Real gap, std::size_t n);
+
+/// Symmetric-matrix condition estimate via power iteration on A and
+/// CG-based inverse power iteration (for the Table 1 conditioning row).
+Real symmetricConditionEstimate(const numeric::RMat& a, std::size_t iters = 60);
+
+}  // namespace rfic::extraction

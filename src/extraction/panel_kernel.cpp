@@ -1,0 +1,59 @@
+#include "extraction/panel_kernel.hpp"
+
+#include <cmath>
+
+namespace rfic::extraction {
+
+namespace {
+
+// Stable log(v + r) where r = sqrt(u² + v² + z²): for v < 0 use the
+// identity v + r = (u² + z²)/(r − v) to avoid catastrophic cancellation.
+Real stableLogVR(Real v, Real r, Real u2z2) {
+  if (v >= 0) return std::log(v + r);
+  const Real denom = r - v;
+  if (u2z2 <= 0 || denom <= 0) return -700.0;  // point on the edge line
+  return std::log(u2z2 / denom);
+}
+
+// Indefinite integral I(u,v) of 1/sqrt(u²+v²+z²) du dv:
+//   I = u·ln(v+r) + v·ln(u+r) − z·atan2(u·v, z·r)
+Real cornerTerm(Real u, Real v, Real z) {
+  const Real r = std::sqrt(u * u + v * v + z * z);
+  Real s = 0;
+  if (u != 0) s += u * stableLogVR(v, r, u * u + z * z);
+  if (v != 0) s += v * stableLogVR(u, r, v * v + z * z);
+  if (z != 0) s -= z * std::atan2(u * v, z * r);
+  return s;
+}
+
+}  // namespace
+
+Real panelPotential(const Panel& panel, const Vec3& point) {
+  const Real la = panel.edgeA.norm();
+  const Real lb = panel.edgeB.norm();
+  RFIC_REQUIRE(la > 0 && lb > 0, "panelPotential: degenerate panel");
+  const Vec3 ea = panel.edgeA * (1.0 / la);
+  const Vec3 eb = panel.edgeB * (1.0 / lb);
+  const Vec3 en = ea.cross(eb);
+
+  const Vec3 d = point - panel.corner;
+  const Real x = d.dot(ea);
+  const Real y = d.dot(eb);
+  // The potential is even in the normal offset; folding to z ≥ 0 keeps the
+  // atan2 term on its principal branch.
+  const Real z = std::abs(d.dot(en));
+
+  // ∫₀^la ∫₀^lb dx'dy'/|r−r'| = Σ± I(x−x', y−y', z) at the four corners.
+  const Real u1 = x - la, u2 = x;
+  const Real v1 = y - lb, v2 = y;
+  const Real integral = cornerTerm(u2, v2, z) - cornerTerm(u1, v2, z) -
+                        cornerTerm(u2, v1, z) + cornerTerm(u1, v1, z);
+  // Unit total charge → density 1/(la·lb).
+  return integral / (4.0 * kPi * kEps0 * la * lb);
+}
+
+Real panelPotentialAtCentroid(const Panel& source, const Panel& target) {
+  return panelPotential(source, target.centroid());
+}
+
+}  // namespace rfic::extraction

@@ -1,0 +1,23 @@
+// Electrostatic panel kernel: exact potential of a uniformly charged
+// rectangle at an arbitrary field point (the collocation kernel of the
+// method-of-moments solver — Section 4's integral-equation formulation).
+#pragma once
+
+#include "extraction/geometry.hpp"
+
+namespace rfic::extraction {
+
+inline constexpr Real kEps0 = 8.8541878128e-12;
+
+/// Potential at `point` due to `panel` carrying unit *total* charge
+/// (1 C spread uniformly over the panel), in vacuum.
+/// Closed-form evaluation of ∫∫ dA' / (4πε₀ |r − r'|), stable for field
+/// points on, near, and far from the panel (including its own centroid —
+/// the self term).
+Real panelPotential(const Panel& panel, const Vec3& point);
+
+/// Collocation matrix entry helper: potential at the centroid of panel i
+/// from unit total charge on panel j.
+Real panelPotentialAtCentroid(const Panel& source, const Panel& target);
+
+}  // namespace rfic::extraction

@@ -1,0 +1,90 @@
+#include "extraction/spiral.hpp"
+
+#include <cmath>
+
+#include "extraction/panel_kernel.hpp"
+
+namespace rfic::extraction {
+
+std::vector<Segment> makeSquareSpiral(const SpiralParams& p) {
+  RFIC_REQUIRE(p.turns >= 1 && p.outerSize > 0 && p.width > 0,
+               "makeSquareSpiral: bad parameters");
+  const Real pitch = p.width + p.spacing;
+  RFIC_REQUIRE(p.outerSize > 2.0 * pitch * static_cast<Real>(p.turns),
+               "makeSquareSpiral: turns do not fit in outerSize");
+
+  std::vector<Segment> segs;
+  // Walk the spiral inward: headings +x, +y, −x, −y; the side length
+  // sequence is d, d, d−p, d−p, d−2p, … with d = outer − width.
+  Vec3 pos{0, 0, 0};
+  const std::array<Vec3, 4> dirs{{{1, 0, 0}, {0, 1, 0}, {-1, 0, 0}, {0, -1, 0}}};
+  Real side = p.outerSize - p.width;
+  std::size_t dir = 0;
+  for (std::size_t k = 0; k < 4 * p.turns; ++k) {
+    if (k >= 2 && k % 2 == 0) side -= pitch;
+    RFIC_REQUIRE(side > 0, "makeSquareSpiral: spiral collapsed");
+    const Vec3 end = pos + dirs[dir] * side;
+    // Optionally split the side into sub-segments (refined reference).
+    const std::size_t ns = p.segmentsPerSide;
+    for (std::size_t s = 0; s < ns; ++s) {
+      Segment seg;
+      seg.start = pos + dirs[dir] * (side * static_cast<Real>(s) /
+                                     static_cast<Real>(ns));
+      seg.end = pos + dirs[dir] * (side * static_cast<Real>(s + 1) /
+                                   static_cast<Real>(ns));
+      seg.width = p.width;
+      seg.thickness = p.thickness;
+      seg.sign = 1;
+      segs.push_back(seg);
+    }
+    pos = end;
+    dir = (dir + 1) % 4;
+  }
+  return segs;
+}
+
+SpiralModel buildSpiralModel(const SpiralParams& p) {
+  const auto segs = makeSquareSpiral(p);
+  SpiralModel m;
+  m.thickness = p.thickness;
+  m.resistivity = p.resistivity;
+
+  // PEEC series elements.
+  Real totalLen = 0;
+  for (const auto& s : segs) totalLen += (s.end - s.start).norm();
+  m.seriesL = loopInductance(segs);
+  m.seriesRdc = p.resistivity * totalLen / (p.width * p.thickness);
+
+  // Oxide and substrate shunt elements from the metal footprint.
+  const Real area = totalLen * p.width;
+  m.cox = kEps0 * p.oxideEps * area / p.oxideThickness;
+  m.rsub = p.subResistivity * p.subThickness / area;
+  m.csub = kEps0 * p.subEps * area / p.subThickness;
+  return m;
+}
+
+Complex SpiralModel::inputImpedance(Real freqHz) const {
+  const Real w = kTwoPi * freqHz;
+  const Complex jw(0.0, w);
+  const Real rf =
+      seriesRdc * skinEffectFactor(freqHz, thickness, resistivity);
+  const Complex zSeries = Complex(rf, 0.0) + jw * seriesL;
+  if (w == 0) return zSeries;
+  // π-model: half the oxide capacitance at each port, in series with the
+  // substrate R‖C; the far port is grounded, shorting its shunt branch.
+  const Complex zCox = 1.0 / (jw * (0.5 * cox));
+  const Complex ySub = Complex(1.0 / (2.0 * rsub), 0.0) + jw * (0.5 * csub);
+  const Complex zShunt = zCox + 1.0 / ySub;
+  return zSeries * zShunt / (zSeries + zShunt);
+}
+
+Real SpiralModel::effectiveInductance(Real freqHz) const {
+  return inputImpedance(freqHz).imag() / (kTwoPi * freqHz);
+}
+
+Real SpiralModel::qualityFactor(Real freqHz) const {
+  const Complex z = inputImpedance(freqHz);
+  return z.imag() / z.real();
+}
+
+}  // namespace rfic::extraction

@@ -1,0 +1,54 @@
+// Square spiral inductor macromodel over a lossy substrate — the Fig. 7
+// structure: PEEC series inductance/resistance plus an oxide/substrate
+// shunt network, yielding L(f) and Q(f) for the simulation-vs-measurement
+// comparison.
+#pragma once
+
+#include <vector>
+
+#include "extraction/peec.hpp"
+
+namespace rfic::extraction {
+
+struct SpiralParams {
+  std::size_t turns = 4;
+  Real outerSize = 300e-6;     ///< outer dimension [m]
+  Real width = 12e-6;          ///< trace width [m]
+  Real spacing = 3e-6;         ///< turn-to-turn spacing [m]
+  Real thickness = 1e-6;       ///< metal thickness [m]
+  Real resistivity = 2.65e-8;  ///< metal resistivity [Ω·m] (aluminum)
+  Real oxideThickness = 1e-6;  ///< metal-to-substrate oxide [m]
+  Real oxideEps = 3.9;
+  Real subResistivity = 0.05;  ///< lossy silicon [Ω·m]
+  Real subThickness = 300e-6;
+  Real subEps = 11.9;
+  /// Discretization refinement: 1 for the production model, larger for the
+  /// fine reference used as the synthetic "measurement".
+  std::size_t segmentsPerSide = 1;
+  std::size_t quadraturePoints = 12;
+};
+
+/// Segment geometry of the spiral trace (current direction encoded in the
+/// segment orientation; mutual-inductance signs follow automatically).
+std::vector<Segment> makeSquareSpiral(const SpiralParams& p);
+
+/// One-port π-macromodel of the spiral over the substrate.
+struct SpiralModel {
+  Real seriesL = 0;    ///< PEEC loop inductance [H]
+  Real seriesRdc = 0;  ///< total DC resistance [Ω]
+  Real cox = 0;        ///< total oxide capacitance [F]
+  Real rsub = 0;       ///< substrate spreading resistance [Ω]
+  Real csub = 0;       ///< substrate capacitance [F]
+  Real thickness = 0, resistivity = 0;
+
+  /// Input impedance with the far port grounded.
+  Complex inputImpedance(Real freqHz) const;
+  /// Effective inductance Im(Z)/ω [H].
+  Real effectiveInductance(Real freqHz) const;
+  /// Quality factor Im(Z)/Re(Z).
+  Real qualityFactor(Real freqHz) const;
+};
+
+SpiralModel buildSpiralModel(const SpiralParams& p);
+
+}  // namespace rfic::extraction

@@ -1,0 +1,302 @@
+#include "hb/harmonic_balance.hpp"
+
+#include <cmath>
+
+#include "fft/fft.hpp"
+#include "hb/hb_jacobian.hpp"
+#include "numeric/lu.hpp"
+
+namespace rfic::hb {
+
+using numeric::RMat;
+
+// ------------------------------------------------------------- HBSolution
+
+Complex HBSolution::at(std::size_t u, int k1, int k2) const {
+  if (k2 < 0 || (k2 == 0 && k1 < 0)) return std::conj(at(u, -k1, -k2));
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    if (indices[j][0] == k1 && indices[j][1] == k2) return coeffs(u, j);
+  }
+  return {0.0, 0.0};
+}
+
+Real HBSolution::evaluate(std::size_t u, Real t1, Real t2) const {
+  // indices[0] is DC by construction; all others count twice via conjugate
+  // symmetry. Each tone combines with its own time variable — the bivariate
+  // form x̂(t1, t2) of Section 2.2; the physical signal is x̂(t, t).
+  Real v = coeffs(u, 0).real();
+  for (std::size_t j = 1; j < indices.size(); ++j) {
+    const Real phase = kTwoPi * (static_cast<Real>(indices[j][0]) * f1_ * t1 +
+                                 static_cast<Real>(indices[j][1]) * f2_ * t2);
+    const Complex e(std::cos(phase), std::sin(phase));
+    v += 2.0 * (coeffs(u, j) * e).real();
+  }
+  return v;
+}
+
+// -------------------------------------------------------- HarmonicBalance
+
+HarmonicBalance::HarmonicBalance(const MnaSystem& sys, std::vector<Tone> tones,
+                                 HBOptions opts)
+    : sys_(sys), tones_(std::move(tones)), opts_(std::move(opts)) {
+  RFIC_REQUIRE(tones_.size() == 1 || tones_.size() == 2,
+               "HarmonicBalance: one or two tones supported");
+  for (const auto& t : tones_)
+    RFIC_REQUIRE(t.freq > 0 && t.harmonics >= 1,
+                 "HarmonicBalance: tones need freq > 0 and harmonics >= 1");
+  n_ = sys_.dim();
+
+  const std::size_t h1 = tones_[0].harmonics;
+  m1_ = fft::nextPowerOfTwo(std::max<std::size_t>(opts_.oversample * h1, 2 * h1 + 2));
+  if (dims() == 2) {
+    const std::size_t h2 = tones_[1].harmonics;
+    m2_ = fft::nextPowerOfTwo(std::max<std::size_t>(opts_.oversample * h2, 2 * h2 + 2));
+  }
+  msamp_ = m1_ * m2_;
+
+  // Canonical retained set: DC first, then k2 = 0 row with k1 > 0, then all
+  // k2 > 0 rows with full k1 range.
+  indices_.push_back({0, 0});
+  const int ih1 = static_cast<int>(h1);
+  for (int k1 = 1; k1 <= ih1; ++k1) indices_.push_back({k1, 0});
+  if (dims() == 2) {
+    const int ih2 = static_cast<int>(tones_[1].harmonics);
+    for (int k2 = 1; k2 <= ih2; ++k2)
+      for (int k1 = -ih1; k1 <= ih1; ++k1) indices_.push_back({k1, k2});
+  }
+  nc_ = 1 + 2 * (indices_.size() - 1);
+}
+
+Real HarmonicBalance::omega(std::size_t idx) const {
+  const auto& k = indices_[idx];
+  Real f = static_cast<Real>(k[0]) * tones_[0].freq;
+  if (dims() == 2) f += static_cast<Real>(k[1]) * tones_[1].freq;
+  return kTwoPi * f;
+}
+
+std::pair<Real, Real> HarmonicBalance::sampleTimes(std::size_t s) const {
+  const std::size_t a = s / m2_;
+  const std::size_t b = s % m2_;
+  const Real t1 = static_cast<Real>(a) /
+                  (static_cast<Real>(m1_) * tones_[0].freq);
+  const Real t2 = dims() == 2 ? static_cast<Real>(b) /
+                                    (static_cast<Real>(m2_) * tones_[1].freq)
+                              : t1;
+  return {t1, t2};
+}
+
+void HarmonicBalance::spectrumToTime(const CMat& coeffs, RMat& samples) const {
+  samples = RMat(n_, msamp_);
+  std::vector<Complex> grid(msamp_);
+  const Real scale = static_cast<Real>(msamp_);
+  for (std::size_t u = 0; u < n_; ++u) {
+    std::fill(grid.begin(), grid.end(), Complex{});
+    for (std::size_t j = 0; j < indices_.size(); ++j) {
+      const int k1 = indices_[j][0], k2 = indices_[j][1];
+      const std::size_t a = static_cast<std::size_t>((k1 % static_cast<int>(m1_) + static_cast<int>(m1_))) % m1_;
+      const std::size_t b = static_cast<std::size_t>((k2 % static_cast<int>(m2_) + static_cast<int>(m2_))) % m2_;
+      grid[a * m2_ + b] += coeffs(u, j) * scale;
+      if (j != 0) {
+        const std::size_t am = (m1_ - a) % m1_;
+        const std::size_t bm = (m2_ - b) % m2_;
+        grid[am * m2_ + bm] += std::conj(coeffs(u, j)) * scale;
+      }
+    }
+    fft::ifft2(grid, m1_, m2_);
+    for (std::size_t s = 0; s < msamp_; ++s) samples(u, s) = grid[s].real();
+  }
+}
+
+void HarmonicBalance::timeToSpectrum(const RMat& samples, CMat& coeffs) const {
+  coeffs = CMat(n_, indices_.size());
+  std::vector<Complex> grid(msamp_);
+  const Real inv = 1.0 / static_cast<Real>(msamp_);
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t s = 0; s < msamp_; ++s) grid[s] = samples(u, s);
+    fft::fft2(grid, m1_, m2_);
+    for (std::size_t j = 0; j < indices_.size(); ++j) {
+      const int k1 = indices_[j][0], k2 = indices_[j][1];
+      const std::size_t a = static_cast<std::size_t>((k1 % static_cast<int>(m1_) + static_cast<int>(m1_))) % m1_;
+      const std::size_t b = static_cast<std::size_t>((k2 % static_cast<int>(m2_) + static_cast<int>(m2_))) % m2_;
+      coeffs(u, j) = grid[a * m2_ + b] * inv;
+    }
+  }
+}
+
+void HarmonicBalance::packReal(const CMat& coeffs, RVec& v) const {
+  v.resize(n_ * nc_);
+  for (std::size_t u = 0; u < n_; ++u) {
+    Real* base = v.data() + u * nc_;
+    base[0] = coeffs(u, 0).real();
+    for (std::size_t j = 1; j < indices_.size(); ++j) {
+      base[1 + 2 * (j - 1)] = coeffs(u, j).real();
+      base[2 + 2 * (j - 1)] = coeffs(u, j).imag();
+    }
+  }
+}
+
+void HarmonicBalance::unpackReal(const RVec& v, CMat& coeffs) const {
+  RFIC_REQUIRE(v.size() == n_ * nc_, "HB::unpackReal size mismatch");
+  coeffs = CMat(n_, indices_.size());
+  for (std::size_t u = 0; u < n_; ++u) {
+    const Real* base = v.data() + u * nc_;
+    coeffs(u, 0) = Complex(base[0], 0.0);
+    for (std::size_t j = 1; j < indices_.size(); ++j)
+      coeffs(u, j) = Complex(base[1 + 2 * (j - 1)], base[2 + 2 * (j - 1)]);
+  }
+}
+
+namespace {
+
+// Shared per-iteration workspace for the residual evaluation.
+struct ResidualData {
+  CMat fSpec, qSpec, bSpec;
+  RMat samples;
+};
+
+}  // namespace
+
+HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
+  RFIC_REQUIRE(dcOp.size() == n_, "HB::solve: DC operating point size mismatch");
+
+  HBSolution sol;
+  sol.indices = indices_;
+  sol.freqs.resize(indices_.size());
+  for (std::size_t j = 0; j < indices_.size(); ++j)
+    sol.freqs[j] = omega(j) / kTwoPi;
+  sol.realUnknowns = n_ * nc_;
+  sol.f1_ = tones_[0].freq;
+  sol.f2_ = dims() == 2 ? tones_[1].freq : 0.0;
+
+  // Initial spectrum: DC slots carry the operating point.
+  CMat coeffs(n_, indices_.size());
+  for (std::size_t u = 0; u < n_; ++u) coeffs(u, 0) = dcOp[u];
+
+  RMat samples;
+  CMat fSpec, qSpec, bSpec;
+  circuit::MnaEval ev;
+
+  // Evaluate the packed HB residual at `coeffs`; when gOut/cOut are given
+  // also collect the per-sample Jacobians and their time averages.
+  auto residual = [&](const CMat& x, Real lambda, RVec& r,
+                      std::vector<sparse::RCSR>* gOut,
+                      std::vector<sparse::RCSR>* cOut,
+                      sparse::RTriplets* gAvg, sparse::RTriplets* cAvg) {
+    spectrumToTime(x, samples);
+    RMat fS(n_, msamp_), qS(n_, msamp_), bS(n_, msamp_);
+    RVec xs(n_);
+    const bool wantMat = gOut != nullptr;
+    if (gAvg) {
+      *gAvg = sparse::RTriplets(n_, n_);
+      *cAvg = sparse::RTriplets(n_, n_);
+    }
+    const Real avgW = 1.0 / static_cast<Real>(msamp_);
+    for (std::size_t s = 0; s < msamp_; ++s) {
+      for (std::size_t u = 0; u < n_; ++u) xs[u] = samples(u, s);
+      const auto [t1, t2] = sampleTimes(s);
+      sys_.evalBivariate(xs, t1, t2, ev, wantMat);
+      for (std::size_t u = 0; u < n_; ++u) {
+        fS(u, s) = ev.f[u];
+        qS(u, s) = ev.q[u];
+        bS(u, s) = ev.b[u];
+      }
+      if (wantMat) {
+        (*gOut)[s] = sparse::RCSR(ev.G);
+        (*cOut)[s] = sparse::RCSR(ev.C);
+        if (gAvg) {
+          for (const auto& en : ev.G.entries())
+            gAvg->add(en.row, en.col, en.value * avgW);
+          for (const auto& en : ev.C.entries())
+            cAvg->add(en.row, en.col, en.value * avgW);
+        }
+      }
+    }
+    timeToSpectrum(fS, fSpec);
+    timeToSpectrum(qS, qSpec);
+    timeToSpectrum(bS, bSpec);
+    CMat rc(n_, indices_.size());
+    for (std::size_t j = 0; j < indices_.size(); ++j) {
+      const Complex jw(0.0, omega(j));
+      const Real lam = (j == 0) ? 1.0 : lambda;
+      for (std::size_t u = 0; u < n_; ++u)
+        rc(u, j) = fSpec(u, j) + jw * qSpec(u, j) - lam * bSpec(u, j);
+    }
+    packReal(rc, r);
+  };
+
+  // Drive level for the convergence scale.
+  RVec r;
+  std::vector<sparse::RCSR> gS(msamp_), cS(msamp_);
+  sparse::RTriplets gAvg, cAvg;
+
+  const std::size_t ramp = std::max<std::size_t>(1, opts_.continuationSteps);
+  for (std::size_t stage = 1; stage <= ramp; ++stage) {
+    const Real lambda = static_cast<Real>(stage) / static_cast<Real>(ramp);
+    bool stageConverged = false;
+    for (std::size_t it = 0; it < opts_.maxNewton; ++it) {
+      ++sol.newtonIterations;
+      residual(coeffs, lambda, r, &gS, &cS, &gAvg, &cAvg);
+      RVec bPack;
+      packReal(bSpec, bPack);
+      const Real scale = 1e-12 + numeric::norm2(bPack);
+      const Real rnorm = numeric::norm2(r);
+      if (rnorm < opts_.tolerance * scale) {
+        stageConverged = true;
+        break;
+      }
+
+      const HBOperator jac(*this, gS, cS);
+      RVec dx(n_ * nc_);
+      if (opts_.useDirectSolver) {
+        // Probe the operator column by column — exact dense Jacobian.
+        const std::size_t nr = n_ * nc_;
+        numeric::RMat jd(nr, nr);
+        RVec e(nr), col(nr);
+        for (std::size_t cidx = 0; cidx < nr; ++cidx) {
+          e.setZero();
+          e[cidx] = 1.0;
+          jac.apply(e, col);
+          for (std::size_t rr = 0; rr < nr; ++rr) jd(rr, cidx) = col[rr];
+        }
+        dx = numeric::solveDense(std::move(jd), r);
+      } else {
+        const HBBlockPreconditioner prec(*this, gAvg, cAvg);
+        dx.setZero();
+        const auto stat = sparse::gmres(jac, r, dx, &prec, opts_.gmres);
+        sol.gmresIterations += stat.iterations;
+        if (!stat.converged && stat.residualNorm > 0.5 * rnorm) {
+          // Preconditioned GMRES stalled — fall back to a damped update with
+          // whatever direction was produced.
+        }
+      }
+
+      // Damped update on the packed spectrum.
+      RVec dxp;
+      CMat trial;
+      Real alpha = 1.0;
+      RVec xPack;
+      packReal(coeffs, xPack);
+      for (int damp = 0; damp < 6; ++damp) {
+        RVec xNew = xPack;
+        numeric::axpy(-alpha, dx, xNew);
+        unpackReal(xNew, trial);
+        residual(trial, lambda, dxp, nullptr, nullptr, nullptr, nullptr);
+        if (numeric::norm2(dxp) <= rnorm || damp == 5) {
+          coeffs = trial;
+          break;
+        }
+        alpha *= 0.5;
+      }
+    }
+    if (!stageConverged && stage == ramp) {
+      sol.coeffs = coeffs;
+      return sol;  // converged flag stays false
+    }
+  }
+
+  sol.converged = true;
+  sol.coeffs = coeffs;
+  return sol;
+}
+
+}  // namespace rfic::hb

@@ -1,0 +1,112 @@
+// Harmonic balance (Section 2.1).
+//
+// All circuit waveforms are represented in the frequency domain on a
+// truncated harmonic set of one or two fundamental tones. The nonlinear
+// system  F(X) = Ω·Q(X) + F(X) − B = 0  is solved by Newton; the key to
+// RF-IC scale (the paper's central Section 2.1 point) is that the HB
+// Jacobian is never formed: its action on a vector is computed with FFTs
+// and per-sample device Jacobians, and preconditioned GMRES solves each
+// update. A dense "direct" mode exists for small circuits and for the
+// ablation bench that reproduces the paper's iterative-vs-direct argument.
+//
+// Two-tone analysis retains the box |k1| ≤ H1, |k2| ≤ H2 of mix products
+// k1·f1 + k2·f2 and evaluates nonlinearities on an (M1 × M2) bivariate
+// time grid — the same multi-time representation that underlies the MPDE
+// view of Section 2.2. Sources must be tagged with the axis their tone
+// lives on (TimeAxis::slow → tone 1, TimeAxis::fast → tone 2).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "numeric/dense.hpp"
+#include "sparse/krylov.hpp"
+
+namespace rfic::hb {
+
+using circuit::MnaSystem;
+using numeric::CMat;
+
+using numeric::RVec;
+
+/// One fundamental tone retained in the analysis.
+struct Tone {
+  Real freq = 0;              ///< fundamental frequency [Hz]
+  std::size_t harmonics = 0;  ///< number of harmonics retained
+};
+
+struct HBOptions {
+  std::size_t oversample = 4;   ///< time samples per dim ≥ oversample·H, pow2
+  std::size_t maxNewton = 80;
+  Real tolerance = 1e-9;        ///< residual norm, relative to drive level
+  bool useDirectSolver = false; ///< dense Jacobian via probing (ablation)
+  sparse::IterativeOptions gmres{1e-10, 600, 80};
+  std::size_t continuationSteps = 1;  ///< ramp of non-DC source amplitude
+};
+
+/// Converged HB spectrum plus solver statistics.
+struct HBSolution {
+  bool converged = false;
+  std::size_t newtonIterations = 0;
+  std::size_t gmresIterations = 0;  ///< cumulative inner iterations
+  std::size_t realUnknowns = 0;     ///< size of the Newton system
+
+  std::vector<std::array<int, 2>> indices;  ///< retained (k1, k2), canonical
+  std::vector<Real> freqs;                  ///< k1·f1 + k2·f2 per index [Hz]
+  CMat coeffs;  ///< (#unknowns × #indices) complex Fourier coefficients
+  Real f1_ = 0, f2_ = 0;  ///< tone fundamentals (f2_ = 0 for single tone)
+
+  /// Coefficient of unknown `u` at harmonic (k1, k2); conjugate symmetry is
+  /// applied automatically for indices stored mirrored. Returns 0 for
+  /// indices outside the truncation box.
+  Complex at(std::size_t u, int k1, int k2 = 0) const;
+
+  /// Reconstruct the waveform value of unknown `u` at bivariate time
+  /// (t1, t2) — the quasi-periodic signal itself is x(t) = x̂(t, t).
+  Real evaluate(std::size_t u, Real t1, Real t2 = 0) const;
+};
+
+/// Harmonic-balance engine bound to a circuit.
+class HarmonicBalance {
+ public:
+  HarmonicBalance(const MnaSystem& sys, std::vector<Tone> tones,
+                  HBOptions opts = {});
+
+  /// Solve starting from the DC operating point (pass dcOperatingPoint().x).
+  HBSolution solve(const RVec& dcOperatingPoint) const;
+
+  /// Number of real unknowns of the Newton system (for the cost benches).
+  std::size_t numRealUnknowns() const { return n_ * nc_; }
+  std::size_t numTimeSamples() const { return msamp_; }
+  const std::vector<std::array<int, 2>>& retainedIndices() const {
+    return indices_;
+  }
+
+ private:
+  friend class HBOperator;
+  friend class HBBlockPreconditioner;
+
+  // Grid bookkeeping.
+  std::size_t dims() const { return tones_.size(); }
+  Real omega(std::size_t idx) const;  ///< angular frequency of indices_[idx]
+
+  // Pack/unpack between the real Newton vector and per-node complex
+  // spectra, and between spectra and bivariate time samples.
+  void spectrumToTime(const CMat& coeffs, numeric::RMat& samples) const;
+  void timeToSpectrum(const numeric::RMat& samples, CMat& coeffs) const;
+  void packReal(const CMat& coeffs, RVec& v) const;
+  void unpackReal(const RVec& v, CMat& coeffs) const;
+  /// Bivariate sample instants of flat sample index s = a·m2 + b.
+  std::pair<Real, Real> sampleTimes(std::size_t s) const;
+
+  const MnaSystem& sys_;
+  std::vector<Tone> tones_;
+  HBOptions opts_;
+  std::size_t n_ = 0;      // circuit unknowns
+  std::size_t nc_ = 0;     // real coefficients per unknown
+  std::size_t m1_ = 1, m2_ = 1, msamp_ = 1;
+  std::vector<std::array<int, 2>> indices_;  // canonical retained set
+};
+
+}  // namespace rfic::hb

@@ -1,0 +1,57 @@
+// Matrix-implicit HB Jacobian operator and its block-diagonal
+// preconditioner.
+//
+// The Jacobian of the HB residual at the current spectrum X is
+//   J = Ω·Γ C(t) Γ⁻¹ + Γ G(t) Γ⁻¹
+// where Γ is the (multi-dimensional) DFT and G(t), C(t) are the per-sample
+// device Jacobians along the current waveform. J is dense in the harmonic
+// blocks of nonlinear circuits and is never formed; apply() computes J·y by
+// inverse FFT → per-sample sparse multiplies → FFT. The preconditioner uses
+// the time-averaged Ḡ, C̄, for which the same expression is exactly
+// block-diagonal: one complex factorization  Ḡ + jω_κ·C̄  per retained
+// harmonic κ. This pairing is the "iterative linear algebra" enabler of
+// full-chip HB cited in Section 2.1 [10, 31].
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "numeric/dense.hpp"
+#include "sparse/krylov.hpp"
+#include "sparse/sparse_lu.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace rfic::hb {
+
+class HarmonicBalance;
+
+/// Matrix-free HB Jacobian (real-vector view of the complex spectra).
+class HBOperator final : public sparse::LinearOperator<Real> {
+ public:
+  HBOperator(const HarmonicBalance& engine,
+             std::vector<sparse::RCSR> gSamples,
+             std::vector<sparse::RCSR> cSamples);
+  std::size_t dim() const override;
+  void apply(const numeric::RVec& y, numeric::RVec& out) const override;
+
+ private:
+  const HarmonicBalance& eng_;
+  std::vector<sparse::RCSR> g_, c_;
+};
+
+/// Block-diagonal preconditioner: M⁻¹ r solves (Ḡ + jω_κ C̄) z_κ = r_κ for
+/// every retained harmonic independently.
+class HBBlockPreconditioner final : public sparse::LinearOperator<Real> {
+ public:
+  HBBlockPreconditioner(const HarmonicBalance& engine,
+                        const sparse::RTriplets& gAvg,
+                        const sparse::RTriplets& cAvg);
+  std::size_t dim() const override;
+  void apply(const numeric::RVec& r, numeric::RVec& z) const override;
+
+ private:
+  const HarmonicBalance& eng_;
+  std::vector<std::unique_ptr<sparse::CSparseLU>> blocks_;
+};
+
+}  // namespace rfic::hb

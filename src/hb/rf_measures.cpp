@@ -1,0 +1,76 @@
+#include "hb/rf_measures.hpp"
+
+#include <cmath>
+
+#include "hb/spectrum.hpp"
+
+namespace rfic::hb {
+
+IP3Result intercept3(const HBSolution& sol, std::size_t outputUnknown,
+                     Real driveAmplitude) {
+  RFIC_REQUIRE(driveAmplitude > 0, "intercept3: drive amplitude required");
+  IP3Result out;
+  out.fundamentalAmp = lineAmplitude(sol, outputUnknown, 1, 0);
+  // IM3 appears at 2f2−f1 and 2f1−f2; use the larger for robustness.
+  const Real a = lineAmplitude(sol, outputUnknown, -1, 2);
+  const Real b = lineAmplitude(sol, outputUnknown, 2, -1);
+  out.im3Amp = std::max(a, b);
+  RFIC_REQUIRE(out.im3Amp > 0 && out.fundamentalAmp > 0,
+               "intercept3: solution has no fundamental/IM3 content");
+  out.inputIP3 = driveAmplitude * std::sqrt(out.fundamentalAmp / out.im3Amp);
+  out.im3Dbc = toDb(out.im3Amp, out.fundamentalAmp);
+  return out;
+}
+
+CompressionResult compressionPoint(
+    const std::function<Real(Real driveAmp)>& fundamentalOut, Real ampStart,
+    Real ampStop, std::size_t points) {
+  RFIC_REQUIRE(ampStart > 0 && ampStop > ampStart && points >= 3,
+               "compressionPoint: bad sweep");
+  CompressionResult res;
+  const Real ratio = std::pow(ampStop / ampStart,
+                              1.0 / static_cast<Real>(points - 1));
+  Real amp = ampStart;
+  for (std::size_t k = 0; k < points; ++k, amp *= ratio) {
+    const Real outAmp = fundamentalOut(amp);
+    res.driveAmps.push_back(amp);
+    res.gains.push_back(outAmp / amp);
+  }
+  res.smallSignalGain = res.gains.front();
+  const Real target = res.smallSignalGain * std::pow(10.0, -1.0 / 20.0);
+  for (std::size_t k = 1; k < res.gains.size(); ++k) {
+    if (res.gains[k] <= target && res.gains[k - 1] > target) {
+      // Log-linear interpolation in drive amplitude.
+      const Real g0 = 20 * std::log10(res.gains[k - 1]);
+      const Real g1 = 20 * std::log10(res.gains[k]);
+      const Real gt = 20 * std::log10(target);
+      const Real w = (g0 - gt) / (g0 - g1);
+      res.inputP1dB = res.driveAmps[k - 1] *
+                      std::pow(res.driveAmps[k] / res.driveAmps[k - 1], w);
+      res.found = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+std::vector<Real> noiseFigureDb(const analysis::NoiseResult& noise,
+                                const std::string& sourceLabelPrefix) {
+  RFIC_REQUIRE(!sourceLabelPrefix.empty(),
+               "noiseFigureDb: source label prefix required");
+  std::vector<Real> nf;
+  nf.reserve(noise.freq.size());
+  for (std::size_t k = 0; k < noise.freq.size(); ++k) {
+    Real fromSource = 0;
+    for (const auto& cb : noise.contributions[k]) {
+      if (cb.label.rfind(sourceLabelPrefix, 0) == 0) fromSource += cb.psd;
+    }
+    RFIC_REQUIRE(fromSource > 0,
+                 "noiseFigureDb: no contribution from the source resistor — "
+                 "check the label prefix");
+    nf.push_back(10.0 * std::log10(noise.totalPsd[k] / fromSource));
+  }
+  return nf;
+}
+
+}  // namespace rfic::hb

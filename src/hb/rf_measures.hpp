@@ -1,0 +1,59 @@
+// RF performance measures computed from harmonic-balance solutions.
+//
+// The paper's introduction lists the specs a verification flow must
+// predict: "noise figure, intercept point, and 1 dB compression point."
+// This module derives them from the HB engine:
+//  * conversion / voltage gain between harmonics,
+//  * IP3 by two-tone intermodulation extrapolation,
+//  * 1 dB compression by an amplitude sweep,
+// and noise figure from the stationary noise analysis.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/noise.hpp"
+#include "hb/harmonic_balance.hpp"
+
+namespace rfic::hb {
+
+/// Third-order intercept from one two-tone HB solution: with fundamental
+/// amplitude A1 (at k = (1,0)) and IM3 amplitude A3 (at k = (−1,2) or
+/// (2,−1)), the input-referred intercept in volts is
+///   A_IP3 = A_drive · sqrt(A1 / A3),
+/// valid while the IM3 product still rises 3 dB per input dB.
+struct IP3Result {
+  Real fundamentalAmp = 0;  ///< output fundamental [V]
+  Real im3Amp = 0;          ///< output IM3 product [V]
+  Real inputIP3 = 0;        ///< input-referred intercept [V amplitude]
+  Real im3Dbc = 0;          ///< IM3 relative to the fundamental [dB]
+};
+
+IP3Result intercept3(const HBSolution& sol, std::size_t outputUnknown,
+                     Real driveAmplitude);
+
+/// 1 dB compression point: sweep the drive amplitude (rerunning HB via the
+/// supplied solver callback), track the fundamental gain, and interpolate
+/// the input amplitude where it has fallen 1 dB below the small-signal
+/// gain. The callback receives the drive amplitude and returns the output
+/// fundamental amplitude.
+struct CompressionResult {
+  bool found = false;
+  Real inputP1dB = 0;       ///< input amplitude at 1 dB compression [V]
+  Real smallSignalGain = 0; ///< V/V
+  std::vector<Real> driveAmps, gains;  ///< the sweep itself
+};
+
+CompressionResult compressionPoint(
+    const std::function<Real(Real driveAmp)>& fundamentalOut, Real ampStart,
+    Real ampStop, std::size_t points);
+
+/// Spot noise figure of a linear(ized) two-port driven from a source
+/// resistance Rs at temperature 300 K:
+///   F = total output noise PSD / (output noise PSD due to Rs alone).
+/// `sourceLabelPrefix` selects the source-resistor contribution by its
+/// device name (e.g. "Rs"). Returns NF in dB for each frequency.
+std::vector<Real> noiseFigureDb(const analysis::NoiseResult& noise,
+                                const std::string& sourceLabelPrefix);
+
+}  // namespace rfic::hb

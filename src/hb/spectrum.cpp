@@ -1,0 +1,89 @@
+#include "hb/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fft/fft.hpp"
+
+namespace rfic::hb {
+
+Real toDb(Real a, Real ref) {
+  if (a <= 0 || ref <= 0) return -400.0;
+  return 20.0 * std::log10(a / ref);
+}
+
+Real lineAmplitude(const HBSolution& sol, std::size_t u, int k1, int k2) {
+  const Complex c = sol.at(u, k1, k2);
+  const bool dc = (k1 == 0 && k2 == 0);
+  return dc ? std::abs(c.real()) : 2.0 * std::abs(c);
+}
+
+std::vector<SpectralLine> spectrumOf(const HBSolution& sol, std::size_t u) {
+  std::vector<SpectralLine> lines;
+  lines.reserve(sol.indices.size());
+  Real carrier = 0;
+  for (std::size_t j = 0; j < sol.indices.size(); ++j) {
+    SpectralLine l;
+    l.k1 = sol.indices[j][0];
+    l.k2 = sol.indices[j][1];
+    l.freq = std::abs(sol.freqs[j]);
+    l.amplitude = (j == 0) ? std::abs(sol.coeffs(u, 0).real())
+                           : 2.0 * std::abs(sol.coeffs(u, j));
+    lines.push_back(l);
+    if (j != 0) carrier = std::max(carrier, l.amplitude);
+  }
+  for (auto& l : lines)
+    l.dbc = toDb(l.amplitude, carrier > 0 ? carrier : 1.0);
+  std::sort(lines.begin(), lines.end(),
+            [](const SpectralLine& a, const SpectralLine& b) {
+              return a.freq < b.freq;
+            });
+  return lines;
+}
+
+TransientSpectrum transientSpectrum(const std::vector<Real>& samples,
+                                    Real sampleRate) {
+  RFIC_REQUIRE(samples.size() >= 8, "transientSpectrum: too few samples");
+  RFIC_REQUIRE(sampleRate > 0, "transientSpectrum: bad sample rate");
+  const std::size_t n = samples.size();
+  std::vector<Real> w(n);
+  // Hann window; coherent gain 0.5 compensated below.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real win =
+        0.5 * (1.0 - std::cos(kTwoPi * static_cast<Real>(i) /
+                              static_cast<Real>(n)));
+    w[i] = samples[i] * win;
+  }
+  auto half = fft::rfft(w);
+  TransientSpectrum sp;
+  sp.freq.resize(half.size());
+  sp.amplitude.resize(half.size());
+  const Real scale = 2.0 / (0.5 * static_cast<Real>(n));  // window gain 0.5
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    sp.freq[k] = sampleRate * static_cast<Real>(k) / static_cast<Real>(n);
+    sp.amplitude[k] = std::abs(half[k]) * scale;
+  }
+  if (!sp.amplitude.empty()) sp.amplitude[0] *= 0.5;  // DC not doubled
+  return sp;
+}
+
+Real amplitudeNear(const TransientSpectrum& sp, Real freq) {
+  RFIC_REQUIRE(!sp.freq.empty(), "amplitudeNear: empty spectrum");
+  std::size_t best = 0;
+  Real bestd = std::abs(sp.freq[0] - freq);
+  for (std::size_t k = 1; k < sp.freq.size(); ++k) {
+    const Real d = std::abs(sp.freq[k] - freq);
+    if (d < bestd) {
+      bestd = d;
+      best = k;
+    }
+  }
+  // Local peak search (windowing spreads lines over a few bins).
+  Real amp = sp.amplitude[best];
+  for (std::size_t k = (best >= 2 ? best - 2 : 0);
+       k < std::min(best + 3, sp.amplitude.size()); ++k)
+    amp = std::max(amp, sp.amplitude[k]);
+  return amp;
+}
+
+}  // namespace rfic::hb

@@ -1,0 +1,126 @@
+#include "mpde/envelope.hpp"
+
+#include <cmath>
+
+namespace rfic::mpde {
+
+namespace {
+
+// Fast-axis system at frozen slow time t1 with the BE slow-derivative term:
+//   d/dt2 q(y) + f(y) + q(y)/h1 = b̂(t1, t2) + q(x_prev(t2))/h1
+class EnvelopeInner final : public FastSystem {
+ public:
+  EnvelopeInner(const MnaSystem& sys, Real t1, Real fastPeriod,
+                std::size_t m2, Real h1,
+                const std::vector<numeric::RVec>* prev)
+      : sys_(sys), n_(sys.dim()), m2_(m2), t1_(t1), T2_(fastPeriod), h1_(h1) {
+    if (h1_ > 0) {
+      RFIC_REQUIRE(prev != nullptr && prev->size() >= m2_,
+                   "EnvelopeInner: previous waveform required");
+      // Pre-evaluate q along the previous waveform at every fast sample.
+      qPrev_.resize(m2_);
+      circuit::MnaEval e;
+      for (std::size_t j = 0; j < m2_; ++j) {
+        const Real t2 = T2_ * static_cast<Real>(j) / static_cast<Real>(m2_);
+        sys_.evalBivariate((*prev)[j], t1_, t2, e, false);
+        qPrev_[j] = e.q;
+      }
+    }
+  }
+
+  std::size_t dim() const override { return n_; }
+  std::size_t samples() const override { return m2_; }
+  Real period() const override { return T2_; }
+
+  void eval(const numeric::RVec& y, std::size_t j, FastEval& e,
+            bool wantMatrices) const override {
+    const std::size_t jw = j % m2_;
+    const Real t2 = T2_ * static_cast<Real>(jw) / static_cast<Real>(m2_);
+    circuit::MnaEval ev;
+    sys_.evalBivariate(y, t1_, t2, ev, wantMatrices);
+    e.f = ev.f;
+    e.q = ev.q;
+    e.b = ev.b;
+    if (h1_ > 0) {
+      const Real w = 1.0 / h1_;
+      for (std::size_t u = 0; u < n_; ++u) {
+        e.f[u] += w * ev.q[u];
+        e.b[u] += w * qPrev_[jw][u];
+      }
+    }
+    if (wantMatrices) {
+      e.G = ev.G.toDense();
+      e.C = ev.C.toDense();
+      if (h1_ > 0) {
+        const Real w = 1.0 / h1_;
+        for (const auto& en : ev.C.entries())
+          e.G(en.row, en.col) += w * en.value;
+      }
+    }
+  }
+
+ private:
+  const MnaSystem& sys_;
+  std::size_t n_, m2_;
+  Real t1_, T2_, h1_;
+  std::vector<numeric::RVec> qPrev_;
+};
+
+}  // namespace
+
+FastPeriodicResult solveEnvelopeStep(
+    const MnaSystem& sys, Real t1, Real fastFreq, std::size_t fastSteps,
+    Real h1, const std::vector<numeric::RVec>* prevWaveform,
+    const numeric::RVec& guess, const FastPeriodicOptions& opts) {
+  EnvelopeInner inner(sys, t1, 1.0 / fastFreq, fastSteps, h1, prevWaveform);
+  return solveFastPeriodic(inner, guess, opts);
+}
+
+std::vector<Complex> EnvelopeResult::harmonicEnvelope(std::size_t u,
+                                                               int k) const {
+  std::vector<Complex> out;
+  out.reserve(waveforms.size());
+  for (const auto& wf : waveforms) {
+    const std::size_t m2 = wf.size() - 1;  // wrap point excluded
+    Complex s = 0;
+    for (std::size_t j = 0; j < m2; ++j) {
+      const Real ang = -kTwoPi * static_cast<Real>(k) * static_cast<Real>(j) /
+                       static_cast<Real>(m2);
+      s += wf[j][u] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out.push_back(s / static_cast<Real>(m2));
+  }
+  return out;
+}
+
+EnvelopeResult runEnvelope(const MnaSystem& sys, Real fastFreq,
+                           const numeric::RVec& dcOp,
+                           const EnvelopeOptions& opts) {
+  RFIC_REQUIRE(fastFreq > 0, "runEnvelope: bad fast frequency");
+  RFIC_REQUIRE(opts.slowSpan > 0 && opts.slowSteps > 0,
+               "runEnvelope: slowSpan/slowSteps required");
+  EnvelopeResult res;
+  res.fastPeriod = 1.0 / fastFreq;
+  const Real h1 = opts.slowSpan / static_cast<Real>(opts.slowSteps);
+
+  // Initial condition: fast steady state with slow sources frozen at t1=0.
+  FastPeriodicResult step = solveEnvelopeStep(
+      sys, 0.0, fastFreq, opts.fastSteps, 0.0, nullptr, dcOp, opts.inner);
+  if (!step.converged) return res;
+  res.slowTimes.push_back(0.0);
+  res.waveforms.push_back(step.waveform);
+
+  for (std::size_t i = 1; i <= opts.slowSteps; ++i) {
+    const Real t1 = h1 * static_cast<Real>(i);
+    step = solveEnvelopeStep(sys, t1, fastFreq, opts.fastSteps, h1,
+                             &res.waveforms.back(), step.waveform[0],
+                             opts.inner);
+    if (!step.converged) return res;
+    res.slowTimes.push_back(t1);
+    res.waveforms.push_back(step.waveform);
+  }
+  res.converged = true;
+  return res;
+}
+
+}  // namespace rfic::mpde

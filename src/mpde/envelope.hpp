@@ -1,0 +1,53 @@
+// TD-ENV — time-domain envelope following (Section 2.2, method 3).
+//
+// Mixed initial/periodic boundary conditions on the MPDE: periodic in the
+// fast variable t2, transient (initial-value) in the slow variable t1. At
+// every slow BE step the solver computes a full periodic fast waveform, so
+// the output is the modulation envelope of each fast harmonic — exactly
+// what a circuit of the power-converter / switched-capacitor / switching-
+// mixer class needs when its slow drive is not periodic.
+#pragma once
+
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "mpde/fast_system.hpp"
+
+namespace rfic::mpde {
+
+using circuit::MnaSystem;
+
+struct EnvelopeOptions {
+  Real slowSpan = 0;          ///< total slow-time interval to cover
+  std::size_t slowSteps = 0;  ///< number of BE envelope steps
+  std::size_t fastSteps = 100;
+  FastPeriodicOptions inner;
+};
+
+struct EnvelopeResult {
+  bool converged = false;
+  Real fastPeriod = 0;
+  std::vector<Real> slowTimes;  ///< slowSteps+1 instants
+  /// One periodic fast waveform per slow instant; waveform[i][j] is the
+  /// state at (t1_i, t2_j), j = 0..fastSteps (wrap point included).
+  std::vector<std::vector<numeric::RVec>> waveforms;
+
+  /// Complex fast-harmonic k of unknown u vs slow time — the envelope.
+  std::vector<Complex> harmonicEnvelope(std::size_t u, int k) const;
+};
+
+/// March the envelope from the t1 = 0 fast steady state.
+EnvelopeResult runEnvelope(const MnaSystem& sys, Real fastFreq,
+                           const numeric::RVec& dcOp,
+                           const EnvelopeOptions& opts);
+
+/// Internal building block shared with hierarchical shooting: solve the
+/// fast-periodic problem at frozen slow time t1 with a BE slow-derivative
+/// coupling of weight 1/h1 against the previous waveform (pass h1 ≤ 0 for
+/// no coupling — a plain PSS at frozen t1).
+FastPeriodicResult solveEnvelopeStep(
+    const MnaSystem& sys, Real t1, Real fastFreq, std::size_t fastSteps,
+    Real h1, const std::vector<numeric::RVec>* prevWaveform,
+    const numeric::RVec& guess, const FastPeriodicOptions& opts);
+
+}  // namespace rfic::mpde

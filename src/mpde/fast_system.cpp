@@ -1,0 +1,128 @@
+#include "mpde/fast_system.hpp"
+
+#include <cmath>
+
+#include "numeric/lu.hpp"
+
+namespace rfic::mpde {
+
+namespace {
+
+// One BE step of the fast system from (j, y0) to sample j+1; propagates the
+// dense sensitivity S ← (∂y1/∂y0)·S when provided.
+bool beStep(const FastSystem& sys, std::size_t j, const RVec& y0, RVec& y1,
+            RMat* sens, const FastPeriodicOptions& opts) {
+  const std::size_t n = sys.dim();
+  const Real h = sys.period() / static_cast<Real>(sys.samples());
+  FastEval e0, e1;
+  sys.eval(y0, j, e0, sens != nullptr);
+
+  y1 = y0;
+  bool converged = false;
+  for (std::size_t it = 0; it < opts.maxNewtonPerStep; ++it) {
+    sys.eval(y1, j + 1, e1, true);
+    RVec r(n);
+    for (std::size_t i = 0; i < n; ++i)
+      r[i] = e1.q[i] - e0.q[i] + h * (e1.f[i] - e1.b[i]);
+    if (numeric::normInf(r) < opts.stepTolerance * h) {
+      converged = true;
+      break;
+    }
+    RMat jmat = e1.C;
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = 0; b < n; ++b) jmat(a, b) += h * e1.G(a, b);
+    const RVec dy = numeric::solveDense(std::move(jmat), r);
+    y1 -= dy;
+    if (numeric::norm2(dy) < opts.stepTolerance * (1.0 + numeric::norm2(y1))) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) return false;
+
+  if (sens) {
+    sys.eval(y1, j + 1, e1, true);
+    RMat jmat = e1.C;
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = 0; b < n; ++b) jmat(a, b) += h * e1.G(a, b);
+    numeric::LU<Real> lu(std::move(jmat));
+    const RMat rhs = e0.C * (*sens);
+    RMat out(n, sens->cols());
+    RVec col(n);
+    for (std::size_t c = 0; c < rhs.cols(); ++c) {
+      for (std::size_t i = 0; i < n; ++i) col[i] = rhs(i, c);
+      const RVec sol = lu.solve(col);
+      for (std::size_t i = 0; i < n; ++i) out(i, c) = sol[i];
+    }
+    *sens = std::move(out);
+  }
+  return true;
+}
+
+}  // namespace
+
+FastPeriodicResult solveFastPeriodic(const FastSystem& sys, const RVec& guess,
+                                     const FastPeriodicOptions& opts) {
+  const std::size_t n = sys.dim();
+  RFIC_REQUIRE(guess.size() == n, "solveFastPeriodic: guess size mismatch");
+  const std::size_t m = sys.samples();
+
+  FastPeriodicResult res;
+  RVec y0 = guess;
+  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    ++res.newtonIterations;
+    res.monodromy = RMat::identity(n);
+    res.waveform.assign(1, y0);
+    RVec y = y0, y1;
+    bool ok = true;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!beStep(sys, j, y, y1, &res.monodromy, opts)) {
+        ok = false;
+        break;
+      }
+      y = y1;
+      res.waveform.push_back(y);
+    }
+    if (!ok) return res;
+
+    RVec g = res.waveform.back();
+    g -= y0;
+    if (numeric::norm2(g) < opts.tolerance * (1.0 + numeric::norm2(y0))) {
+      res.converged = true;
+      return res;
+    }
+    RMat jac = res.monodromy;
+    for (std::size_t i = 0; i < n; ++i) jac(i, i) -= 1.0;
+    const RVec dy = numeric::solveDense(std::move(jac), g);
+    y0 -= dy;
+  }
+  return res;
+}
+
+RMat spectralDifferentiation(std::size_t m, Real period) {
+  RFIC_REQUIRE(m % 2 == 1, "spectralDifferentiation: odd grid size required");
+  RFIC_REQUIRE(period > 0, "spectralDifferentiation: period must be positive");
+  // D = Γ⁻¹ diag(j k ω) Γ; for odd m the result is the real matrix
+  // D(i,l) = (2ω/m)·Σ_{k=1..K} −k·sin(2πk(i−l)/m)  … equivalently the
+  // classic cotangent formula. Assemble via the explicit Fourier sum.
+  const std::size_t kmax = (m - 1) / 2;
+  const Real w = kTwoPi / period;
+  RMat d(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t l = 0; l < m; ++l) {
+      // D(i,l) = −(2ω/m) Σ_{k=1..K} k·sin(2πk(i−l)/m)
+      Real s = 0;
+      for (std::size_t k = 1; k <= kmax; ++k) {
+        const Real ang = kTwoPi * static_cast<Real>(k) *
+                         (static_cast<Real>(i) - static_cast<Real>(l)) /
+                         static_cast<Real>(m);
+        s -= 2.0 * static_cast<Real>(k) * w * std::sin(ang) /
+             static_cast<Real>(m);
+      }
+      d(i, l) = s;
+    }
+  }
+  return d;
+}
+
+}  // namespace rfic::mpde

@@ -1,0 +1,72 @@
+#include "mpde/hier_shooting.hpp"
+
+#include <cmath>
+
+#include "mpde/envelope.hpp"
+
+namespace rfic::mpde {
+
+HSResult runHierarchicalShooting(const MnaSystem& sys, Real slowFreq,
+                                 Real fastFreq, const numeric::RVec& dcOp,
+                                 const HSOptions& opts) {
+  RFIC_REQUIRE(slowFreq > 0 && fastFreq > 0,
+               "runHierarchicalShooting: bad frequencies");
+  const std::size_t n = sys.dim();
+  const std::size_t m1 = opts.slowSteps;
+  const std::size_t m2 = opts.fastSteps;
+  const Real T1 = 1.0 / slowFreq;
+  const Real h1 = T1 / static_cast<Real>(m1);
+
+  HSResult res;
+  res.grid = BivariateGrid(n, m1, m2, T1, 1.0 / fastFreq);
+
+  // Starting waveform at t1 = 0: fast PSS with the slow drive frozen.
+  FastPeriodicResult w0 = solveEnvelopeStep(sys, 0.0, fastFreq, m2, 0.0,
+                                            nullptr, dcOp, opts.inner);
+  if (!w0.converged) return res;
+  std::vector<numeric::RVec> start = w0.waveform;
+
+  std::vector<std::vector<numeric::RVec>> sweep(m1 + 1);
+  for (std::size_t outer = 0; outer < opts.maxOuterIterations; ++outer) {
+    ++res.outerIterations;
+    // BE sweep over one slow period.
+    sweep[0] = start;
+    bool ok = true;
+    for (std::size_t i = 1; i <= m1; ++i) {
+      const Real t1 = h1 * static_cast<Real>(i);
+      const FastPeriodicResult step = solveEnvelopeStep(
+          sys, t1, fastFreq, m2, h1, &sweep[i - 1],
+          outer == 0 ? sweep[i - 1][0]
+                     : sweep[i].empty() ? sweep[i - 1][0] : sweep[i][0],
+          opts.inner);
+      if (!step.converged) {
+        ok = false;
+        break;
+      }
+      sweep[i] = step.waveform;
+    }
+    if (!ok) return res;
+
+    // Slow-periodicity defect: the slow drive has period T1, so the end
+    // waveform must reproduce the start waveform.
+    Real defect = 0;
+    for (std::size_t j = 0; j < m2; ++j) {
+      numeric::RVec d = sweep[m1][j];
+      d -= start[j];
+      defect = std::max(defect, numeric::normInf(d));
+    }
+    res.periodicityDefect = defect;
+    if (defect < opts.tolerance) {
+      for (std::size_t i = 0; i < m1; ++i)
+        for (std::size_t j = 0; j < m2; ++j)
+          res.grid.setState(i, j, sweep[i][j]);
+      res.converged = true;
+      return res;
+    }
+    // Picard update of the starting waveform.
+    start = sweep[m1];
+  }
+  return res;
+}
+
+}  // namespace rfic::mpde

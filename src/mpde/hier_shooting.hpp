@@ -1,0 +1,40 @@
+// Hierarchical Shooting (Section 2.2, method 1b).
+//
+// The generalization of shooting to two time scales: BE discretization
+// along the slow axis (each step an inner fast-periodic shooting solve, the
+// same building block TD-ENV uses), with the slow-axis periodicity
+// x̂(0, ·) = x̂(T1, ·) enforced by an outer fixed-point sweep over the slow
+// period. Appropriate, like MFDTD, for strongly nonlinear circuits with no
+// sinusoidal waveform content.
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "mpde/bivariate.hpp"
+#include "mpde/fast_system.hpp"
+
+namespace rfic::mpde {
+
+using circuit::MnaSystem;
+
+struct HSOptions {
+  std::size_t slowSteps = 16;  ///< BE steps per slow period
+  std::size_t fastSteps = 100;
+  std::size_t maxOuterIterations = 40;
+  Real tolerance = 1e-7;  ///< on the slow-periodicity defect
+  FastPeriodicOptions inner;
+};
+
+struct HSResult {
+  bool converged = false;
+  BivariateGrid grid;  ///< slowSteps × fastSteps biperiodic samples
+  std::size_t outerIterations = 0;
+  Real periodicityDefect = 0;
+};
+
+/// Quasi-periodic solve with slow fundamental `slowFreq` and fast
+/// fundamental `fastFreq`.
+HSResult runHierarchicalShooting(const MnaSystem& sys, Real slowFreq,
+                                 Real fastFreq, const numeric::RVec& dcOp,
+                                 const HSOptions& opts = {});
+
+}  // namespace rfic::mpde

@@ -1,0 +1,120 @@
+#include "mpde/mfdtd.hpp"
+
+#include <cmath>
+
+#include "sparse/krylov.hpp"
+#include "sparse/sparse_lu.hpp"
+
+namespace rfic::mpde {
+
+MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
+                     const numeric::RVec& dcOp, const MFDTDOptions& opts) {
+  RFIC_REQUIRE(slowFreq > 0 && fastFreq > 0, "runMFDTD: bad frequencies");
+  const std::size_t n = sys.dim();
+  RFIC_REQUIRE(dcOp.size() == n, "runMFDTD: DC point size mismatch");
+  const std::size_t m1 = opts.m1, m2 = opts.m2;
+  const Real T1 = 1.0 / slowFreq, T2 = 1.0 / fastFreq;
+  const Real h1 = T1 / static_cast<Real>(m1);
+  const Real h2 = T2 / static_cast<Real>(m2);
+  const std::size_t np = m1 * m2;     // grid points
+  const std::size_t nu = np * n;      // total unknowns
+
+  MFDTDResult res;
+  res.grid = BivariateGrid(n, m1, m2, T1, T2);
+
+  // Flat unknown layout: point p = i·m2 + j holds block [p·n, p·n+n).
+  numeric::RVec x(nu);
+  for (std::size_t p = 0; p < np; ++p)
+    for (std::size_t u = 0; u < n; ++u) x[p * n + u] = dcOp[u];
+
+  std::vector<circuit::MnaEval> evals(np);
+  numeric::RVec xp(n);
+
+  for (std::size_t it = 0; it < opts.maxNewton; ++it) {
+    ++res.newtonIterations;
+
+    // Evaluate every grid point.
+    for (std::size_t i = 0; i < m1; ++i) {
+      for (std::size_t j = 0; j < m2; ++j) {
+        const std::size_t p = i * m2 + j;
+        for (std::size_t u = 0; u < n; ++u) xp[u] = x[p * n + u];
+        sys.evalBivariate(xp, res.grid.t1(i), res.grid.t2(j), evals[p], true);
+      }
+    }
+
+    // Residual with BE differences and periodic wrap.
+    numeric::RVec r(nu);
+    Real bScale = 0;
+    for (std::size_t i = 0; i < m1; ++i) {
+      const std::size_t im = (i + m1 - 1) % m1;
+      for (std::size_t j = 0; j < m2; ++j) {
+        const std::size_t jm = (j + m2 - 1) % m2;
+        const std::size_t p = i * m2 + j;
+        const auto& e = evals[p];
+        const auto& e1 = evals[im * m2 + j];
+        const auto& e2 = evals[i * m2 + jm];
+        for (std::size_t u = 0; u < n; ++u) {
+          r[p * n + u] = (e.q[u] - e1.q[u]) / h1 + (e.q[u] - e2.q[u]) / h2 +
+                         e.f[u] - e.b[u];
+          bScale = std::max(bScale, std::abs(e.b[u]) + std::abs(e.f[u]));
+        }
+      }
+    }
+    if (numeric::norm2(r) <
+        opts.tolerance * (1.0 + bScale) * std::sqrt(static_cast<Real>(nu))) {
+      res.converged = true;
+      break;
+    }
+
+    // Assemble the global sparse Jacobian.
+    sparse::RTriplets jac(nu, nu);
+    for (std::size_t i = 0; i < m1; ++i) {
+      const std::size_t im = (i + m1 - 1) % m1;
+      for (std::size_t j = 0; j < m2; ++j) {
+        const std::size_t jm = (j + m2 - 1) % m2;
+        const std::size_t p = i * m2 + j;
+        const std::size_t p1 = im * m2 + j;
+        const std::size_t p2 = i * m2 + jm;
+        const auto& e = evals[p];
+        for (const auto& en : e.C.entries()) {
+          jac.add(p * n + en.row, p * n + en.col,
+                  en.value * (1.0 / h1 + 1.0 / h2));
+        }
+        for (const auto& en : e.G.entries())
+          jac.add(p * n + en.row, p * n + en.col, en.value);
+        for (const auto& en : evals[p1].C.entries())
+          jac.add(p * n + en.row, p1 * n + en.col, -en.value / h1);
+        for (const auto& en : evals[p2].C.entries())
+          jac.add(p * n + en.row, p2 * n + en.col, -en.value / h2);
+      }
+    }
+
+    numeric::RVec dx(nu);
+    if (opts.useIterativeSolver) {
+      sparse::RCSR a(jac);
+      res.jacobianNnz = a.nnz();
+      sparse::CSROperator<Real> op(a);
+      sparse::JacobiPreconditioner<Real> prec(a);
+      sparse::IterativeOptions io;
+      io.tolerance = 1e-8;
+      io.maxIterations = 2000;
+      io.restart = 100;
+      const auto st = sparse::gmres(op, r, dx, &prec, io);
+      if (!st.converged)
+        failNumerical("runMFDTD: GMRES failed on the grid Jacobian");
+    } else {
+      sparse::RSparseLU lu(jac);
+      res.jacobianNnz = lu.factorNnz();
+      dx = lu.solve(r);
+    }
+    x -= dx;
+  }
+
+  for (std::size_t i = 0; i < m1; ++i)
+    for (std::size_t j = 0; j < m2; ++j)
+      for (std::size_t u = 0; u < n; ++u)
+        res.grid.at(u, i, j) = x[(i * m2 + j) * n + u];
+  return res;
+}
+
+}  // namespace rfic::mpde

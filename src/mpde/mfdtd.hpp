@@ -1,0 +1,37 @@
+// MFDTD — Multivariate Finite Difference Time Domain (Section 2.2,
+// method 1a).
+//
+// The MPDE  ∂q/∂t1 + ∂q/∂t2 + f(x̂) = b̂(t1, t2)  is discretized with
+// backward differences on a biperiodic (m1 × m2) grid; the resulting
+// coupled nonlinear system over all grid points is solved by Newton with a
+// sparse-LU linear solver (the Jacobian has the near block-diagonal
+// structure the paper notes makes iterative methods attractive; both paths
+// are available).
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "mpde/bivariate.hpp"
+
+namespace rfic::mpde {
+
+using circuit::MnaSystem;
+
+struct MFDTDOptions {
+  std::size_t m1 = 16;  ///< slow-axis grid points
+  std::size_t m2 = 32;  ///< fast-axis grid points
+  std::size_t maxNewton = 60;
+  Real tolerance = 1e-9;
+  bool useIterativeSolver = false;  ///< GMRES + Jacobi instead of sparse LU
+};
+
+struct MFDTDResult {
+  bool converged = false;
+  BivariateGrid grid;
+  std::size_t newtonIterations = 0;
+  std::size_t jacobianNnz = 0;  ///< assembled sparse Jacobian size
+};
+
+MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
+                     const numeric::RVec& dcOp, const MFDTDOptions& opts = {});
+
+}  // namespace rfic::mpde

@@ -1,0 +1,37 @@
+// MMFT — Multivariate Mixed Frequency-Time method (Section 2.2, method 2).
+//
+// The slow-axis dependence is expanded in a short Fourier series (the
+// "almost linear signal path" assumption: a few harmonics of the RF tone
+// suffice), collocated on an odd grid of m1 = 2K+1 slow points; the
+// fast-axis action (the strongly nonlinear switching) is resolved in the
+// time domain by shooting over one fast period. This is the method the
+// paper demonstrates on the double-balanced switching mixer of Fig. 4.
+#pragma once
+
+#include "circuit/mna.hpp"
+#include "mpde/bivariate.hpp"
+#include "mpde/fast_system.hpp"
+
+namespace rfic::mpde {
+
+using circuit::MnaSystem;
+
+struct MMFTOptions {
+  std::size_t slowHarmonics = 3;  ///< K — Fourier harmonics of the slow tone
+  std::size_t fastSteps = 200;    ///< time steps per fast period
+  FastPeriodicOptions inner;
+};
+
+struct MMFTResult {
+  bool converged = false;
+  BivariateGrid grid;  ///< (2K+1) × fastSteps biperiodic samples
+  std::size_t shootingIterations = 0;
+};
+
+/// Solve the quasi-periodic MPDE with slow fundamental `slowFreq` (Fourier,
+/// t1 axis) and fast fundamental `fastFreq` (shooting, t2 axis), starting
+/// from the DC operating point.
+MMFTResult runMMFT(const MnaSystem& sys, Real slowFreq, Real fastFreq,
+                   const numeric::RVec& dcOp, const MMFTOptions& opts = {});
+
+}  // namespace rfic::mpde

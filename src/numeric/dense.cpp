@@ -1,0 +1,24 @@
+#include "numeric/dense.hpp"
+
+namespace rfic::numeric {
+
+CMat toComplex(const RMat& a) {
+  CMat c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j);
+  return c;
+}
+
+CVec toComplex(const RVec& v) {
+  CVec c(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) c[i] = v[i];
+  return c;
+}
+
+RVec realPart(const CVec& v) {
+  RVec r(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) r[i] = v[i].real();
+  return r;
+}
+
+}  // namespace rfic::numeric

@@ -1,0 +1,75 @@
+#include "numeric/qr.hpp"
+
+#include <cmath>
+
+namespace rfic::numeric {
+
+ThinQR thinQR(const RMat& aIn) {
+  const std::size_t m = aIn.rows(), n = aIn.cols();
+  RFIC_REQUIRE(m >= n, "thinQR requires rows >= cols");
+  // Straightforward (non-packed) Householder implementation: sizes here are
+  // small (ROM orders, low-rank block widths), so clarity beats packing.
+  RMat a = aIn;
+  RVec beta(n);
+  RVec rdiag(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Real normx = 0;
+    for (std::size_t i = k; i < m; ++i) normx += a(i, k) * a(i, k);
+    normx = std::sqrt(normx);
+    const Real alpha = (a(k, k) >= 0) ? -normx : normx;
+    rdiag[k] = alpha;
+    if (normx == 0) {
+      beta[k] = 0;
+      continue;
+    }
+    a(k, k) -= alpha;
+    Real vnorm2 = 0;
+    for (std::size_t i = k; i < m; ++i) vnorm2 += a(i, k) * a(i, k);
+    beta[k] = (vnorm2 == 0) ? 0 : 2.0 / vnorm2;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      Real s = 0;
+      for (std::size_t i = k; i < m; ++i) s += a(i, k) * a(i, j);
+      s *= beta[k];
+      for (std::size_t i = k; i < m; ++i) a(i, j) -= s * a(i, k);
+    }
+  }
+
+  ThinQR out;
+  out.r = RMat(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.r(i, i) = rdiag[i];
+    for (std::size_t j = i + 1; j < n; ++j) out.r(i, j) = a(i, j);
+  }
+  // Q = H_0 H_1 ... H_{n-1} applied to the first n columns of I.
+  out.q = RMat(m, n);
+  for (std::size_t j = 0; j < n; ++j) out.q(j, j) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    if (beta[k] == 0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      Real s = 0;
+      for (std::size_t i = k; i < m; ++i) s += a(i, k) * out.q(i, j);
+      s *= beta[k];
+      for (std::size_t i = k; i < m; ++i) out.q(i, j) -= s * a(i, k);
+    }
+  }
+  return out;
+}
+
+RVec leastSquares(const RMat& a, const RVec& b) {
+  RFIC_REQUIRE(a.rows() == b.size(), "leastSquares size mismatch");
+  const ThinQR qr = thinQR(a);
+  // x = R^{-1} Qᵀ b
+  RVec y = transposeMatvec(qr.q, b);
+  const std::size_t n = a.cols();
+  RVec x(n);
+  for (std::size_t k = n; k-- > 0;) {
+    Real s = y[k];
+    for (std::size_t j = k + 1; j < n; ++j) s -= qr.r(k, j) * x[j];
+    const Real d = qr.r(k, k);
+    if (d == 0) failNumerical("leastSquares: rank-deficient matrix");
+    x[k] = s / d;
+  }
+  return x;
+}
+
+}  // namespace rfic::numeric

@@ -1,0 +1,24 @@
+// Householder QR for real matrices. Used for least-squares fits in the
+// benches (scaling-exponent fits), orthonormalization in ROM algorithms,
+// and recompression of low-rank factors in the IES³ solver.
+#pragma once
+
+#include "numeric/dense.hpp"
+
+namespace rfic::numeric {
+
+/// Thin QR of an m×n matrix with m ≥ n: A = Q R with Q m×n orthonormal
+/// columns and R n×n upper triangular.
+struct ThinQR {
+  RMat q;  ///< m×n, orthonormal columns
+  RMat r;  ///< n×n, upper triangular
+};
+
+/// Compute a thin QR factorization by Householder reflections.
+ThinQR thinQR(const RMat& a);
+
+/// Solve the least-squares problem min ||A x − b||₂ for m ≥ n with full
+/// column rank A.
+RVec leastSquares(const RMat& a, const RVec& b);
+
+}  // namespace rfic::numeric

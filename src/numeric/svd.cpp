@@ -1,0 +1,102 @@
+#include "numeric/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rfic::numeric {
+
+namespace {
+
+// One-sided Jacobi on an m×n matrix with m >= n: orthogonalize the columns
+// of a working copy W = A·V by plane rotations applied on the right; on
+// convergence the column norms are the singular values.
+SVD jacobiTall(const RMat& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  RMat w = a;
+  RMat v = RMat::identity(n);
+
+  const Real eps = 1e-15;
+  const int maxSweeps = 60;
+  for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries of columns p, q.
+        Real app = 0, aqq = 0, apq = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += w(i, p) * w(i, p);
+          aqq += w(i, q) * w(i, q);
+          apq += w(i, p) * w(i, q);
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq) || apq == 0) continue;
+        rotated = true;
+        const Real tau = (aqq - app) / (2.0 * apq);
+        const Real t = (tau >= 0) ? 1.0 / (tau + std::sqrt(1 + tau * tau))
+                                  : 1.0 / (tau - std::sqrt(1 + tau * tau));
+        const Real c = 1.0 / std::sqrt(1 + t * t);
+        const Real s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const Real wp = w(i, p), wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const Real vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  SVD out;
+  out.s = RVec(n);
+  out.u = RMat(m, n);
+  out.v = v;
+  // Column norms -> singular values; normalize columns of W into U.
+  std::vector<std::size_t> order(n);
+  RVec norms(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    Real s2 = 0;
+    for (std::size_t i = 0; i < m; ++i) s2 += w(i, j) * w(i, j);
+    norms[j] = std::sqrt(s2);
+  }
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
+  RMat vSorted(n, n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = order[jj];
+    out.s[jj] = norms[j];
+    const Real inv = (norms[j] > 0) ? 1.0 / norms[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) out.u(i, jj) = w(i, j) * inv;
+    for (std::size_t i = 0; i < n; ++i) vSorted(i, jj) = v(i, j);
+  }
+  out.v = std::move(vSorted);
+  return out;
+}
+
+}  // namespace
+
+SVD svd(const RMat& a) {
+  if (a.rows() >= a.cols()) return jacobiTall(a);
+  // A = U S Vᵀ  <=>  Aᵀ = V S Uᵀ
+  SVD t = jacobiTall(a.transposed());
+  SVD out;
+  out.u = std::move(t.v);
+  out.s = std::move(t.s);
+  out.v = std::move(t.u);
+  return out;
+}
+
+std::size_t numericalRank(const SVD& dec, Real tol) {
+  if (dec.s.size() == 0) return 0;
+  const Real cut = tol * dec.s[0];
+  std::size_t r = 0;
+  while (r < dec.s.size() && dec.s[r] > cut) ++r;
+  return r;
+}
+
+}  // namespace rfic::numeric

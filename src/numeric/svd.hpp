@@ -1,0 +1,29 @@
+// Singular value decomposition by one-sided Jacobi rotations.
+//
+// The SVD is the workhorse of the IES³-style matrix compression scheme of
+// Section 4 of the paper: interaction blocks between well-separated panel
+// clusters are recompressed to minimal-rank outer products by truncating
+// small singular values.
+#pragma once
+
+#include "numeric/dense.hpp"
+
+namespace rfic::numeric {
+
+/// Full thin SVD A = U · diag(s) · Vᵀ of an m×n matrix.
+/// U is m×n with orthonormal columns, V is n×n orthogonal, and the singular
+/// values are returned in non-increasing order.
+struct SVD {
+  RMat u;
+  RVec s;
+  RMat v;
+};
+
+/// Compute a thin SVD with one-sided Jacobi (robust, O(m·n²) per sweep).
+/// Handles m < n by transposing internally.
+SVD svd(const RMat& a);
+
+/// Number of singular values above `tol * s_max`.
+std::size_t numericalRank(const SVD& dec, Real tol);
+
+}  // namespace rfic::numeric

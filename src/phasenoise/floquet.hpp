@@ -1,0 +1,44 @@
+// Floquet decomposition of an oscillator's periodic steady state.
+//
+// The nonlinear perturbation theory of Section 3 rests on the monodromy
+// matrix M of the linearized oscillator: M has an eigenvalue exactly 1
+// whose right eigenvector is the orbit tangent u1(0) = ẋs(0); all other
+// multipliers lie strictly inside the unit circle for a stable orbit. The
+// perturbation projection vector (PPV) v1(t) — the periodic solution of the
+// adjoint variational DAE, normalized v1ᵀ(t)·C(t)·u1(t) = 1 — measures how
+// a perturbation at time t converts into permanent phase deviation.
+#pragma once
+
+#include <vector>
+
+#include "analysis/shooting.hpp"
+#include "circuit/mna.hpp"
+#include "numeric/dense.hpp"
+
+namespace rfic::phasenoise {
+
+using analysis::PSSResult;
+using circuit::MnaSystem;
+using numeric::CVec;
+using numeric::RMat;
+using numeric::RVec;
+
+struct FloquetDecomposition {
+  std::vector<Complex> multipliers;  ///< eigenvalues of the monodromy matrix
+  std::size_t oscillatoryIndex = 0;  ///< index of the multiplier nearest 1
+  /// Orbit tangent u1(t_k) = ẋs(t_k) at every trajectory sample.
+  std::vector<RVec> tangent;
+  /// PPV v1(t_k) at every trajectory sample, normalized v1ᵀ C u1 = 1.
+  std::vector<RVec> ppv;
+  /// Max deviation of the biorthogonality product v1ᵀ C u1 from 1 along the
+  /// orbit — a numerical quality indicator.
+  Real normalizationDefect = 0;
+};
+
+/// Compute multipliers, tangent, and PPV from a converged autonomous PSS.
+/// Requires C(x) nonsingular along the orbit (every node needs dynamics —
+/// the natural situation for oscillator cores).
+FloquetDecomposition floquetDecompose(const MnaSystem& sys,
+                                      const PSSResult& pss);
+
+}  // namespace rfic::phasenoise

@@ -1,0 +1,84 @@
+#include "phasenoise/jitter_mc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/transient.hpp"
+#include "numeric/qr.hpp"
+
+namespace rfic::phasenoise {
+
+namespace {
+
+// Rising crossing times of x[idx] through `level` in a stored transient.
+std::vector<Real> risingCrossings(const analysis::TransientResult& tr,
+                                  std::size_t idx, Real level) {
+  std::vector<Real> out;
+  for (std::size_t k = 1; k < tr.x.size(); ++k) {
+    const Real a = tr.x[k - 1][idx] - level;
+    const Real b = tr.x[k][idx] - level;
+    if (a < 0 && b >= 0) {
+      const Real w = a / (a - b);
+      out.push_back(tr.time[k - 1] + w * (tr.time[k] - tr.time[k - 1]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JitterMCResult monteCarloJitter(const MnaSystem& sys, const PSSResult& pss,
+                                std::size_t crossingIndex, Real level,
+                                Real cTheory, const JitterMCOptions& opts) {
+  RFIC_REQUIRE(pss.converged, "monteCarloJitter: PSS did not converge");
+  JitterMCResult res;
+  res.theoreticalSlope = cTheory * opts.noiseScale * pss.period;
+
+  analysis::TransientOptions to;
+  to.tstart = 0;
+  to.tstop = pss.period * static_cast<Real>(opts.cycles);
+  to.dt = pss.period / static_cast<Real>(opts.stepsPerCycle);
+  to.noiseScale = opts.noiseScale;
+
+  std::vector<std::vector<Real>> crossings;
+  crossings.reserve(opts.paths);
+  std::size_t minCount = SIZE_MAX;
+  for (std::size_t p = 0; p < opts.paths; ++p) {
+    const auto tr = analysis::runNoisyTransient(sys, pss.x0, to,
+                                                opts.seed + 7919 * p);
+    if (!tr.ok) continue;
+    auto cr = risingCrossings(tr, crossingIndex, level);
+    if (cr.size() < 4) continue;
+    minCount = std::min(minCount, cr.size());
+    crossings.push_back(std::move(cr));
+  }
+  res.usedPaths = crossings.size();
+  RFIC_REQUIRE(res.usedPaths >= 8 && minCount != SIZE_MAX,
+               "monteCarloJitter: too few successful paths");
+
+  // Variance of the k-th crossing time across the ensemble.
+  for (std::size_t k = 0; k < minCount; ++k) {
+    Real mean = 0;
+    for (const auto& cr : crossings) mean += cr[k];
+    mean /= static_cast<Real>(crossings.size());
+    Real var = 0;
+    for (const auto& cr : crossings) var += (cr[k] - mean) * (cr[k] - mean);
+    var /= static_cast<Real>(crossings.size() - 1);
+    res.cycleIndex.push_back(static_cast<Real>(k));
+    res.crossingVar.push_back(var);
+  }
+
+  // Least-squares line var ≈ slope·k + b.
+  numeric::RMat a(res.cycleIndex.size(), 2);
+  numeric::RVec rhs(res.cycleIndex.size());
+  for (std::size_t i = 0; i < res.cycleIndex.size(); ++i) {
+    a(i, 0) = res.cycleIndex[i];
+    a(i, 1) = 1.0;
+    rhs[i] = res.crossingVar[i];
+  }
+  const numeric::RVec fit = numeric::leastSquares(a, rhs);
+  res.slopePerCycle = fit[0];
+  return res;
+}
+
+}  // namespace rfic::phasenoise

@@ -1,0 +1,45 @@
+// Monte-Carlo jitter validation.
+//
+// Substitution for the paper's comparison against measured oscillators
+// (documented in DESIGN.md): an ensemble of noisy transient runs of the
+// same oscillator provides the ground truth. The variance of the k-th
+// threshold-crossing time across the ensemble should grow linearly with k,
+// with slope c·T per cycle — the central quantitative prediction of the
+// Section 3 theory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/shooting.hpp"
+#include "circuit/mna.hpp"
+
+namespace rfic::phasenoise {
+
+using analysis::PSSResult;
+using circuit::MnaSystem;
+
+struct JitterMCOptions {
+  std::size_t paths = 64;          ///< ensemble size
+  std::size_t cycles = 40;         ///< oscillation periods per path
+  std::size_t stepsPerCycle = 400; ///< BE steps per period
+  Real noiseScale = 1.0;           ///< multiplies every device PSD
+  std::uint64_t seed = 12345;
+};
+
+struct JitterMCResult {
+  std::vector<Real> cycleIndex;     ///< k = 1..K with enough surviving paths
+  std::vector<Real> crossingVar;    ///< var over paths of the k-th crossing
+  Real slopePerCycle = 0;           ///< least-squares slope of var(k) [s²]
+  Real theoreticalSlope = 0;        ///< c·T from the PPV analysis [s²]
+  std::size_t usedPaths = 0;
+};
+
+/// Run the ensemble and compare against cTheory·T (pass the c obtained from
+/// analyzeOscillatorPhaseNoise; noiseScale multiplies the device PSDs in
+/// the transient AND scales the theoretical slope accordingly).
+JitterMCResult monteCarloJitter(const MnaSystem& sys, const PSSResult& pss,
+                                std::size_t crossingIndex, Real level,
+                                Real cTheory, const JitterMCOptions& opts);
+
+}  // namespace rfic::phasenoise

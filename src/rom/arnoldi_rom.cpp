@@ -1,0 +1,51 @@
+#include "rom/arnoldi_rom.hpp"
+
+#include <cmath>
+
+namespace rfic::rom {
+
+ArnoldiResult arnoldiReduce(const DescriptorSystem& sys, Real s0,
+                            std::size_t q) {
+  RFIC_REQUIRE(q >= 1 && q <= sys.n, "arnoldiReduce: bad order");
+  const ExpansionOperator op(sys, s0);
+
+  ArnoldiResult res;
+  const Real rho = numeric::norm2(op.r());
+  RFIC_REQUIRE(rho > 0, "arnoldiReduce: zero input vector");
+
+  std::vector<RVec>& v = res.basis;
+  v.push_back(op.r());
+  v[0] *= 1.0 / rho;
+
+  std::vector<RVec> av;
+  std::size_t achieved = 1;
+  for (std::size_t j = 0; j + 1 < q; ++j) {
+    av.push_back(op.apply(v[j]));
+    RVec vh = av.back();
+    // Modified Gram-Schmidt, twice for robustness.
+    for (int pass = 0; pass < 2; ++pass)
+      for (std::size_t i = 0; i <= j; ++i)
+        numeric::axpy(-numeric::dot(v[i], vh), v[i], vh);
+    const Real h = numeric::norm2(vh);
+    if (h < 1e-300) break;  // invariant subspace reached
+    vh *= 1.0 / h;
+    v.push_back(std::move(vh));
+    achieved = j + 2;
+  }
+  av.push_back(op.apply(v[achieved - 1]));
+
+  res.achievedOrder = achieved;
+  res.rom.s0 = s0;
+  res.rom.t = numeric::RMat(achieved, achieved);
+  for (std::size_t j = 0; j < achieved; ++j)
+    for (std::size_t i = 0; i < achieved; ++i)
+      res.rom.t(i, j) = numeric::dot(v[i], av[j]);
+  res.rom.inWeight = RVec(achieved);
+  res.rom.inWeight[0] = rho;
+  res.rom.outWeight = RVec(achieved);
+  for (std::size_t i = 0; i < achieved; ++i)
+    res.rom.outWeight[i] = numeric::dot(v[i], sys.l);
+  return res;
+}
+
+}  // namespace rfic::rom

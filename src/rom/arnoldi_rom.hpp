@@ -1,0 +1,24 @@
+// One-sided Arnoldi reduction (Section 5, [2, 6, 34, 42]).
+//
+// Orthonormal Krylov basis V of K_q(A, r); reduced model
+//   H_q(s0 + σ) = (Vᵀl)ᵀ·(I + σ·H_q)⁻¹·(‖r‖·e1),  H_q = Vᵀ·A·V.
+// Matches q moments — half of PVL's 2q for the same work, the comparison
+// the paper quantifies ("they match twice as many moments as the Arnoldi
+// algorithm").
+#pragma once
+
+#include "rom/pvl.hpp"
+
+namespace rfic::rom {
+
+struct ArnoldiResult {
+  ReducedOrderModel rom;
+  std::size_t achievedOrder = 0;
+  /// Orthonormal basis (kept for PRIMA-style congruence projection).
+  std::vector<RVec> basis;
+};
+
+ArnoldiResult arnoldiReduce(const DescriptorSystem& sys, Real s0,
+                            std::size_t q);
+
+}  // namespace rfic::rom

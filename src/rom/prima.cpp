@@ -1,0 +1,86 @@
+#include "rom/prima.hpp"
+
+#include <cmath>
+
+#include "numeric/eig.hpp"
+#include "numeric/lu.hpp"
+
+namespace rfic::rom {
+
+Complex PrimaModel::transfer(Complex s) const {
+  const std::size_t q = order();
+  numeric::CMat a(q, q);
+  for (std::size_t i = 0; i < q; ++i)
+    for (std::size_t j = 0; j < q; ++j)
+      a(i, j) = Complex(gHat(i, j), 0.0) + s * cHat(i, j);
+  numeric::CVec rhs(q);
+  for (std::size_t i = 0; i < q; ++i) rhs[i] = bHat[i];
+  const numeric::CVec x = numeric::solveDense(std::move(a), rhs);
+  Complex y = 0;
+  for (std::size_t i = 0; i < q; ++i) y += lHat[i] * x[i];
+  return y;
+}
+
+std::vector<Complex> PrimaModel::poles() const {
+  const numeric::RMat m = numeric::inverse(cHat) * gHat;
+  const numeric::CVec eig = numeric::eigenvalues(m);
+  std::vector<Complex> p(eig.size());
+  for (std::size_t i = 0; i < eig.size(); ++i) p[i] = -eig[i];
+  return p;
+}
+
+bool PrimaModel::polesStable(Real tol) const {
+  for (const Complex& p : poles())
+    if (p.real() > tol) return false;
+  return true;
+}
+
+std::vector<Real> PrimaModel::moments(std::size_t count) const {
+  // Moments of the reduced system about s0, computed the same way as the
+  // full system's: Â = K̂⁻¹Ĉ, r̂ = K̂⁻¹b̂, m_k = l̂ᵀÂᵏr̂.
+  const std::size_t q = order();
+  numeric::RMat k = gHat;
+  for (std::size_t i = 0; i < q; ++i)
+    for (std::size_t j = 0; j < q; ++j) k(i, j) += s0 * cHat(i, j);
+  const numeric::LU<Real> lu(std::move(k));
+  RVec v = lu.solve(bHat);
+  std::vector<Real> m;
+  m.reserve(count);
+  for (std::size_t kk = 0; kk < count; ++kk) {
+    m.push_back(numeric::dot(lHat, v));
+    if (kk + 1 < count) v = lu.solve(cHat * v);
+  }
+  return m;
+}
+
+PrimaModel primaReduce(const DescriptorSystem& sys, Real s0, std::size_t q) {
+  const ArnoldiResult arn = arnoldiReduce(sys, s0, q);
+  const auto& x = arn.basis;
+  const std::size_t qa = x.size();
+
+  PrimaModel m;
+  m.s0 = s0;
+  m.gHat = numeric::RMat(qa, qa);
+  m.cHat = numeric::RMat(qa, qa);
+  m.bHat = RVec(qa);
+  m.lHat = RVec(qa);
+
+  // Congruence projections of the sparse G, C.
+  std::vector<RVec> gx(qa), cx(qa);
+  const sparse::RCSR g(sys.G), c(sys.C);
+  for (std::size_t j = 0; j < qa; ++j) {
+    gx[j] = g * x[j];
+    cx[j] = c * x[j];
+  }
+  for (std::size_t i = 0; i < qa; ++i) {
+    for (std::size_t j = 0; j < qa; ++j) {
+      m.gHat(i, j) = numeric::dot(x[i], gx[j]);
+      m.cHat(i, j) = numeric::dot(x[i], cx[j]);
+    }
+    m.bHat[i] = numeric::dot(x[i], sys.b);
+    m.lHat[i] = numeric::dot(x[i], sys.l);
+  }
+  return m;
+}
+
+}  // namespace rfic::rom

@@ -1,0 +1,31 @@
+// PRIMA-style passive congruence reduction (Section 5, [34]).
+//
+// Projects G and C themselves with the orthonormal Krylov basis X:
+//   Ĝ = XᵀGX, Ĉ = XᵀCX, b̂ = Xᵀb, l̂ = Xᵀl.
+// For RC/RLC networks in passive MNA form the congruence preserves the
+// definiteness of G and C and hence passivity — the remedy the paper
+// mentions for Lanczos occasionally producing non-passive reduced models.
+// Costs the same Krylov work as Arnoldi and matches q moments.
+#pragma once
+
+#include "rom/arnoldi_rom.hpp"
+
+namespace rfic::rom {
+
+struct PrimaModel {
+  Real s0 = 0;
+  numeric::RMat gHat, cHat;
+  RVec bHat, lHat;
+
+  std::size_t order() const { return gHat.rows(); }
+  Complex transfer(Complex s) const;
+  /// Poles: eigenvalues of −Ĉ⁻¹Ĝ (requires invertible Ĉ).
+  std::vector<Complex> poles() const;
+  /// True if every pole has a non-positive real part.
+  bool polesStable(Real tol = 1e-9) const;
+  std::vector<Real> moments(std::size_t count) const;
+};
+
+PrimaModel primaReduce(const DescriptorSystem& sys, Real s0, std::size_t q);
+
+}  // namespace rfic::rom

@@ -1,0 +1,117 @@
+#include "rom/pvl.hpp"
+
+#include <cmath>
+
+#include "numeric/eig.hpp"
+#include "numeric/lu.hpp"
+
+namespace rfic::rom {
+
+Complex ReducedOrderModel::transfer(Complex s) const {
+  const std::size_t q = order();
+  const Complex sigma = s - s0;
+  numeric::CMat a(q, q);
+  for (std::size_t i = 0; i < q; ++i) {
+    for (std::size_t j = 0; j < q; ++j) a(i, j) = sigma * t(i, j);
+    a(i, i) += 1.0;
+  }
+  numeric::CVec rhs(q);
+  for (std::size_t i = 0; i < q; ++i) rhs[i] = inWeight[i];
+  const numeric::CVec x = numeric::solveDense(std::move(a), rhs);
+  Complex y = 0;
+  for (std::size_t i = 0; i < q; ++i) y += outWeight[i] * x[i];
+  return y;
+}
+
+std::vector<Real> ReducedOrderModel::moments(std::size_t count) const {
+  std::vector<Real> m;
+  m.reserve(count);
+  RVec v = inWeight;
+  for (std::size_t k = 0; k < count; ++k) {
+    m.push_back(numeric::dot(outWeight, v));
+    if (k + 1 < count) v = t * v;
+  }
+  return m;
+}
+
+std::vector<Complex> ReducedOrderModel::poles() const {
+  const numeric::CVec eig = numeric::eigenvalues(t);
+  std::vector<Complex> p;
+  p.reserve(eig.size());
+  for (std::size_t i = 0; i < eig.size(); ++i) {
+    if (std::abs(eig[i]) < 1e-14) continue;  // pole at infinity
+    p.push_back(Complex(s0, 0.0) - 1.0 / eig[i]);
+  }
+  return p;
+}
+
+PVLResult pvl(const DescriptorSystem& sys, Real s0, std::size_t q) {
+  RFIC_REQUIRE(q >= 1 && q <= sys.n, "pvl: bad order");
+  const ExpansionOperator op(sys, s0);
+
+  PVLResult res;
+  const Real rho = numeric::norm2(op.r());
+  const Real eta = numeric::norm2(sys.l);
+  RFIC_REQUIRE(rho > 0 && eta > 0, "pvl: zero input or output vector");
+
+  std::vector<RVec> v, w;
+  std::vector<Real> delta;
+  v.push_back(op.r());
+  v[0] *= 1.0 / rho;
+  w.push_back(sys.l);
+  w[0] *= 1.0 / eta;
+  delta.push_back(numeric::dot(w[0], v[0]));
+  if (std::abs(delta[0]) < 1e-14) {
+    res.breakdown = true;
+    return res;
+  }
+
+  // Build the biorthogonal bases with full rebiorthogonalization. With the
+  // full pass the three-term coupling coefficients are redundant; the
+  // reduced matrix is computed afterwards as the exact oblique projection
+  //   T = D⁻¹·Wᵀ·A·V,  D = diag(w_iᵀ v_i),
+  // which is tridiagonal in exact arithmetic (the Lanczos identity) and
+  // matches 2q moments regardless of rounding.
+  std::vector<RVec> av;  // A·v_j, reused for T
+  std::size_t achieved = 1;
+  for (std::size_t j = 0; j + 1 < q; ++j) {
+    av.push_back(op.apply(v[j]));
+    RVec vh = av.back();
+    RVec wh = op.applyTransposed(w[j]);
+    for (std::size_t i = 0; i <= j; ++i) {
+      numeric::axpy(-numeric::dot(w[i], vh) / delta[i], v[i], vh);
+      numeric::axpy(-numeric::dot(v[i], wh) / delta[i], w[i], wh);
+    }
+    const Real gamma = numeric::norm2(vh);
+    const Real omega = numeric::norm2(wh);
+    if (gamma < 1e-300 || omega < 1e-300) break;  // invariant subspace
+    vh *= 1.0 / gamma;
+    wh *= 1.0 / omega;
+    const Real dNew = numeric::dot(wh, vh);
+    if (std::abs(dNew) < 1e-13) {
+      res.breakdown = true;  // serious breakdown; no look-ahead
+      break;
+    }
+    v.push_back(std::move(vh));
+    w.push_back(std::move(wh));
+    delta.push_back(dNew);
+    achieved = j + 2;
+  }
+  av.push_back(op.apply(v[achieved - 1]));
+
+  res.achievedOrder = achieved;
+  numeric::RMat tq(achieved, achieved);
+  for (std::size_t jj = 0; jj < achieved; ++jj)
+    for (std::size_t i = 0; i < achieved; ++i)
+      tq(i, jj) = numeric::dot(w[i], av[jj]) / delta[i];
+
+  res.rom.s0 = s0;
+  res.rom.t = std::move(tq);
+  res.rom.inWeight = RVec(achieved);
+  res.rom.outWeight = RVec(achieved);
+  res.rom.inWeight[0] = 1.0;
+  res.rom.outWeight[0] = rho * eta * delta[0];
+  return res;
+}
+
+}  // namespace rfic::rom

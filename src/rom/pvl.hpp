@@ -1,0 +1,48 @@
+// PVL — Padé via Lanczos (Section 5, [8, 9]).
+//
+// The nonsymmetric Lanczos process biorthogonalizes Krylov sequences of
+// A = (G + s0·C)⁻¹C and Aᵀ, producing a tridiagonal T_q whose Padé-type
+// approximant  H_q(s0 + σ) = (lᵀr)·e1ᵀ(I + σ·T_q)⁻¹·e1  matches the first
+// **2q** moments of H — twice as many per iteration as one-sided Arnoldi,
+// the efficiency claim the paper makes for Lanczos-based reduction. The
+// trade-off (also noted in the paper): the reduced model of a passive
+// network is not guaranteed passive; see rom/prima.hpp for the congruence
+// alternative.
+#pragma once
+
+#include "rom/linear_system.hpp"
+
+namespace rfic::rom {
+
+/// Reduced-order model produced by PVL or Arnoldi reduction.
+struct ReducedOrderModel {
+  Real s0 = 0;        ///< expansion point
+  numeric::RMat t;    ///< q×q reduced matrix (tridiagonal for PVL)
+  RVec inWeight;      ///< q-vector: reduced input (e1-scaled)
+  RVec outWeight;     ///< q-vector: reduced output
+
+  std::size_t order() const { return t.rows(); }
+
+  /// H_q(s) = outᵀ·(I + (s − s0)·T)⁻¹·in
+  Complex transfer(Complex s) const;
+
+  /// Approximate moments m_k = outᵀ·T^k·in — compare with exactMoments().
+  std::vector<Real> moments(std::size_t count) const;
+
+  /// Poles of the approximant: s = s0 − 1/λ for each eigenvalue λ of T.
+  std::vector<Complex> poles() const;
+};
+
+struct PVLResult {
+  ReducedOrderModel rom;
+  bool breakdown = false;    ///< serious Lanczos breakdown before order q
+  std::size_t achievedOrder = 0;
+};
+
+/// Run q steps of two-sided Lanczos about s0. Uses full
+/// rebiorthogonalization (orders are small in practice); exact breakdowns
+/// (wᵀv ≈ 0) terminate early with the order achieved so far — look-ahead
+/// is not implemented.
+PVLResult pvl(const DescriptorSystem& sys, Real s0, std::size_t q);
+
+}  // namespace rfic::rom

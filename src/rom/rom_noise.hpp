@@ -1,0 +1,43 @@
+// ROM-accelerated noise evaluation (Section 5, [7] — Feldmann & Freund,
+// ICCAD 1997: "Circuit noise evaluation by Padé approximation based model
+// reduction").
+//
+// The output noise PSD of a linear(ized) network with many embedded noise
+// current sources is Σᵢ |Hᵢ(j2πf)|²·Sᵢ(f). Evaluating it directly costs one
+// sparse factorization per frequency point; reducing each source-to-output
+// transfer with PVL first compresses the entire noise behaviour of the
+// block into a handful of small models that are practically free to sweep —
+// and can be reused hierarchically in system-level simulation.
+#pragma once
+
+#include <vector>
+
+#include "rom/pvl.hpp"
+
+namespace rfic::rom {
+
+/// One embedded noise source: injection vector + one-sided white PSD.
+struct NoiseInput {
+  RVec injection;  ///< b-vector of the source (size n)
+  Real psd = 0;    ///< A²/Hz
+  std::string label;
+};
+
+struct RomNoiseResult {
+  std::vector<Real> freq;
+  std::vector<Real> directPsd;  ///< exact sweep [V²/Hz]
+  std::vector<Real> romPsd;     ///< ROM sweep [V²/Hz]
+  Real maxRelError = 0;
+  Real directSeconds = 0;
+  Real romSeconds = 0;  ///< includes ROM construction
+  std::size_t order = 0;
+};
+
+/// Compare direct and ROM-based output-noise sweeps on `sys` (the system's
+/// own b is ignored; `l` is the output). `q` is the PVL order per source.
+RomNoiseResult noiseViaROM(const DescriptorSystem& sys,
+                           const std::vector<NoiseInput>& sources,
+                           const std::vector<Real>& freqs, Real s0,
+                           std::size_t q);
+
+}  // namespace rfic::rom

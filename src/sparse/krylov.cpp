@@ -1,0 +1,277 @@
+#include "sparse/krylov.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace rfic::sparse {
+
+namespace {
+
+inline Real conjIfComplex(Real v) { return v; }
+inline Complex conjIfComplex(const Complex& v) { return std::conj(v); }
+
+template <class T>
+void applyOrCopy(const LinearOperator<T>* prec, const Vec<T>& x, Vec<T>& y) {
+  if (prec) {
+    y.resize(x.size());
+    prec->apply(x, y);
+  } else {
+    y = x;
+  }
+}
+
+}  // namespace
+
+template <class T>
+IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
+                      const LinearOperator<T>* rightPrec,
+                      const IterativeOptions& opts) {
+  const std::size_t n = a.dim();
+  RFIC_REQUIRE(b.size() == n, "gmres: rhs size mismatch");
+  if (x.size() != n) x = Vec<T>(n);
+
+  const Real bnorm = numeric::norm2(b);
+  IterativeResult res;
+  if (bnorm == 0) {
+    x.setZero();
+    res.converged = true;
+    return res;
+  }
+  const Real target = opts.tolerance * bnorm;
+
+  const std::size_t m = std::max<std::size_t>(1, opts.restart);
+  std::vector<Vec<T>> v;  // Arnoldi basis
+  numeric::Mat<T> h(m + 1, m);
+  std::vector<T> cs(m), sn(m), g(m + 1);
+  Vec<T> w(n), tmp(n);
+
+  std::size_t totalIt = 0;
+  while (totalIt < opts.maxIterations) {
+    // r = b - A x  (A applied to the true x; preconditioning is right-sided)
+    a.apply(x, w);
+    Vec<T> r = b;
+    r -= w;
+    Real beta = numeric::norm2(r);
+    res.residualNorm = beta;
+    if (beta <= target) {
+      res.converged = true;
+      return res;
+    }
+
+    v.assign(1, r);
+    v[0] *= T(1.0 / beta);
+    std::fill(g.begin(), g.end(), T{});
+    g[0] = beta;
+    h.setZero();
+
+    std::size_t j = 0;
+    for (; j < m && totalIt < opts.maxIterations; ++j, ++totalIt) {
+      // w = A M^{-1} v_j
+      applyOrCopy(rightPrec, v[j], tmp);
+      a.apply(tmp, w);
+      // Modified Gram-Schmidt.
+      for (std::size_t i = 0; i <= j; ++i) {
+        const T hij = numeric::dot(v[i], w);
+        h(i, j) = hij;
+        numeric::axpy(-hij, v[i], w);
+      }
+      const Real wnorm = numeric::norm2(w);
+      h(j + 1, j) = wnorm;
+      if (wnorm > 0) {
+        Vec<T> vj1 = w;
+        vj1 *= T(1.0 / wnorm);
+        v.push_back(std::move(vj1));
+      }
+      // Apply accumulated Givens rotations to the new column.
+      for (std::size_t i = 0; i < j; ++i) {
+        const T t1 = h(i, j), t2 = h(i + 1, j);
+        h(i, j) = conjIfComplex(cs[i]) * t1 + conjIfComplex(sn[i]) * t2;
+        h(i + 1, j) = -sn[i] * t1 + cs[i] * t2;
+      }
+      // New rotation to annihilate h(j+1, j).
+      const T f = h(j, j), gg = h(j + 1, j);
+      const Real denom = std::sqrt(std::norm(Complex(f)) + std::norm(Complex(gg)));
+      if (denom == 0) {
+        cs[j] = T(1);
+        sn[j] = T(0);
+      } else {
+        cs[j] = f / static_cast<T>(denom) ;
+        sn[j] = gg / static_cast<T>(denom);
+      }
+      h(j, j) = conjIfComplex(cs[j]) * f + conjIfComplex(sn[j]) * gg;
+      h(j + 1, j) = T(0);
+      const T t = g[j];
+      g[j] = conjIfComplex(cs[j]) * t;
+      g[j + 1] = -sn[j] * t;
+      res.residualNorm = std::abs(g[j + 1]);
+      ++res.iterations;
+      if (res.residualNorm <= target || wnorm == 0) {
+        ++j;
+        break;
+      }
+    }
+
+    // Solve the small triangular system and update x.
+    std::vector<T> y(j);
+    for (std::size_t i = j; i-- > 0;) {
+      T s = g[i];
+      for (std::size_t k = i + 1; k < j; ++k) s -= h(i, k) * y[k];
+      y[i] = s / h(i, i);
+    }
+    Vec<T> du(n);
+    for (std::size_t i = 0; i < j; ++i) numeric::axpy(y[i], v[i], du);
+    applyOrCopy(rightPrec, du, tmp);
+    x += tmp;
+
+    if (res.residualNorm <= target) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+template <class T>
+IterativeResult bicgstab(const LinearOperator<T>& a, const Vec<T>& b,
+                         Vec<T>& x, const LinearOperator<T>* rightPrec,
+                         const IterativeOptions& opts) {
+  const std::size_t n = a.dim();
+  RFIC_REQUIRE(b.size() == n, "bicgstab: rhs size mismatch");
+  if (x.size() != n) x = Vec<T>(n);
+
+  IterativeResult res;
+  const Real bnorm = numeric::norm2(b);
+  if (bnorm == 0) {
+    x.setZero();
+    res.converged = true;
+    return res;
+  }
+  const Real target = opts.tolerance * bnorm;
+
+  Vec<T> r(n), rhat(n), p(n), vv(n), s(n), t(n), phat(n), shat(n);
+  a.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  rhat = r;
+  T rho = T(1), alpha = T(1), omega = T(1);
+  p.setZero();
+  vv.setZero();
+
+  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    const T rhoNew = numeric::dot(rhat, r);
+    if (std::abs(rhoNew) < 1e-300) break;  // breakdown
+    if (it == 0) {
+      p = r;
+    } else {
+      const T beta = (rhoNew / rho) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i)
+        p[i] = r[i] + beta * (p[i] - omega * vv[i]);
+    }
+    rho = rhoNew;
+    applyOrCopy(rightPrec, p, phat);
+    a.apply(phat, vv);
+    alpha = rho / numeric::dot(rhat, vv);
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * vv[i];
+    res.residualNorm = numeric::norm2(s);
+    ++res.iterations;
+    if (res.residualNorm <= target) {
+      numeric::axpy(alpha, phat, x);
+      res.converged = true;
+      return res;
+    }
+    applyOrCopy(rightPrec, s, shat);
+    a.apply(shat, t);
+    const Real tn = numeric::norm2(t);
+    if (tn == 0) break;
+    omega = numeric::dot(t, s) / static_cast<T>(tn * tn);
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] += alpha * phat[i] + omega * shat[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
+    res.residualNorm = numeric::norm2(r);
+    if (res.residualNorm <= target) {
+      res.converged = true;
+      return res;
+    }
+    if (std::abs(omega) < 1e-300) break;
+  }
+  return res;
+}
+
+IterativeResult conjugateGradient(const LinearOperator<Real>& a,
+                                  const Vec<Real>& b, Vec<Real>& x,
+                                  const IterativeOptions& opts) {
+  const std::size_t n = a.dim();
+  RFIC_REQUIRE(b.size() == n, "cg: rhs size mismatch");
+  if (x.size() != n) x = Vec<Real>(n);
+
+  IterativeResult res;
+  const Real bnorm = numeric::norm2(b);
+  if (bnorm == 0) {
+    x.setZero();
+    res.converged = true;
+    return res;
+  }
+  const Real target = opts.tolerance * bnorm;
+
+  Vec<Real> r(n), p(n), ap(n);
+  a.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  p = r;
+  Real rs = numeric::dot(r, r);
+  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    a.apply(p, ap);
+    const Real alpha = rs / numeric::dot(p, ap);
+    numeric::axpy(alpha, p, x);
+    numeric::axpy(-alpha, ap, r);
+    const Real rsNew = numeric::dot(r, r);
+    res.residualNorm = std::sqrt(rsNew);
+    ++res.iterations;
+    if (res.residualNorm <= target) {
+      res.converged = true;
+      return res;
+    }
+    p *= rsNew / rs;
+    p += r;
+    rs = rsNew;
+  }
+  return res;
+}
+
+template <class T>
+JacobiPreconditioner<T>::JacobiPreconditioner(const CSR<T>& a)
+    : invDiag_(a.rows(), T(1)) {
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t p = a.rowPtr()[r]; p < a.rowPtr()[r + 1]; ++p) {
+      if (a.colIdx()[p] == r && a.values()[p] != T{}) {
+        invDiag_[r] = T(1) / a.values()[p];
+        break;
+      }
+    }
+  }
+}
+
+template <class T>
+void JacobiPreconditioner<T>::apply(const Vec<T>& x, Vec<T>& y) const {
+  y.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = invDiag_[i] * x[i];
+}
+
+template IterativeResult gmres<Real>(const LinearOperator<Real>&,
+                                     const Vec<Real>&, Vec<Real>&,
+                                     const LinearOperator<Real>*,
+                                     const IterativeOptions&);
+template IterativeResult gmres<Complex>(const LinearOperator<Complex>&,
+                                        const Vec<Complex>&, Vec<Complex>&,
+                                        const LinearOperator<Complex>*,
+                                        const IterativeOptions&);
+template IterativeResult bicgstab<Real>(const LinearOperator<Real>&,
+                                        const Vec<Real>&, Vec<Real>&,
+                                        const LinearOperator<Real>*,
+                                        const IterativeOptions&);
+template IterativeResult bicgstab<Complex>(const LinearOperator<Complex>&,
+                                           const Vec<Complex>&, Vec<Complex>&,
+                                           const LinearOperator<Complex>*,
+                                           const IterativeOptions&);
+template class JacobiPreconditioner<Real>;
+template class JacobiPreconditioner<Complex>;
+
+}  // namespace rfic::sparse

@@ -1,0 +1,133 @@
+// Krylov-subspace iterative solvers over a matrix-free operator interface.
+//
+// These are the "iterative linear algebra techniques" the paper's Section
+// 2.1 credits with making harmonic balance viable for full RF ICs: the HB
+// Jacobian is never formed — only its action on a vector (computed with
+// FFTs) is supplied, and GMRES with a block-diagonal preconditioner solves
+// the Newton update. The same machinery serves the IES³-compressed MoM
+// systems of Section 4.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "numeric/dense.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace rfic::sparse {
+
+using numeric::Vec;
+
+/// Abstract linear operator y = A·x of dimension dim()×dim().
+template <class T>
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+  virtual std::size_t dim() const = 0;
+  virtual void apply(const Vec<T>& x, Vec<T>& y) const = 0;
+};
+
+/// Wrap a callable as a LinearOperator.
+template <class T>
+class FunctionOperator final : public LinearOperator<T> {
+ public:
+  using Fn = std::function<void(const Vec<T>&, Vec<T>&)>;
+  FunctionOperator(std::size_t n, Fn fn) : n_(n), fn_(std::move(fn)) {}
+  std::size_t dim() const override { return n_; }
+  void apply(const Vec<T>& x, Vec<T>& y) const override { fn_(x, y); }
+
+ private:
+  std::size_t n_;
+  Fn fn_;
+};
+
+/// View a CSR matrix as a LinearOperator (no copy; the matrix must outlive
+/// the operator).
+template <class T>
+class CSROperator final : public LinearOperator<T> {
+ public:
+  explicit CSROperator(const CSR<T>& a) : a_(a) {}
+  std::size_t dim() const override { return a_.rows(); }
+  void apply(const Vec<T>& x, Vec<T>& y) const override { a_.multiply(x, y); }
+
+ private:
+  const CSR<T>& a_;
+};
+
+/// Iteration report shared by all solvers.
+struct IterativeResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  Real residualNorm = 0;
+};
+
+struct IterativeOptions {
+  Real tolerance = 1e-10;      ///< relative residual target ‖r‖/‖b‖
+  std::size_t maxIterations = 500;
+  std::size_t restart = 60;    ///< GMRES restart length
+};
+
+/// Restarted GMRES(m) with optional right preconditioner M⁻¹ (pass nullptr
+/// for none): solves A·M⁻¹·u = b, x = M⁻¹·u.
+template <class T>
+IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
+                      const LinearOperator<T>* rightPrec = nullptr,
+                      const IterativeOptions& opts = {});
+
+/// BiCGSTAB with optional right preconditioner.
+template <class T>
+IterativeResult bicgstab(const LinearOperator<T>& a, const Vec<T>& b,
+                         Vec<T>& x,
+                         const LinearOperator<T>* rightPrec = nullptr,
+                         const IterativeOptions& opts = {});
+
+/// Unpreconditioned conveniences (avoids nullptr template-deduction
+/// friction at call sites).
+template <class T>
+IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
+                      const IterativeOptions& opts) {
+  return gmres<T>(a, b, x, nullptr, opts);
+}
+template <class T>
+IterativeResult bicgstab(const LinearOperator<T>& a, const Vec<T>& b,
+                         Vec<T>& x, const IterativeOptions& opts) {
+  return bicgstab<T>(a, b, x, nullptr, opts);
+}
+
+/// Conjugate gradients for symmetric positive definite A (real only).
+IterativeResult conjugateGradient(const LinearOperator<Real>& a,
+                                  const Vec<Real>& b, Vec<Real>& x,
+                                  const IterativeOptions& opts = {});
+
+/// Jacobi (diagonal) preconditioner built from a CSR matrix.
+template <class T>
+class JacobiPreconditioner final : public LinearOperator<T> {
+ public:
+  explicit JacobiPreconditioner(const CSR<T>& a);
+  std::size_t dim() const override { return invDiag_.size(); }
+  void apply(const Vec<T>& x, Vec<T>& y) const override;
+
+ private:
+  Vec<T> invDiag_;
+};
+
+extern template IterativeResult gmres<Real>(const LinearOperator<Real>&,
+                                            const Vec<Real>&, Vec<Real>&,
+                                            const LinearOperator<Real>*,
+                                            const IterativeOptions&);
+extern template IterativeResult gmres<Complex>(const LinearOperator<Complex>&,
+                                               const Vec<Complex>&,
+                                               Vec<Complex>&,
+                                               const LinearOperator<Complex>*,
+                                               const IterativeOptions&);
+extern template IterativeResult bicgstab<Real>(const LinearOperator<Real>&,
+                                               const Vec<Real>&, Vec<Real>&,
+                                               const LinearOperator<Real>*,
+                                               const IterativeOptions&);
+extern template IterativeResult bicgstab<Complex>(
+    const LinearOperator<Complex>&, const Vec<Complex>&, Vec<Complex>&,
+    const LinearOperator<Complex>*, const IterativeOptions&);
+extern template class JacobiPreconditioner<Real>;
+extern template class JacobiPreconditioner<Complex>;
+
+}  // namespace rfic::sparse

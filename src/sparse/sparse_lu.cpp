@@ -1,0 +1,195 @@
+#include "sparse/sparse_lu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rfic::sparse {
+
+namespace {
+
+template <class T>
+std::vector<std::vector<std::pair<std::size_t, T>>> gatherRows(
+    const Triplets<T>& a) {
+  RFIC_REQUIRE(a.rows() == a.cols(), "SparseLU: square matrix required");
+  std::vector<std::unordered_map<std::size_t, T>> maps(a.rows());
+  for (const auto& e : a.entries()) maps[e.row][e.col] += e.value;
+  std::vector<std::vector<std::pair<std::size_t, T>>> rows(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    rows[r].assign(maps[r].begin(), maps[r].end());
+  return rows;
+}
+
+template <class T>
+std::vector<std::vector<std::pair<std::size_t, T>>> gatherRows(
+    const CSR<T>& a) {
+  RFIC_REQUIRE(a.rows() == a.cols(), "SparseLU: square matrix required");
+  std::vector<std::vector<std::pair<std::size_t, T>>> rows(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t p = a.rowPtr()[r]; p < a.rowPtr()[r + 1]; ++p)
+      rows[r].emplace_back(a.colIdx()[p], a.values()[p]);
+  }
+  return rows;
+}
+
+}  // namespace
+
+template <class T>
+SparseLU<T>::SparseLU(const Triplets<T>& a, const Options& opts) {
+  factor(gatherRows(a), opts);
+}
+
+template <class T>
+SparseLU<T>::SparseLU(const CSR<T>& a, const Options& opts) {
+  factor(gatherRows(a), opts);
+}
+
+template <class T>
+void SparseLU<T>::factor(
+    std::vector<std::vector<std::pair<std::size_t, T>>> rowsIn,
+    const Options& opts) {
+  n_ = rowsIn.size();
+  std::vector<std::unordered_map<std::size_t, T>> work(n_);
+  std::vector<std::unordered_set<std::size_t>> colRows(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (const auto& [c, v] : rowsIn[r]) {
+      work[r][c] = v;
+      colRows[c].insert(r);
+    }
+    rowsIn[r].clear();
+  }
+  rowsIn.clear();
+
+  std::vector<char> rowActive(n_, 1), colActive(n_, 1);
+  pivRow_.resize(n_);
+  pivCol_.resize(n_);
+  pivVal_.resize(n_);
+  lcol_.assign(n_, {});
+  urow_.assign(n_, {});
+  colStep_.assign(n_, 0);
+
+  auto columnMax = [&](std::size_t c) {
+    Real m = 0;
+    for (std::size_t r : colRows[c])
+      m = std::max(m, std::abs(work[r].at(c)));
+    return m;
+  };
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // --- Pivot selection: minimize Markowitz product among entries whose
+    // magnitude passes the relative threshold against their column max.
+    std::size_t bestR = n_, bestC = n_;
+    std::size_t bestMark = std::numeric_limits<std::size_t>::max();
+    Real bestMag = 0;
+
+    if (opts.preferDiagonal) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (!colActive[j] || !rowActive[j]) continue;
+        const auto it = work[j].find(j);
+        if (it == work[j].end() || it->second == T{}) continue;
+        const std::size_t mark =
+            (work[j].size() - 1) * (colRows[j].size() - 1);
+        if (mark > bestMark) continue;
+        const Real mag = std::abs(it->second);
+        if (mark == bestMark && mag <= bestMag) continue;
+        // Lazy threshold verification — only for improving candidates.
+        if (mag < opts.pivotThreshold * columnMax(j)) continue;
+        bestR = bestC = j;
+        bestMark = mark;
+        bestMag = mag;
+      }
+    }
+    if (bestR == n_) {
+      // No acceptable diagonal — full scan (rare for MNA systems).
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (!colActive[j]) continue;
+        const Real cmax = columnMax(j);
+        if (cmax == 0) continue;
+        for (std::size_t r : colRows[j]) {
+          const T v = work[r].at(j);
+          const Real mag = std::abs(v);
+          if (mag < opts.pivotThreshold * cmax) continue;
+          const std::size_t mark =
+              (work[r].size() - 1) * (colRows[j].size() - 1);
+          if (mark < bestMark || (mark == bestMark && mag > bestMag)) {
+            bestR = r;
+            bestC = j;
+            bestMark = mark;
+            bestMag = mag;
+          }
+        }
+      }
+    }
+    if (bestR == n_) failNumerical("SparseLU: matrix is singular");
+
+    const std::size_t pr = bestR, pc = bestC;
+    const T p = work[pr].at(pc);
+    pivRow_[k] = pr;
+    pivCol_[k] = pc;
+    pivVal_[k] = p;
+    colStep_[pc] = k;
+
+    // Record U row (excluding the pivot entry) and detach the pivot row.
+    auto& urow = urow_[k];
+    urow.reserve(work[pr].size() - 1);
+    for (const auto& [c, v] : work[pr]) {
+      colRows[c].erase(pr);
+      if (c != pc) urow.emplace_back(c, v);
+    }
+
+    // Eliminate below the pivot.
+    auto& lcol = lcol_[k];
+    std::vector<std::size_t> below(colRows[pc].begin(), colRows[pc].end());
+    lcol.reserve(below.size());
+    for (std::size_t i : below) {
+      const T m = work[i].at(pc) / p;
+      lcol.emplace_back(i, m);
+      work[i].erase(pc);
+      for (const auto& [c, u] : urow) {
+        auto [it, inserted] = work[i].try_emplace(c, T{});
+        it->second -= m * u;
+        if (inserted) colRows[c].insert(i);
+      }
+    }
+    colRows[pc].clear();
+    work[pr].clear();
+    rowActive[pr] = 0;
+    colActive[pc] = 0;
+  }
+}
+
+template <class T>
+std::size_t SparseLU<T>::factorNnz() const {
+  std::size_t n = n_;  // pivots
+  for (const auto& v : lcol_) n += v.size();
+  for (const auto& v : urow_) n += v.size();
+  return n;
+}
+
+template <class T>
+Vec<T> SparseLU<T>::solve(const Vec<T>& b) const {
+  RFIC_REQUIRE(b.size() == n_, "SparseLU::solve size mismatch");
+  // Forward: replay the elimination on the right-hand side.
+  Vec<T> y = b;
+  Vec<T> z(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const T zk = y[pivRow_[k]];
+    z[k] = zk;
+    if (zk == T{}) continue;
+    for (const auto& [i, m] : lcol_[k]) y[i] -= m * zk;
+  }
+  // Backward: solve U (in elimination order) and scatter by column perm.
+  Vec<T> x(n_);
+  for (std::size_t k = n_; k-- > 0;) {
+    T s = z[k];
+    for (const auto& [c, u] : urow_[k]) s -= u * x[c];
+    x[pivCol_[k]] = s / pivVal_[k];
+  }
+  return x;
+}
+
+template class SparseLU<Real>;
+template class SparseLU<Complex>;
+
+}  // namespace rfic::sparse

@@ -1,0 +1,90 @@
+#include "sparse/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rfic::sparse {
+
+template <class T>
+CSR<T>::CSR(const Triplets<T>& t) : rows_(t.rows()), cols_(t.cols()) {
+  // Count entries per row, prefix-sum, scatter, then merge duplicates
+  // within each row after sorting by column.
+  const auto& es = t.entries();
+  std::vector<std::size_t> count(rows_ + 1, 0);
+  for (const auto& e : es) ++count[e.row + 1];
+  std::partial_sum(count.begin(), count.end(), count.begin());
+
+  std::vector<std::size_t> cols(es.size());
+  std::vector<T> vals(es.size());
+  {
+    std::vector<std::size_t> next(count.begin(), count.end() - 1);
+    for (const auto& e : es) {
+      const std::size_t p = next[e.row]++;
+      cols[p] = e.col;
+      vals[p] = e.value;
+    }
+  }
+
+  rowPtr_.assign(rows_ + 1, 0);
+  colIdx_.reserve(es.size());
+  val_.reserve(es.size());
+  std::vector<std::size_t> order;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::size_t lo = count[r], hi = count[r + 1];
+    order.resize(hi - lo);
+    std::iota(order.begin(), order.end(), lo);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return cols[a] < cols[b];
+    });
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::size_t p = order[k];
+      if (rowPtr_[r + 1] > 0 && colIdx_.back() == cols[p]) {
+        val_.back() += vals[p];
+      } else {
+        colIdx_.push_back(cols[p]);
+        val_.push_back(vals[p]);
+        ++rowPtr_[r + 1];
+      }
+    }
+    rowPtr_[r + 1] += rowPtr_[r];
+  }
+}
+
+template <class T>
+void CSR<T>::multiply(const Vec<T>& x, Vec<T>& y) const {
+  RFIC_REQUIRE(x.size() == cols_, "CSR::multiply size mismatch");
+  y.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    T s{};
+    for (std::size_t p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p)
+      s += val_[p] * x[colIdx_[p]];
+    y[r] = s;
+  }
+}
+
+template <class T>
+Vec<T> CSR<T>::transposeMultiply(const Vec<T>& x) const {
+  RFIC_REQUIRE(x.size() == rows_, "CSR::transposeMultiply size mismatch");
+  Vec<T> y(cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const T xr = x[r];
+    if (xr == T{}) continue;
+    for (std::size_t p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p)
+      y[colIdx_[p]] += val_[p] * xr;
+  }
+  return y;
+}
+
+template <class T>
+Mat<T> CSR<T>::toDense() const {
+  Mat<T> m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p)
+      m(r, colIdx_[p]) += val_[p];
+  return m;
+}
+
+template class CSR<Real>;
+template class CSR<Complex>;
+
+}  // namespace rfic::sparse

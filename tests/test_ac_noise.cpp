@@ -1,0 +1,175 @@
+// Small-signal AC and stationary noise analyses against closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/ac.hpp"
+#include "analysis/dc.hpp"
+#include "analysis/noise.hpp"
+#include "circuit/devices.hpp"
+#include "circuit/semiconductors.hpp"
+#include "circuit/sources.hpp"
+
+namespace rfic::analysis {
+namespace {
+
+using namespace rfic::circuit;
+using numeric::RVec;
+
+class RCLowpassFreqs : public ::testing::TestWithParam<Real> {};
+
+TEST_P(RCLowpassFreqs, TransferMatchesAnalytic) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  auto& vs = c.add<VSource>("V1", in, -1, br, std::make_shared<DCWave>(0.0));
+  c.add<Resistor>("R1", in, out, 1000.0);
+  c.add<Capacitor>("C1", out, -1, 1e-9);  // fc = 159 kHz
+  MnaSystem sys(c);
+  const Real f = GetParam();
+  const auto u = acStimulusVSource(sys, vs);
+  const auto y = acSolve(sys, RVec(sys.dim(), 0.0), f, u);
+  const Complex h = y[static_cast<std::size_t>(out)];
+  const Complex href = 1.0 / Complex(1.0, kTwoPi * f * 1e-6);
+  EXPECT_NEAR(std::abs(h - href), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, RCLowpassFreqs,
+                         ::testing::Values(1e2, 1e4, 159154.9, 1e6, 1e8));
+
+TEST(AC, RLCResonanceAndQ) {
+  // Series RLC driven by a voltage source; voltage across C peaks near f0
+  // with magnification ≈ Q.
+  Circuit c;
+  const int in = c.node("in"), m = c.node("m"), out = c.node("out");
+  const int brv = c.allocBranch("V1"), brl = c.allocBranch("L1");
+  auto& vs = c.add<VSource>("V1", in, -1, brv, std::make_shared<DCWave>(0.0));
+  c.add<Resistor>("R1", in, m, 10.0);
+  c.add<Inductor>("L1", m, out, brl, 1e-6);
+  c.add<Capacitor>("C1", out, -1, 1e-9);
+  MnaSystem sys(c);
+  const Real f0 = 1.0 / (kTwoPi * std::sqrt(1e-6 * 1e-9));  // ≈ 5.03 MHz
+  const Real q = std::sqrt(1e-6 / 1e-9) / 10.0;              // ≈ 3.16
+  const auto u = acStimulusVSource(sys, vs);
+  const auto y = acSolve(sys, RVec(sys.dim(), 0.0), f0, u);
+  EXPECT_NEAR(std::abs(y[static_cast<std::size_t>(out)]), q, 0.02 * q);
+}
+
+TEST(AC, LinearizedDiodeSmallSignalResistance) {
+  // Biased diode behaves as rd = nVt/Id in small signal.
+  Circuit c;
+  const int in = c.node("in"), a = c.node("a");
+  const int br = c.allocBranch("V1");
+  auto& vs = c.add<VSource>("V1", in, -1, br, std::make_shared<DCWave>(5.0));
+  c.add<Resistor>("R1", in, a, 10000.0);
+  c.add<Diode>("D1", a, -1, Diode::Params{});
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  ASSERT_TRUE(dc.converged);
+  const Real vd = dc.x[static_cast<std::size_t>(a)];
+  const Real id = (5.0 - vd) / 10000.0;
+  const Real rd = kVt300 / id;
+  const auto u = acStimulusVSource(sys, vs);
+  const auto y = acSolve(sys, dc.x, 1.0, u);  // low frequency
+  const Real hExp = rd / (rd + 10000.0);
+  EXPECT_NEAR(std::abs(y[static_cast<std::size_t>(a)]), hExp, 1e-3 * hExp);
+}
+
+TEST(AC, SweepReturnsOnePointPerFrequency) {
+  Circuit c;
+  const int in = c.node("in");
+  const int br = c.allocBranch("V1");
+  auto& vs = c.add<VSource>("V1", in, -1, br, std::make_shared<DCWave>(0.0));
+  c.add<Resistor>("R1", in, -1, 50.0);
+  MnaSystem sys(c);
+  const auto freqs = logspace(1e3, 1e9, 25);
+  const auto sweep = acSweep(sys, RVec(sys.dim(), 0.0), freqs,
+                             acStimulusVSource(sys, vs));
+  EXPECT_EQ(sweep.freq.size(), 25u);
+  EXPECT_EQ(sweep.x.size(), 25u);
+}
+
+TEST(AC, Logspace) {
+  const auto f = logspace(1.0, 1e6, 7);
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_NEAR(f.front(), 1.0, 1e-12);
+  EXPECT_NEAR(f.back(), 1e6, 1e-6);
+  EXPECT_NEAR(f[1] / f[0], 10.0, 1e-9);
+  EXPECT_THROW(logspace(0.0, 10.0, 5), InvalidArgument);
+  EXPECT_THROW(logspace(1.0, 10.0, 1), InvalidArgument);
+}
+
+TEST(Noise, ResistorDividerOutputPSD) {
+  // Two resistors to ground at the output: total output noise is
+  // 4kT·Re{Zout} = 4kT·(R1 ∥ R2).
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<DCWave>(0.0));
+  c.add<Resistor>("R1", in, out, 1000.0);
+  c.add<Resistor>("R2", out, -1, 3000.0);
+  MnaSystem sys(c);
+  const auto nr = noiseAnalysis(sys, RVec(sys.dim(), 0.0), out, {1e3});
+  const Real rpar = 1000.0 * 3000.0 / 4000.0;
+  const Real expct = 4.0 * 1.380649e-23 * 300.0 * rpar;
+  ASSERT_EQ(nr.totalPsd.size(), 1u);
+  EXPECT_NEAR(nr.totalPsd[0], expct, 1e-3 * expct);
+}
+
+TEST(Noise, ContributionsSumToTotal) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<DCWave>(5.0));
+  c.add<Resistor>("R1", in, out, 2000.0);
+  c.add<Diode>("D1", out, -1, Diode::Params{});
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  const auto nr = noiseAnalysis(sys, dc.x, out, {1e3, 1e6});
+  for (std::size_t k = 0; k < nr.freq.size(); ++k) {
+    Real sum = 0;
+    for (const auto& cb : nr.contributions[k]) sum += cb.psd;
+    EXPECT_NEAR(sum, nr.totalPsd[k], 1e-12 * nr.totalPsd[k]);
+  }
+}
+
+TEST(Noise, RCFilterShapesResistorNoise) {
+  // Output PSD of R with shunt C rolls off as 1/(1+(2πfRC)²); integrates to
+  // kT/C. Check the shape at two points.
+  Circuit c;
+  const int out = c.node("out");
+  c.add<Resistor>("R1", out, -1, 100000.0);
+  c.add<Capacitor>("C1", out, -1, 1e-12);
+  MnaSystem sys(c);
+  const Real fc = 1.0 / (kTwoPi * 1e5 * 1e-12);  // 1.59 MHz
+  const auto nr = noiseAnalysis(sys, RVec(sys.dim(), 0.0), out, {1.0, fc});
+  const Real flat = 4.0 * 1.380649e-23 * 300.0 * 1e5;
+  EXPECT_NEAR(nr.totalPsd[0], flat, 1e-3 * flat);
+  EXPECT_NEAR(nr.totalPsd[1], flat / 2.0, 1e-2 * flat);
+}
+
+TEST(Noise, FlickerRisesTowardLowFrequency) {
+  Circuit c;
+  const int in = c.node("in"), a = c.node("a");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<DCWave>(5.0));
+  c.add<Resistor>("R1", in, a, 1000.0);
+  Diode::Params p;
+  p.kf = 1e-12;
+  c.add<Diode>("D1", a, -1, p);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  const auto nr = noiseAnalysis(sys, dc.x, a, {10.0, 1e6});
+  EXPECT_GT(nr.totalPsd[0], 10.0 * nr.totalPsd[1]);
+}
+
+TEST(Noise, GroundOutputRejected) {
+  Circuit c;
+  c.add<Resistor>("R1", c.node("a"), -1, 1000.0);
+  MnaSystem sys(c);
+  EXPECT_THROW(noiseAnalysis(sys, RVec(1, 0.0), -1, {1e3}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfic::analysis

@@ -1,0 +1,179 @@
+// DC operating point: Newton, continuation strategies, and bias points of
+// the semiconductor devices against hand analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/dc.hpp"
+#include "circuit/devices.hpp"
+#include "circuit/semiconductors.hpp"
+#include "circuit/sources.hpp"
+
+namespace rfic::analysis {
+namespace {
+
+using namespace rfic::circuit;
+using numeric::RVec;
+
+TEST(DC, VoltageDivider) {
+  Circuit c;
+  const int in = c.node("in"), mid = c.node("mid");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<DCWave>(10.0));
+  c.add<Resistor>("R1", in, mid, 3000.0);
+  c.add<Resistor>("R2", mid, -1, 1000.0);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  EXPECT_TRUE(dc.converged);
+  EXPECT_EQ(dc.strategy, "newton");
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(mid)], 2.5, 1e-10);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(br)], -10.0 / 4000.0, 1e-12);
+}
+
+TEST(DC, CurrentSourceConvention) {
+  // SPICE convention: I n+ n− pushes current from n+ to n−, so ISource
+  // (gnd → a) raises v(a) = I·R.
+  Circuit c;
+  const int a = c.node("a");
+  c.add<ISource>("I1", -1, a, std::make_shared<DCWave>(2e-3));
+  c.add<Resistor>("R1", a, -1, 1000.0);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(a)], 2.0, 1e-10);
+}
+
+TEST(DC, SeriesDiodeOperatingPoint) {
+  Circuit c;
+  const int in = c.node("in"), a = c.node("a");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<DCWave>(5.0));
+  c.add<Resistor>("R1", in, a, 1000.0);
+  c.add<Diode>("D1", a, -1, Diode::Params{});
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  EXPECT_TRUE(dc.converged);
+  const Real vd = dc.x[static_cast<std::size_t>(a)];
+  // KCL closure: (5 − vd)/R = Id(vd) to high accuracy.
+  const Real ir = (5.0 - vd) / 1000.0;
+  const Real id = Diode("ref", 0, 1, Diode::Params{}).current(vd);
+  EXPECT_NEAR(ir, id, 1e-9);
+  EXPECT_GT(vd, 0.6);
+  EXPECT_LT(vd, 0.75);
+}
+
+TEST(DC, DiodeBridgeRectifier) {
+  // Full bridge with DC excitation: output ≈ |Vin| − 2·Vdiode.
+  Circuit c;
+  const int inp = c.node("inp"), inm = c.node("inm");
+  const int op = c.node("op"), om = c.node("om");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", inp, inm, br, std::make_shared<DCWave>(5.0));
+  const Diode::Params dp;
+  c.add<Diode>("D1", inp, op, dp);
+  c.add<Diode>("D2", om, inp, dp);
+  c.add<Diode>("D3", inm, op, dp);
+  c.add<Diode>("D4", om, inm, dp);
+  c.add<Resistor>("RL", op, om, 10000.0);
+  c.add<Resistor>("Rgnd", om, -1, 1e6);  // reference
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  EXPECT_TRUE(dc.converged);
+  const Real vout = dc.x[static_cast<std::size_t>(op)] -
+                    dc.x[static_cast<std::size_t>(om)];
+  EXPECT_NEAR(vout, 5.0 - 2.0 * 0.62, 0.1);
+}
+
+TEST(DC, BJTCommonEmitterBias) {
+  // Classic emitter-degenerated bias: Vth ≈ 2.1 V, so Ve ≈ 1.3 V,
+  // Ie ≈ 1.3 mA, and the collector sits near 12 − 2.2k·1.3mA ≈ 9.1 V.
+  Circuit c;
+  const int vcc = c.node("vcc"), b = c.node("b"), col = c.node("c"),
+            e = c.node("e");
+  const int br = c.allocBranch("VCC");
+  c.add<VSource>("VCC", vcc, -1, br, std::make_shared<DCWave>(12.0));
+  c.add<Resistor>("Rb1", vcc, b, 47000.0);
+  c.add<Resistor>("Rb2", b, -1, 10000.0);
+  c.add<Resistor>("Rc", vcc, col, 2200.0);
+  c.add<Resistor>("Re", e, -1, 1000.0);
+  BJT::Params p;
+  p.bf = 150.0;
+  c.add<BJT>("Q1", col, b, e, p);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  EXPECT_TRUE(dc.converged);
+  const Real vb = dc.x[static_cast<std::size_t>(b)];
+  const Real vc = dc.x[static_cast<std::size_t>(col)];
+  const Real ve = dc.x[static_cast<std::size_t>(e)];
+  EXPECT_NEAR(vb, 2.0, 0.25);
+  EXPECT_NEAR(vb - ve, 0.75, 0.12);  // one junction drop
+  EXPECT_GT(vc, 5.0);                // forward active
+  EXPECT_LT(vc, 11.0);
+}
+
+TEST(DC, MOSFETDiodeConnected) {
+  // Diode-connected NMOS fed by a current source: vgs from the square law.
+  Circuit c;
+  const int d = c.node("d");
+  c.add<ISource>("Ib", -1, d, std::make_shared<DCWave>(1e-3));
+  MOSFET::Params p;
+  p.vt0 = 0.7;
+  p.kp = 2e-3;
+  p.lambda = 0.0;
+  c.add<MOSFET>("M1", d, d, -1, p);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  EXPECT_TRUE(dc.converged);
+  // id = kp/2 (vgs−vt)² → vgs = vt + sqrt(2·id/kp) = 0.7 + 1.0
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(d)], 1.7, 1e-3);
+}
+
+TEST(DC, GminSteppingRescuesHardStart) {
+  // Two stacked diodes with a large supply and tiny series resistance make
+  // plain Newton from zero hopeless without limiting/continuation.
+  Circuit c;
+  const int in = c.node("in"), a = c.node("a"), b = c.node("b");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<DCWave>(100.0));
+  c.add<Resistor>("R1", in, a, 10.0);
+  Diode::Params dp;
+  dp.is = 1e-16;
+  c.add<Diode>("D1", a, b, dp);
+  c.add<Diode>("D2", b, -1, dp);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  EXPECT_TRUE(dc.converged);
+  const Real vd = dc.x[static_cast<std::size_t>(a)];
+  // Nearly 10 A through the stack: each junction sits near
+  // n·Vt·ln(I/Is) ≈ 0.0259·ln(9.8/1e-16) ≈ 1.01 V.
+  EXPECT_NEAR(vd, 2.02, 0.15);
+}
+
+TEST(DC, CubicBistableSolvesToAStableState) {
+  // i(v) = g1·v − g3·v³ load line: the origin plus symmetric states; any
+  // KCL-consistent solution is acceptable.
+  Circuit c;
+  const int a = c.node("a");
+  c.add<CubicConductance>("GN", a, -1, 1e-3, 1e-3);
+  c.add<ISource>("I1", -1, a, std::make_shared<DCWave>(1e-3));
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  EXPECT_TRUE(dc.converged);
+  const Real v = dc.x[0];
+  EXPECT_NEAR(1e-3 * v + 1e-3 * v * v * v, 1e-3, 1e-9);
+}
+
+TEST(DC, FloatingDrivenIslandFailsCleanly) {
+  // A driven island with no ground reference: KCL is solvable only up to a
+  // common-mode offset, so the MNA matrix is singular and every
+  // continuation strategy must fail loudly.
+  Circuit c;
+  const int a = c.node("a"), b = c.node("b");
+  c.add<Resistor>("R1", a, b, 1000.0);
+  c.add<ISource>("I1", a, b, std::make_shared<DCWave>(1e-3));
+  MnaSystem sys(c);
+  EXPECT_THROW(dcOperatingPoint(sys), NumericalError);
+}
+
+}  // namespace
+}  // namespace rfic::analysis

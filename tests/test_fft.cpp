@@ -1,0 +1,173 @@
+// FFT kernels: roundtrips, reference DFT comparison, Parseval, real packs,
+// and the 2-D transform used by two-tone HB.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fft/fft.hpp"
+
+namespace rfic::fft {
+namespace {
+
+std::vector<Complex> randomSignal(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Real> u(-1.0, 1.0);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = {u(rng), u(rng)};
+  return x;
+}
+
+std::vector<Complex> referenceDFT(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex s = 0;
+    for (std::size_t m = 0; m < n; ++m) {
+      const Real ang = -kTwoPi * static_cast<Real>(k * m) / static_cast<Real>(n);
+      s += x[m] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+class FFTLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FFTLengths, MatchesReferenceDFT) {
+  const std::size_t n = GetParam();
+  auto x = randomSignal(n, 10 + n);
+  const auto ref = referenceDFT(x);
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(x[k] - ref[k]), 0.0, 1e-9 * static_cast<Real>(n))
+        << "bin " << k << " length " << n;
+}
+
+TEST_P(FFTLengths, RoundTripIdentity) {
+  const std::size_t n = GetParam();
+  const auto orig = randomSignal(n, 20 + n);
+  auto x = orig;
+  fft(x);
+  ifft(x);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(x[k] - orig[k]), 0.0, 1e-11);
+}
+
+TEST_P(FFTLengths, Parseval) {
+  const std::size_t n = GetParam();
+  auto x = randomSignal(n, 30 + n);
+  Real timeEnergy = 0;
+  for (const auto& v : x) timeEnergy += std::norm(v);
+  fft(x);
+  Real freqEnergy = 0;
+  for (const auto& v : x) freqEnergy += std::norm(v);
+  EXPECT_NEAR(freqEnergy / static_cast<Real>(n), timeEnergy,
+              1e-9 * timeEnergy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FFTLengths,
+                         ::testing::Values(1, 2, 4, 8, 64, 256,  // pow2
+                                           3, 5, 7, 12, 15, 100, 127,
+                                           243));  // Bluestein
+
+TEST(FFT, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> x(n);
+  for (std::size_t m = 0; m < n; ++m)
+    x[m] = std::exp(Complex(0, kTwoPi * 5.0 * static_cast<Real>(m) /
+                                   static_cast<Real>(n)));
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == 5)
+      EXPECT_NEAR(std::abs(x[k]), static_cast<Real>(n), 1e-9);
+    else
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(FFT, LinearityHolds) {
+  const std::size_t n = 48;
+  auto a = randomSignal(n, 1);
+  auto b = randomSignal(n, 2);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(sum[i] - (2.0 * a[i] + 3.0 * b[i])), 0.0, 1e-10);
+}
+
+TEST(RFFT, MatchesComplexTransform) {
+  const std::size_t n = 32;
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<Real> u(-1, 1);
+  std::vector<Real> x(n);
+  for (auto& v : x) v = u(rng);
+  const auto half = rfft(x);
+  ASSERT_EQ(half.size(), n / 2 + 1);
+  std::vector<Complex> full(x.begin(), x.end());
+  fft(full);
+  for (std::size_t k = 0; k <= n / 2; ++k)
+    EXPECT_NEAR(std::abs(half[k] - full[k]), 0.0, 1e-11);
+}
+
+TEST(RFFT, RoundTripThroughIrfft) {
+  const std::size_t n = 40;
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<Real> u(-1, 1);
+  std::vector<Real> x(n);
+  for (auto& v : x) v = u(rng);
+  const auto back = irfft(rfft(x), n);
+  for (std::size_t k = 0; k < n; ++k) EXPECT_NEAR(back[k], x[k], 1e-11);
+}
+
+TEST(RFFT, WrongHalfSizeThrows) {
+  std::vector<Complex> half(4);
+  EXPECT_THROW(irfft(half, 10), InvalidArgument);
+}
+
+TEST(FFT2, SeparableToneInOneBin) {
+  const std::size_t rows = 8, cols = 16;
+  std::vector<Complex> x(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      x[r * cols + c] =
+          std::exp(Complex(0, kTwoPi * (2.0 * static_cast<Real>(r) /
+                                            static_cast<Real>(rows) +
+                                        3.0 * static_cast<Real>(c) /
+                                            static_cast<Real>(cols))));
+  fft2(x, rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Real expected = (r == 2 && c == 3)
+                                ? static_cast<Real>(rows * cols)
+                                : 0.0;
+      EXPECT_NEAR(std::abs(x[r * cols + c]), expected, 1e-8);
+    }
+  }
+}
+
+TEST(FFT2, RoundTrip) {
+  const std::size_t rows = 12, cols = 10;  // non-pow2 both dims
+  auto x = randomSignal(rows * cols, 7);
+  const auto orig = x;
+  fft2(x, rows, cols);
+  ifft2(x, rows, cols);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-10);
+}
+
+TEST(FFTUtil, PowerOfTwoHelpers) {
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(64));
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_FALSE(isPowerOfTwo(12));
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(17), 32u);
+  EXPECT_EQ(nextPowerOfTwo(64), 64u);
+}
+
+}  // namespace
+}  // namespace rfic::fft

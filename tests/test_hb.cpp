@@ -1,0 +1,248 @@
+// Harmonic balance: exact linear answers, cross-validation against
+// shooting, two-tone intermodulation against perturbation theory, solver
+// ablation (direct vs matrix-implicit GMRES), and spectrum utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/dc.hpp"
+#include "analysis/shooting.hpp"
+#include "circuit/devices.hpp"
+#include "circuit/semiconductors.hpp"
+#include "circuit/sources.hpp"
+#include "hb/harmonic_balance.hpp"
+#include "hb/spectrum.hpp"
+
+namespace rfic::hb {
+namespace {
+
+using namespace rfic::circuit;
+using analysis::dcOperatingPoint;
+using numeric::RVec;
+
+TEST(HB, LinearRCMatchesAnalytic) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(1.0, 1000.0));
+  c.add<Resistor>("R1", in, out, 1000.0);
+  c.add<Capacitor>("C1", out, -1, 1e-6);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  HarmonicBalance hb(sys, {{1000.0, 4}});
+  const auto sol = hb.solve(dc.x);
+  ASSERT_TRUE(sol.converged);
+  const Complex h = 1.0 / Complex(1.0, kTwoPi * 1000.0 * 1e-3);
+  EXPECT_NEAR(lineAmplitude(sol, static_cast<std::size_t>(out), 1),
+              std::abs(h), 1e-8);
+  // No spurious harmonics in a linear circuit.
+  for (int k = 2; k <= 4; ++k)
+    EXPECT_LT(lineAmplitude(sol, static_cast<std::size_t>(out), k), 1e-10);
+}
+
+TEST(HB, SingleToneMatchesShootingOnRectifier) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(1.0, 1e4));
+  Diode::Params dp;
+  c.add<Diode>("D1", in, out, dp);
+  c.add<Resistor>("RL", out, -1, 1e4);
+  c.add<Capacitor>("CL", out, -1, 1e-8);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  HBOptions ho;
+  ho.continuationSteps = 4;
+  HarmonicBalance hb(sys, {{1e4, 12}}, ho);
+  const auto sol = hb.solve(dc.x);
+  ASSERT_TRUE(sol.converged);
+
+  analysis::ShootingOptions so;
+  so.stepsPerPeriod = 3000;
+  const auto pss = analysis::shootingPSS(sys, 1e-4, RVec(sys.dim(), 0.0), so);
+  ASSERT_TRUE(pss.converged);
+  Real avg = 0;
+  for (std::size_t k = 0; k + 1 < pss.trajectory.size(); ++k)
+    avg += pss.trajectory[k][static_cast<std::size_t>(out)];
+  avg /= static_cast<Real>(pss.trajectory.size() - 1);
+  EXPECT_NEAR(sol.at(static_cast<std::size_t>(out), 0).real(), avg, 2e-3);
+}
+
+TEST(HB, TwoToneIM3MatchesPerturbationTheory) {
+  // Series Rs into g1·v + g3·v³: IM3 voltage ≈ (3/4)·g3·A³/(gs + g1) for
+  // per-tone amplitude A at the nonlinear node.
+  Circuit c;
+  const int a = c.node("a"), s2 = c.node("s2"), b = c.node("b");
+  const int br1 = c.allocBranch("V1"), br2 = c.allocBranch("V2");
+  c.add<VSource>("V1", a, -1, br1, std::make_shared<SineWave>(0.06, 1.0e6),
+                 TimeAxis::slow);
+  c.add<VSource>("V2", s2, a, br2, std::make_shared<SineWave>(0.06, 1.3e6),
+                 TimeAxis::fast);
+  c.add<Resistor>("Rs", s2, b, 1000.0);
+  c.add<CubicConductance>("GN", b, -1, 1e-3, 1e-2);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  HarmonicBalance hb(sys, {{1.0e6, 3}, {1.3e6, 3}});
+  const auto sol = hb.solve(dc.x);
+  ASSERT_TRUE(sol.converged);
+  const auto bIdx = static_cast<std::size_t>(b);
+  const Real aTone = lineAmplitude(sol, bIdx, 1, 0);
+  const Real im3 = lineAmplitude(sol, bIdx, -1, 2);  // 2f2 − f1
+  const Real predicted = 0.75 * 1e-2 * aTone * aTone * aTone / (2e-3);
+  EXPECT_NEAR(im3, predicted, 0.15 * predicted);
+  // IM3 on the other side (2f1 − f2) has the same magnitude by symmetry.
+  EXPECT_NEAR(lineAmplitude(sol, bIdx, 2, -1), im3, 0.05 * im3);
+}
+
+TEST(HB, DirectAndIterativeSolversAgree) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(0.8, 1e5));
+  c.add<Resistor>("Rs", in, out, 500.0);
+  c.add<Diode>("D1", out, -1, Diode::Params{});
+  c.add<Resistor>("RL", out, -1, 2000.0);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+
+  HBOptions direct;
+  direct.useDirectSolver = true;
+  direct.continuationSteps = 2;
+  HBOptions iterative;
+  iterative.continuationSteps = 2;
+
+  const auto sd = HarmonicBalance(sys, {{1e5, 8}}, direct).solve(dc.x);
+  const auto si = HarmonicBalance(sys, {{1e5, 8}}, iterative).solve(dc.x);
+  ASSERT_TRUE(sd.converged);
+  ASSERT_TRUE(si.converged);
+  for (int k = 0; k <= 8; ++k) {
+    const Complex d = sd.at(static_cast<std::size_t>(out), k);
+    const Complex i = si.at(static_cast<std::size_t>(out), k);
+    EXPECT_NEAR(std::abs(d - i), 0.0, 1e-7) << "harmonic " << k;
+  }
+  EXPECT_GT(si.gmresIterations, 0u);
+  EXPECT_EQ(sd.gmresIterations, 0u);
+}
+
+TEST(HB, ConjugateSymmetryAtNegativeIndex) {
+  Circuit c;
+  const int in = c.node("in");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(1.0, 1e3));
+  c.add<Resistor>("R1", in, -1, 50.0);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  const auto sol = HarmonicBalance(sys, {{1e3, 3}}).solve(dc.x);
+  ASSERT_TRUE(sol.converged);
+  const Complex plus = sol.at(0, 1);
+  const Complex minus = sol.at(0, -1);
+  EXPECT_NEAR(std::abs(minus - std::conj(plus)), 0.0, 1e-15);
+  // Outside the truncation box: exactly zero.
+  EXPECT_EQ(sol.at(0, 9), Complex(0.0, 0.0));
+}
+
+TEST(HB, EvaluateReconstructsWaveform) {
+  Circuit c;
+  const int in = c.node("in");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(2.0, 1e3, 0.3));
+  c.add<Resistor>("R1", in, -1, 50.0);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  const auto sol = HarmonicBalance(sys, {{1e3, 3}}).solve(dc.x);
+  ASSERT_TRUE(sol.converged);
+  for (Real t : {0.0, 1e-4, 3.7e-4, 9e-4}) {
+    EXPECT_NEAR(sol.evaluate(static_cast<std::size_t>(in), t, t),
+                2.0 * std::sin(kTwoPi * 1e3 * t + 0.3), 1e-8);
+  }
+}
+
+TEST(HB, UnknownCountsScaleWithTonesAndHarmonics) {
+  Circuit c;
+  const int in = c.node("in");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(1.0, 1e3));
+  c.add<Resistor>("R1", in, -1, 50.0);
+  MnaSystem sys(c);
+  const HarmonicBalance h1(sys, {{1e3, 5}});
+  EXPECT_EQ(h1.numRealUnknowns(), 2u * (2 * 5 + 1));
+  const HarmonicBalance h2(sys, {{1e3, 5}, {1.7e3, 5}});
+  EXPECT_EQ(h2.numRealUnknowns(), 2u * (2 * 5 + 1) * (2 * 5 + 1));
+}
+
+TEST(HB, InvalidTonesThrow) {
+  Circuit c;
+  c.add<Resistor>("R1", c.node("a"), -1, 50.0);
+  MnaSystem sys(c);
+  EXPECT_THROW(HarmonicBalance(sys, {}), InvalidArgument);
+  EXPECT_THROW(HarmonicBalance(sys, {{0.0, 3}}), InvalidArgument);
+  EXPECT_THROW(HarmonicBalance(sys, {{1e3, 0}}), InvalidArgument);
+  EXPECT_THROW(HarmonicBalance(sys, {{1e3, 1}, {2e3, 1}, {3e3, 1}}),
+               InvalidArgument);
+}
+
+TEST(HB, SquareWaveFourierContent) {
+  // Square drive into a resistor: HB must reproduce the 4/π odd-harmonic
+  // series and vanishing even harmonics.
+  Circuit c;
+  const int in = c.node("in");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br,
+                 std::make_shared<SquareWave>(-1.0, 1.0, 1e6, 0.01));
+  c.add<Resistor>("R1", in, -1, 50.0);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  HBOptions ho;
+  ho.oversample = 8;  // resolve the fast edges
+  const auto sol = HarmonicBalance(sys, {{1e6, 9}}, ho).solve(dc.x);
+  ASSERT_TRUE(sol.converged);
+  const auto u = static_cast<std::size_t>(in);
+  const Real a1 = lineAmplitude(sol, u, 1);
+  // Finite rise time softens the ideal 4/π slightly.
+  EXPECT_NEAR(a1, 4.0 / kPi, 0.02);
+  EXPECT_NEAR(lineAmplitude(sol, u, 3) / a1, 1.0 / 3.0, 0.02);
+  EXPECT_NEAR(lineAmplitude(sol, u, 5) / a1, 1.0 / 5.0, 0.03);
+  EXPECT_LT(lineAmplitude(sol, u, 2), 1e-6);
+  EXPECT_LT(lineAmplitude(sol, u, 4), 1e-6);
+}
+
+TEST(Spectrum, DbcReferencesStrongestLine) {
+  Circuit c;
+  const int in = c.node("in");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(1.0, 1e6));
+  c.add<Resistor>("Rs", in, -1, 50.0);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  const auto sol = HarmonicBalance(sys, {{1e6, 3}}).solve(dc.x);
+  const auto lines = spectrumOf(sol, static_cast<std::size_t>(in));
+  // Find the fundamental: dbc = 0 there.
+  bool foundCarrier = false;
+  for (const auto& l : lines) {
+    if (l.k1 == 1) {
+      EXPECT_NEAR(l.dbc, 0.0, 1e-9);
+      foundCarrier = true;
+    }
+  }
+  EXPECT_TRUE(foundCarrier);
+}
+
+TEST(Spectrum, ToDbHandlesZeros) {
+  EXPECT_NEAR(toDb(10.0, 1.0), 20.0, 1e-12);
+  EXPECT_EQ(toDb(0.0, 1.0), -400.0);
+  EXPECT_EQ(toDb(1.0, 0.0), -400.0);
+}
+
+TEST(Spectrum, TransientSpectrumFindsTone) {
+  const Real fs = 1e6, f0 = 12e3;
+  std::vector<Real> samples(4096);
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    samples[i] = 0.7 * std::sin(kTwoPi * f0 * static_cast<Real>(i) / fs);
+  const auto sp = transientSpectrum(samples, fs);
+  EXPECT_NEAR(amplitudeNear(sp, f0), 0.7, 0.02);
+  EXPECT_LT(amplitudeNear(sp, 300e3), 1e-3);
+}
+
+}  // namespace
+}  // namespace rfic::hb

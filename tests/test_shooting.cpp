@@ -1,0 +1,194 @@
+// Shooting periodic steady state: driven circuits versus analytic/transient
+// references, monodromy properties, and the autonomous oscillator variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/shooting.hpp"
+#include "circuit/devices.hpp"
+#include "circuit/semiconductors.hpp"
+#include "circuit/sources.hpp"
+#include "numeric/eig.hpp"
+
+namespace rfic::analysis {
+namespace {
+
+using namespace rfic::circuit;
+using numeric::RVec;
+
+TEST(Shooting, DrivenRCMatchesAnalytic) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(1.0, 1000.0));
+  c.add<Resistor>("R1", in, out, 1000.0);
+  c.add<Capacitor>("C1", out, -1, 1e-6);
+  MnaSystem sys(c);
+  ShootingOptions so;
+  so.stepsPerPeriod = 1000;
+  const auto pss = shootingPSS(sys, 1e-3, RVec(sys.dim(), 0.0), so);
+  ASSERT_TRUE(pss.converged);
+  EXPECT_LE(pss.newtonIterations, 4u);  // linear circuit: 1-2 iterations
+  const Real wrc = kTwoPi;  // 2π·1000·1e-3
+  const Real ampRef = 1.0 / std::sqrt(1.0 + wrc * wrc);
+  Real amp = 0;
+  for (const auto& x : pss.trajectory)
+    amp = std::max(amp, std::abs(x[static_cast<std::size_t>(out)]));
+  EXPECT_NEAR(amp, ampRef, 3e-3 * ampRef);
+}
+
+TEST(Shooting, MonodromyOfRCIsContractive) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(1.0, 1000.0));
+  c.add<Resistor>("R1", in, out, 1000.0);
+  c.add<Capacitor>("C1", out, -1, 1e-6);
+  MnaSystem sys(c);
+  const auto pss = shootingPSS(sys, 1e-3, RVec(sys.dim(), 0.0));
+  ASSERT_TRUE(pss.converged);
+  // The only dynamic state decays by e^{-T/tau} = e^{-1} per period.
+  const auto mult = numeric::eigenvalues(pss.monodromy);
+  Real maxAbs = 0;
+  for (std::size_t i = 0; i < mult.size(); ++i)
+    maxAbs = std::max(maxAbs, std::abs(mult[i]));
+  EXPECT_NEAR(maxAbs, std::exp(-1.0), 0.01);
+}
+
+TEST(Shooting, RectifierMatchesLongTransient) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(2.0, 1e5));
+  c.add<Diode>("D1", in, out, Diode::Params{});
+  c.add<Capacitor>("CL", out, -1, 1e-9);
+  c.add<Resistor>("RL", out, -1, 1e5);
+  MnaSystem sys(c);
+  ShootingOptions so;
+  so.stepsPerPeriod = 800;
+  const auto pss = shootingPSS(sys, 1e-5, RVec(sys.dim(), 0.0), so);
+  ASSERT_TRUE(pss.converged);
+
+  TransientOptions to;
+  to.tstop = 50e-5;  // 50 periods — transient settled
+  to.dt = 1e-5 / 800;
+  to.method = IntegrationMethod::backwardEuler;
+  const auto tr = runTransient(sys, RVec(sys.dim(), 0.0), to);
+  ASSERT_TRUE(tr.ok);
+  EXPECT_NEAR(pss.x0[static_cast<std::size_t>(out)],
+              tr.x.back()[static_cast<std::size_t>(out)], 2e-3);
+}
+
+TEST(Shooting, PeriodicityResidualIsTiny) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SquareWave>(-1, 1, 1e6));
+  c.add<Resistor>("R1", in, out, 100.0);
+  c.add<Capacitor>("C1", out, -1, 1e-9);
+  MnaSystem sys(c);
+  const auto pss = shootingPSS(sys, 1e-6, RVec(sys.dim(), 0.0));
+  ASSERT_TRUE(pss.converged);
+  RVec defect = pss.trajectory.back();
+  defect -= pss.trajectory.front();
+  EXPECT_LT(numeric::norm2(defect), 1e-8);
+}
+
+struct VdpFixture {
+  Circuit c;
+  int v = 0;
+  std::unique_ptr<MnaSystem> sys;
+
+  VdpFixture() {
+    v = c.node("v");
+    const int br = c.allocBranch("L1");
+    c.add<Capacitor>("C1", v, -1, 1e-9);
+    c.add<Inductor>("L1", v, -1, br, 1e-6);
+    c.add<Resistor>("Rl", v, -1, 2000.0);
+    c.add<CubicConductance>("GN", v, -1, -2e-3, 1e-3);
+    sys = std::make_unique<MnaSystem>(c);
+  }
+};
+
+TEST(OscillatorShooting, VanDerPolPeriodAndAmplitude) {
+  VdpFixture f;
+  TransientOptions to;
+  to.tstop = 40e-6;
+  to.dt = 2e-9;
+  RVec x0(f.sys->dim(), 0.0);
+  x0[static_cast<std::size_t>(f.v)] = 0.2;
+  const auto tr = runTransient(*f.sys, x0, to);
+  ASSERT_TRUE(tr.ok);
+  const Real tEst = estimatePeriod(tr, static_cast<std::size_t>(f.v), 0.0);
+  EXPECT_NEAR(tEst, kTwoPi * std::sqrt(1e-9 * 1e-6), 0.05 * tEst);
+
+  ShootingOptions so;
+  so.stepsPerPeriod = 600;
+  // Every unknown of the van der Pol core is dynamic (capacitor voltage and
+  // inductor flux), so the trapezoidal sensitivity is safe here and removes
+  // BE's first-order amplitude damping.
+  so.method = IntegrationMethod::trapezoidal;
+  const auto pss = shootingOscillatorPSS(*f.sys, tEst, tr.x.back(),
+                                         static_cast<std::size_t>(f.v), 0.0,
+                                         so);
+  ASSERT_TRUE(pss.converged);
+  // Amplitude of the van der Pol limit cycle: 2·sqrt(gNet/(3·g3)).
+  const Real gnet = 2e-3 - 1.0 / 2000.0;
+  const Real ampRef = 2.0 * std::sqrt(gnet / (3.0 * 1e-3));
+  Real amp = 0;
+  for (const auto& x : pss.trajectory)
+    amp = std::max(amp, std::abs(x[static_cast<std::size_t>(f.v)]));
+  EXPECT_NEAR(amp, ampRef, 0.03 * ampRef);
+  // The anchor pins the phase exactly.
+  EXPECT_NEAR(pss.x0[static_cast<std::size_t>(f.v)], 0.0, 1e-12);
+}
+
+TEST(OscillatorShooting, MonodromyHasUnitFloquetMultiplier) {
+  VdpFixture f;
+  TransientOptions to;
+  to.tstop = 30e-6;
+  to.dt = 2e-9;
+  RVec x0(f.sys->dim(), 0.0);
+  x0[static_cast<std::size_t>(f.v)] = 0.3;
+  const auto tr = runTransient(*f.sys, x0, to);
+  const Real tEst = estimatePeriod(tr, static_cast<std::size_t>(f.v), 0.0);
+  ShootingOptions so;
+  so.stepsPerPeriod = 800;
+  const auto pss = shootingOscillatorPSS(*f.sys, tEst, tr.x.back(),
+                                         static_cast<std::size_t>(f.v), 0.0,
+                                         so);
+  ASSERT_TRUE(pss.converged);
+  const auto mult = numeric::eigenvalues(pss.monodromy);
+  Real bestDist = 1e9;
+  Real otherMag = 0;
+  for (std::size_t i = 0; i < mult.size(); ++i) {
+    const Real d = std::abs(mult[i] - Complex(1.0, 0.0));
+    if (d < bestDist) {
+      bestDist = d;
+    }
+  }
+  for (std::size_t i = 0; i < mult.size(); ++i) {
+    const Real d = std::abs(mult[i] - Complex(1.0, 0.0));
+    if (d > bestDist) otherMag = std::max(otherMag, std::abs(mult[i]));
+  }
+  EXPECT_LT(bestDist, 5e-3);   // the oscillatory multiplier
+  EXPECT_LT(otherMag, 0.95);   // remaining dynamics stable
+}
+
+TEST(EstimatePeriod, RequiresEnoughCrossings) {
+  TransientResult tr;
+  tr.time = {0, 1, 2};
+  tr.x = {RVec{0.0}, RVec{1.0}, RVec{0.5}};
+  EXPECT_THROW(estimatePeriod(tr, 0, 0.0), InvalidArgument);
+}
+
+TEST(Shooting, InvalidArgumentsThrow) {
+  VdpFixture f;
+  EXPECT_THROW(shootingPSS(*f.sys, -1.0, RVec(f.sys->dim(), 0.0)),
+               InvalidArgument);
+  EXPECT_THROW(shootingPSS(*f.sys, 1e-6, RVec(5, 0.0)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rfic::analysis

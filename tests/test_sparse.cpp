@@ -1,0 +1,290 @@
+// Sparse storage, Markowitz LU, and Krylov solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "numeric/lu.hpp"
+#include "sparse/krylov.hpp"
+#include "sparse/sparse_lu.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace rfic::sparse {
+namespace {
+
+using numeric::RMat;
+using numeric::RVec;
+
+RTriplets randomSparse(std::size_t n, Real density, std::uint64_t seed,
+                       Real diagBoost) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Real> u(-1, 1);
+  std::uniform_real_distribution<Real> coin(0, 1);
+  RTriplets t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      if (coin(rng) < density) t.add(i, j, u(rng));
+    t.add(i, i, diagBoost + u(rng));
+  }
+  return t;
+}
+
+RVec randomVec(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<Real> u(-1, 1);
+  RVec v(n);
+  for (auto& x : v) x = u(rng);
+  return v;
+}
+
+TEST(Triplets, DuplicatesSumInCSRAndDense) {
+  RTriplets t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.5);
+  t.add(1, 0, -1.0);
+  const RCSR a(t);
+  EXPECT_EQ(a.nnz(), 2u);
+  const RMat d = a.toDense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(d(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(t.toDense()(0, 0), 3.5);
+}
+
+TEST(Triplets, OutOfRangeThrows) {
+  RTriplets t(2, 2);
+  EXPECT_THROW(t.add(2, 0, 1.0), InvalidArgument);
+}
+
+TEST(CSR, MatVecMatchesDense) {
+  const auto t = randomSparse(20, 0.2, 42, 2.0);
+  const RCSR a(t);
+  const RMat d = t.toDense();
+  const RVec x = randomVec(20, 43);
+  const RVec y1 = a * x;
+  const RVec y2 = d * x;
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+TEST(CSR, TransposeMultiplyMatchesDense) {
+  const auto t = randomSparse(15, 0.3, 44, 2.0);
+  const RCSR a(t);
+  const RVec x = randomVec(15, 45);
+  const RVec y1 = a.transposeMultiply(x);
+  const RVec y2 = numeric::transposeMatvec(t.toDense(), x);
+  for (std::size_t i = 0; i < 15; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+class SparseLUCases
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Real>> {};
+
+TEST_P(SparseLUCases, SolvesRandomSystems) {
+  const auto [n, density] = GetParam();
+  const auto t = randomSparse(n, density, 50 + n, 4.0);
+  const RVec xref = randomVec(n, 60 + n);
+  const RVec b = RCSR(t) * xref;
+  RSparseLU lu(t);
+  const RVec x = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SparseLUCases,
+    ::testing::Values(std::tuple<std::size_t, Real>{5, 0.5},
+                      std::tuple<std::size_t, Real>{30, 0.15},
+                      std::tuple<std::size_t, Real>{100, 0.05},
+                      std::tuple<std::size_t, Real>{300, 0.02}));
+
+TEST(SparseLU, MatchesDenseOnSmallSystem) {
+  const auto t = randomSparse(12, 0.4, 70, 3.0);
+  const RVec b = randomVec(12, 71);
+  const RVec xs = RSparseLU(t).solve(b);
+  const RVec xd = numeric::solveDense(t.toDense(), b);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+}
+
+TEST(SparseLU, ComplexSystem) {
+  const std::size_t n = 25;
+  CTriplets t(n, n);
+  std::mt19937_64 rng(80);
+  std::uniform_real_distribution<Real> u(-1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, Complex(3.0 + u(rng), u(rng)));
+    t.add(i, (i + 3) % n, Complex(u(rng), u(rng)));
+  }
+  numeric::CVec xref(n);
+  for (auto& v : xref) v = Complex(u(rng), u(rng));
+  const numeric::CVec b = CCSR(t) * xref;
+  const numeric::CVec x = CSparseLU(t).solve(b);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(x[i] - xref[i]), 0.0, 1e-10);
+}
+
+TEST(SparseLU, SingularMatrixThrows) {
+  RTriplets t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);  // row/col 2 empty
+  EXPECT_THROW(RSparseLU{t}, NumericalError);
+}
+
+TEST(SparseLU, TridiagonalHasNoFill) {
+  const std::size_t n = 50;
+  RTriplets t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 2.0);
+    if (i + 1 < n) {
+      t.add(i, i + 1, -1.0);
+      t.add(i + 1, i, -1.0);
+    }
+  }
+  RSparseLU lu(t);
+  // Perfect elimination order: factor nnz stays O(n).
+  EXPECT_LE(lu.factorNnz(), 3 * n);
+}
+
+TEST(SparseLU, ArrowMatrixMarkowitzAvoidsFill) {
+  // Arrow matrix: dense first row/col. Natural-order elimination fills the
+  // whole matrix; Markowitz should defer the hub and keep the factor O(n).
+  const std::size_t n = 60;
+  RTriplets t(n, n);
+  for (std::size_t i = 0; i < n; ++i) t.add(i, i, 4.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    t.add(0, i, 1.0);
+    t.add(i, 0, 1.0);
+  }
+  RSparseLU lu(t);
+  EXPECT_LE(lu.factorNnz(), 4 * n);
+  const RVec xref = randomVec(n, 90);
+  const RVec b = RCSR(t) * xref;
+  const RVec x = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-9);
+}
+
+TEST(SparseLU, ZeroDiagonalRequiresOffDiagonalPivot) {
+  // [0 1; 1 0] — diagonal pivots impossible.
+  RTriplets t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  RSparseLU lu(t);
+  RVec b{3.0, 5.0};
+  const RVec x = lu.solve(b);
+  EXPECT_NEAR(x[0], 5.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+}
+
+// ------------------------------------------------------- Krylov solvers
+
+TEST(GMRES, SolvesNonsymmetricSystem) {
+  const std::size_t n = 80;
+  const auto t = randomSparse(n, 0.08, 100, 5.0);
+  const RCSR a(t);
+  const RVec xref = randomVec(n, 101);
+  const RVec b = a * xref;
+  CSROperator<Real> op(a);
+  RVec x(n);
+  const auto st = gmres(op, b, x, {1e-12, 500, 60});
+  EXPECT_TRUE(st.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-7);
+}
+
+TEST(GMRES, PreconditionerCutsIterations) {
+  const std::size_t n = 120;
+  RTriplets t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Widely varying diagonal — hard without, trivial with Jacobi.
+    t.add(i, i, std::pow(10.0, static_cast<Real>(i % 7)));
+    if (i + 1 < n) t.add(i, i + 1, 0.3);
+  }
+  const RCSR a(t);
+  const RVec b = randomVec(n, 102);
+  CSROperator<Real> op(a);
+  RVec x1(n), x2(n);
+  const auto plain = gmres(op, b, x1, {1e-10, 400, 50});
+  JacobiPreconditioner<Real> prec(a);
+  const auto precd = gmres(op, b, x2, &prec, {1e-10, 400, 50});
+  EXPECT_TRUE(precd.converged);
+  EXPECT_LT(precd.iterations, plain.iterations);
+}
+
+TEST(GMRES, ComplexSystem) {
+  const std::size_t n = 40;
+  CTriplets t(n, n);
+  std::mt19937_64 rng(103);
+  std::uniform_real_distribution<Real> u(-1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, Complex(4.0, 1.0 + u(rng)));
+    t.add(i, (i + 1) % n, Complex(u(rng), u(rng)));
+  }
+  const CCSR a(t);
+  numeric::CVec xref(n);
+  for (auto& v : xref) v = Complex(u(rng), u(rng));
+  const numeric::CVec b = a * xref;
+  CSROperator<Complex> op(a);
+  numeric::CVec x(n);
+  const auto st = gmres(op, b, x, {1e-12, 400, 50});
+  EXPECT_TRUE(st.converged);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(x[i] - xref[i]), 0.0, 1e-8);
+}
+
+TEST(GMRES, ZeroRhsReturnsZero) {
+  const auto t = randomSparse(10, 0.3, 104, 3.0);
+  const RCSR a(t);
+  CSROperator<Real> op(a);
+  RVec x = randomVec(10, 105);
+  const auto st = gmres(op, RVec(10), x, IterativeOptions{});
+  EXPECT_TRUE(st.converged);
+  EXPECT_NEAR(numeric::norm2(x), 0.0, 1e-300);
+}
+
+TEST(BiCGSTAB, SolvesNonsymmetricSystem) {
+  const std::size_t n = 60;
+  const auto t = randomSparse(n, 0.1, 110, 5.0);
+  const RCSR a(t);
+  const RVec xref = randomVec(n, 111);
+  const RVec b = a * xref;
+  CSROperator<Real> op(a);
+  RVec x(n);
+  const auto st = bicgstab(op, b, x, {1e-12, 600, 60});
+  EXPECT_TRUE(st.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-6);
+}
+
+TEST(CG, SolvesSPDLaplacian) {
+  const std::size_t n = 100;
+  RTriplets t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 2.0);
+    if (i + 1 < n) {
+      t.add(i, i + 1, -1.0);
+      t.add(i + 1, i, -1.0);
+    }
+  }
+  const RCSR a(t);
+  const RVec xref = randomVec(n, 120);
+  const RVec b = a * xref;
+  CSROperator<Real> op(a);
+  RVec x(n);
+  const auto st = conjugateGradient(op, b, x, {1e-12, 2000, 0});
+  EXPECT_TRUE(st.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-6);
+}
+
+TEST(Krylov, MatrixFreeOperatorWorks) {
+  // Operator defined purely as a function: scaled shift  y = 2x + S x.
+  const std::size_t n = 30;
+  FunctionOperator<Real> op(n, [n](const RVec& x, RVec& y) {
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] = 2.0 * x[i] + (i + 1 < n ? 0.5 * x[i + 1] : 0.0);
+  });
+  const RVec b = randomVec(n, 130);
+  RVec x(n);
+  const auto st = gmres(op, b, x, {1e-12, 200, 40});
+  EXPECT_TRUE(st.converged);
+  RVec y(n);
+  op.apply(x, y);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], b[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace rfic::sparse

@@ -1,0 +1,252 @@
+// Transient integration: analytic RC/RLC references, method convergence
+// orders, adaptive stepping, sensitivity propagation, and the stochastic
+// (noisy) integrator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/dc.hpp"
+#include "analysis/transient.hpp"
+#include "circuit/devices.hpp"
+#include "circuit/semiconductors.hpp"
+#include "circuit/sources.hpp"
+
+namespace rfic::analysis {
+namespace {
+
+using namespace rfic::circuit;
+using numeric::RVec;
+
+struct RCFixture {
+  Circuit c;
+  int in = 0, out = 0, br = 0;
+  MnaSystem* sys = nullptr;
+  std::unique_ptr<MnaSystem> holder;
+
+  explicit RCFixture(std::shared_ptr<const Waveform> w) {
+    in = c.node("in");
+    out = c.node("out");
+    br = c.allocBranch("V1");
+    c.add<VSource>("V1", in, -1, br, std::move(w));
+    c.add<Resistor>("R1", in, out, 1000.0);
+    c.add<Capacitor>("C1", out, -1, 1e-6);  // tau = 1 ms
+    holder = std::make_unique<MnaSystem>(c);
+    sys = holder.get();
+  }
+};
+
+TEST(Transient, RCStepResponseMatchesAnalytic) {
+  RCFixture f(std::make_shared<DCWave>(1.0));
+  TransientOptions to;
+  to.tstop = 3e-3;
+  to.dt = 5e-6;
+  RVec x0(f.sys->dim(), 0.0);
+  x0[static_cast<std::size_t>(f.in)] = 1.0;
+  const auto tr = runTransient(*f.sys, x0, to);
+  ASSERT_TRUE(tr.ok);
+  for (std::size_t k = 0; k < tr.time.size(); k += 50) {
+    const Real expct = 1.0 - std::exp(-tr.time[k] / 1e-3);
+    EXPECT_NEAR(tr.x[k][static_cast<std::size_t>(f.out)], expct, 2e-4);
+  }
+}
+
+class MethodOrder : public ::testing::TestWithParam<IntegrationMethod> {};
+
+TEST_P(MethodOrder, ErrorDropsWithStep) {
+  // Halving dt should reduce the final-time error by ~2× (BE) or ~4×
+  // (trap/gear2).
+  const auto method = GetParam();
+  auto runWith = [&](Real dt) {
+    RCFixture f(std::make_shared<DCWave>(1.0));
+    TransientOptions to;
+    to.tstop = 1e-3;
+    to.dt = dt;
+    to.method = method;
+    RVec x0(f.sys->dim(), 0.0);
+    x0[static_cast<std::size_t>(f.in)] = 1.0;
+    const auto tr = runTransient(*f.sys, x0, to);
+    EXPECT_TRUE(tr.ok);
+    return std::abs(tr.x.back()[static_cast<std::size_t>(f.out)] -
+                    (1.0 - std::exp(-1.0)));
+  };
+  const Real e1 = runWith(2e-5);
+  const Real e2 = runWith(1e-5);
+  const Real order = std::log2(e1 / e2);
+  if (method == IntegrationMethod::backwardEuler) {
+    EXPECT_NEAR(order, 1.0, 0.35);
+  } else {
+    EXPECT_GT(order, 1.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MethodOrder,
+                         ::testing::Values(IntegrationMethod::backwardEuler,
+                                           IntegrationMethod::trapezoidal,
+                                           IntegrationMethod::gear2));
+
+TEST(Transient, RLCRingingMatchesAnalytic) {
+  // Series RLC: L = 1 mH, C = 1 uF, R = 20 → underdamped.
+  Circuit c;
+  const int a = c.node("a"), b = c.node("b");
+  const int br = c.allocBranch("L1");
+  c.add<Resistor>("R1", a, b, 20.0);
+  c.add<Inductor>("L1", b, -1, br, 1e-3);
+  c.add<Capacitor>("C1", a, -1, 1e-6);
+  MnaSystem sys(c);
+  // Initial condition: capacitor charged to 1 V.
+  RVec x0(sys.dim(), 0.0);
+  x0[static_cast<std::size_t>(a)] = 1.0;
+  x0[static_cast<std::size_t>(b)] = 1.0;
+  TransientOptions to;
+  to.tstop = 2e-4;
+  to.dt = 5e-8;
+  const auto tr = runTransient(sys, x0, to);
+  ASSERT_TRUE(tr.ok);
+  // v_C(t) = e^{-αt}(cos(ωd t) + α/ωd sin(ωd t)), α = R/2L, ωd = sqrt(1/LC − α²)
+  const Real alpha = 20.0 / (2 * 1e-3);
+  const Real wd = std::sqrt(1.0 / (1e-3 * 1e-6) - alpha * alpha);
+  for (std::size_t k = 100; k < tr.time.size(); k += 400) {
+    const Real t = tr.time[k];
+    const Real expct = std::exp(-alpha * t) *
+                       (std::cos(wd * t) + alpha / wd * std::sin(wd * t));
+    EXPECT_NEAR(tr.x[k][static_cast<std::size_t>(a)], expct, 5e-3);
+  }
+}
+
+TEST(Transient, SineDriveSteadyStateAmplitude) {
+  RCFixture f(std::make_shared<SineWave>(1.0, 1000.0));
+  TransientOptions to;
+  to.tstop = 10e-3;  // 10 tau: transient decayed
+  to.dt = 2e-6;
+  const auto tr = runTransient(*f.sys, RVec(f.sys->dim(), 0.0), to);
+  ASSERT_TRUE(tr.ok);
+  Real amp = 0;
+  for (std::size_t k = tr.time.size() / 2; k < tr.time.size(); ++k)
+    amp = std::max(amp, std::abs(tr.x[k][static_cast<std::size_t>(f.out)]));
+  const Real wrc = kTwoPi * 1000.0 * 1e-3;
+  EXPECT_NEAR(amp, 1.0 / std::sqrt(1.0 + wrc * wrc), 2e-3);
+}
+
+TEST(Transient, AdaptiveUsesFewerStepsOnSmoothProblem) {
+  RCFixture fixed(std::make_shared<DCWave>(1.0));
+  TransientOptions to;
+  to.tstop = 5e-3;
+  to.dt = 1e-6;
+  RVec x0(fixed.sys->dim(), 0.0);
+  x0[static_cast<std::size_t>(fixed.in)] = 1.0;
+  const auto trFixed = runTransient(*fixed.sys, x0, to);
+
+  RCFixture adapt(std::make_shared<DCWave>(1.0));
+  to.adaptive = true;
+  to.reltol = 1e-3;
+  const auto trAdapt = runTransient(*adapt.sys, x0, to);
+  ASSERT_TRUE(trFixed.ok);
+  ASSERT_TRUE(trAdapt.ok);
+  // Adaptive never takes MORE steps than fixed at the same base dt cap,
+  // and the answer stays accurate.
+  EXPECT_LE(trAdapt.steps, trFixed.steps);
+  EXPECT_NEAR(trAdapt.x.back()[static_cast<std::size_t>(adapt.out)],
+              1.0 - std::exp(-5.0), 5e-3);
+}
+
+TEST(Transient, DiodeRectifierChargesCapacitor) {
+  Circuit c;
+  const int in = c.node("in"), out = c.node("out");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", in, -1, br, std::make_shared<SineWave>(5.0, 1000.0));
+  c.add<Diode>("D1", in, out, Diode::Params{});
+  c.add<Capacitor>("CL", out, -1, 1e-6);
+  c.add<Resistor>("RL", out, -1, 100000.0);
+  MnaSystem sys(c);
+  TransientOptions to;
+  to.tstop = 5e-3;
+  to.dt = 1e-6;
+  const auto tr = runTransient(sys, RVec(sys.dim(), 0.0), to);
+  ASSERT_TRUE(tr.ok);
+  const Real vpk = tr.x.back()[static_cast<std::size_t>(out)];
+  EXPECT_GT(vpk, 3.9);  // ≈ 5 − Vdiode with light droop
+  EXPECT_LT(vpk, 5.0);
+}
+
+TEST(Transient, SensitivityMatchesPerturbation) {
+  RCFixture f(std::make_shared<DCWave>(0.0));
+  const std::size_t n = f.sys->dim();
+  RVec x0(n, 0.0);
+  x0[static_cast<std::size_t>(f.out)] = 1.0;  // charged cap, decaying
+  numeric::RMat sens = numeric::RMat::identity(n);
+  RVec x1;
+  const Real h = 1e-5;
+  ASSERT_TRUE(integrateStep(*f.sys, IntegrationMethod::backwardEuler, 0.0, h,
+                            x0, nullptr, x1, &sens));
+  // Perturb the capacitor voltage and re-integrate.
+  RVec x0p = x0;
+  const Real dv = 1e-6;
+  x0p[static_cast<std::size_t>(f.out)] += dv;
+  RVec x1p;
+  ASSERT_TRUE(integrateStep(*f.sys, IntegrationMethod::backwardEuler, 0.0, h,
+                            x0p, nullptr, x1p, nullptr));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Real fd = (x1p[i] - x1[i]) / dv;
+    EXPECT_NEAR(sens(i, static_cast<std::size_t>(f.out)), fd, 1e-5);
+  }
+}
+
+TEST(Transient, InvalidOptionsThrow) {
+  RCFixture f(std::make_shared<DCWave>(1.0));
+  TransientOptions to;  // tstop = 0
+  EXPECT_THROW(runTransient(*f.sys, RVec(f.sys->dim(), 0.0), to),
+               InvalidArgument);
+  to.tstop = 1e-3;
+  to.dt = 0.0;
+  EXPECT_THROW(runTransient(*f.sys, RVec(f.sys->dim(), 0.0), to),
+               InvalidArgument);
+}
+
+TEST(NoisyTransient, ZeroNoiseMatchesDeterministic) {
+  // A purely reactive circuit (no resistor noise sources): the stochastic
+  // integrator must reproduce the deterministic BE trajectory.
+  Circuit c;
+  const int a = c.node("a");
+  c.add<Capacitor>("C1", a, -1, 1e-9);
+  c.add<ISource>("I1", -1, a, std::make_shared<DCWave>(1e-6));
+  MnaSystem sys(c);
+  TransientOptions to;
+  to.tstop = 1e-6;
+  to.dt = 1e-9;
+  const auto det = runTransient(sys, RVec(1, 0.0), to);
+  TransientOptions tn = to;
+  tn.method = IntegrationMethod::backwardEuler;
+  const auto sto = runNoisyTransient(sys, RVec(1, 0.0), tn, 99);
+  ASSERT_TRUE(det.ok);
+  ASSERT_TRUE(sto.ok);
+  EXPECT_NEAR(sto.x.back()[0], det.x.back()[0], 1e-9);
+}
+
+TEST(NoisyTransient, ResistorNoiseProducesExpectedVariance) {
+  // RC driven only by its own thermal noise: stationary variance of the
+  // capacitor voltage is kT/C (equipartition).
+  Circuit c;
+  const int a = c.node("a");
+  c.add<Resistor>("R1", a, -1, 1e5);
+  c.add<Capacitor>("C1", a, -1, 1e-15);  // tau = 0.1 ns, kT/C = 4.14e-6 V²
+  MnaSystem sys(c);
+  TransientOptions to;
+  to.dt = 5e-12;
+  to.tstop = 4e-7;  // thousands of tau
+  const auto tr = runNoisyTransient(sys, RVec(1, 0.0), to, 4242);
+  ASSERT_TRUE(tr.ok);
+  Real var = 0;
+  std::size_t count = 0;
+  for (std::size_t k = tr.x.size() / 4; k < tr.x.size(); ++k) {
+    var += tr.x[k][0] * tr.x[k][0];
+    ++count;
+  }
+  var /= static_cast<Real>(count);
+  const Real kTC = 1.380649e-23 * 300.0 / 1e-15;
+  EXPECT_GT(var, 0.5 * kTC);
+  EXPECT_LT(var, 1.6 * kTC);
+}
+
+}  // namespace
+}  // namespace rfic::analysis
