@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_bivariate_repr.dir/bench_fig23_bivariate_repr.cpp.o"
+  "CMakeFiles/bench_fig23_bivariate_repr.dir/bench_fig23_bivariate_repr.cpp.o.d"
+  "bench_fig23_bivariate_repr"
+  "bench_fig23_bivariate_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_bivariate_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

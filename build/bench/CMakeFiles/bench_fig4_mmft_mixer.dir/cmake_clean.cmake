@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mmft_mixer.dir/bench_fig4_mmft_mixer.cpp.o"
+  "CMakeFiles/bench_fig4_mmft_mixer.dir/bench_fig4_mmft_mixer.cpp.o.d"
+  "bench_fig4_mmft_mixer"
+  "bench_fig4_mmft_mixer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mmft_mixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

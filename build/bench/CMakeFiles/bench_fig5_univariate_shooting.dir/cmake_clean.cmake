@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_univariate_shooting.dir/bench_fig5_univariate_shooting.cpp.o"
+  "CMakeFiles/bench_fig5_univariate_shooting.dir/bench_fig5_univariate_shooting.cpp.o.d"
+  "bench_fig5_univariate_shooting"
+  "bench_fig5_univariate_shooting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_univariate_shooting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

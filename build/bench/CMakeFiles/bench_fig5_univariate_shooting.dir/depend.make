@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_univariate_shooting.
+# This may be replaced when dependencies are built.

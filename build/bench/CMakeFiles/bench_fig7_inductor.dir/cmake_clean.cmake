@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_inductor.dir/bench_fig7_inductor.cpp.o"
+  "CMakeFiles/bench_fig7_inductor.dir/bench_fig7_inductor.cpp.o.d"
+  "bench_fig7_inductor"
+  "bench_fig7_inductor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_inductor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

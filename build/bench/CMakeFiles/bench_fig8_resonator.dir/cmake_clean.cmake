@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_resonator.dir/bench_fig8_resonator.cpp.o"
+  "CMakeFiles/bench_fig8_resonator.dir/bench_fig8_resonator.cpp.o.d"
+  "bench_fig8_resonator"
+  "bench_fig8_resonator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_resonator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec22_mpde_methods.dir/bench_sec22_mpde_methods.cpp.o"
+  "CMakeFiles/bench_sec22_mpde_methods.dir/bench_sec22_mpde_methods.cpp.o.d"
+  "bench_sec22_mpde_methods"
+  "bench_sec22_mpde_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec22_mpde_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

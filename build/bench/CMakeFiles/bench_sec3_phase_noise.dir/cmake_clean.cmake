@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_phase_noise.dir/bench_sec3_phase_noise.cpp.o"
+  "CMakeFiles/bench_sec3_phase_noise.dir/bench_sec3_phase_noise.cpp.o.d"
+  "bench_sec3_phase_noise"
+  "bench_sec3_phase_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_phase_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

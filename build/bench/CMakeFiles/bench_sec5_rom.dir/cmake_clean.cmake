@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_rom.dir/bench_sec5_rom.cpp.o"
+  "CMakeFiles/bench_sec5_rom.dir/bench_sec5_rom.cpp.o.d"
+  "bench_sec5_rom"
+  "bench_sec5_rom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_rom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_rom_noise.dir/bench_sec5_rom_noise.cpp.o"
+  "CMakeFiles/bench_sec5_rom_noise.dir/bench_sec5_rom_noise.cpp.o.d"
+  "bench_sec5_rom_noise"
+  "bench_sec5_rom_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_rom_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

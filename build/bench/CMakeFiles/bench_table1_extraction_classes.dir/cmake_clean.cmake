@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_extraction_classes.dir/bench_table1_extraction_classes.cpp.o"
+  "CMakeFiles/bench_table1_extraction_classes.dir/bench_table1_extraction_classes.cpp.o.d"
+  "bench_table1_extraction_classes"
+  "bench_table1_extraction_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_extraction_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

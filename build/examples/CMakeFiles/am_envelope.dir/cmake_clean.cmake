@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_envelope.dir/am_envelope.cpp.o"
+  "CMakeFiles/am_envelope.dir/am_envelope.cpp.o.d"
+  "am_envelope"
+  "am_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

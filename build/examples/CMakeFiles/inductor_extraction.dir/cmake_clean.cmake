@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inductor_extraction.dir/inductor_extraction.cpp.o"
+  "CMakeFiles/inductor_extraction.dir/inductor_extraction.cpp.o.d"
+  "inductor_extraction"
+  "inductor_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inductor_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

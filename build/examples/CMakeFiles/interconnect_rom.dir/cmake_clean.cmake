@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_rom.dir/interconnect_rom.cpp.o"
+  "CMakeFiles/interconnect_rom.dir/interconnect_rom.cpp.o.d"
+  "interconnect_rom"
+  "interconnect_rom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_rom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixer_hb.dir/mixer_hb.cpp.o"
+  "CMakeFiles/mixer_hb.dir/mixer_hb.cpp.o.d"
+  "mixer_hb"
+  "mixer_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixer_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oscillator_phase_noise.dir/oscillator_phase_noise.cpp.o"
+  "CMakeFiles/oscillator_phase_noise.dir/oscillator_phase_noise.cpp.o.d"
+  "oscillator_phase_noise"
+  "oscillator_phase_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oscillator_phase_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

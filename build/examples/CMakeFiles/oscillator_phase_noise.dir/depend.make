@@ -1,0 +1,2 @@
+# Empty dependencies file for oscillator_phase_noise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ac.cpp" "src/CMakeFiles/rfic.dir/analysis/ac.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/analysis/ac.cpp.o.d"
+  "/root/repo/src/analysis/dc.cpp" "src/CMakeFiles/rfic.dir/analysis/dc.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/analysis/dc.cpp.o.d"
+  "/root/repo/src/analysis/noise.cpp" "src/CMakeFiles/rfic.dir/analysis/noise.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/analysis/noise.cpp.o.d"
+  "/root/repo/src/analysis/shooting.cpp" "src/CMakeFiles/rfic.dir/analysis/shooting.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/analysis/shooting.cpp.o.d"
+  "/root/repo/src/analysis/sparams.cpp" "src/CMakeFiles/rfic.dir/analysis/sparams.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/analysis/sparams.cpp.o.d"
+  "/root/repo/src/analysis/transient.cpp" "src/CMakeFiles/rfic.dir/analysis/transient.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/analysis/transient.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/rfic.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/devices.cpp" "src/CMakeFiles/rfic.dir/circuit/devices.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/circuit/devices.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/CMakeFiles/rfic.dir/circuit/mna.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/circuit/mna.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/rfic.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/semiconductors.cpp" "src/CMakeFiles/rfic.dir/circuit/semiconductors.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/circuit/semiconductors.cpp.o.d"
+  "/root/repo/src/circuit/sources.cpp" "src/CMakeFiles/rfic.dir/circuit/sources.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/circuit/sources.cpp.o.d"
+  "/root/repo/src/extraction/geometry.cpp" "src/CMakeFiles/rfic.dir/extraction/geometry.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/extraction/geometry.cpp.o.d"
+  "/root/repo/src/extraction/ies3.cpp" "src/CMakeFiles/rfic.dir/extraction/ies3.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/extraction/ies3.cpp.o.d"
+  "/root/repo/src/extraction/mom.cpp" "src/CMakeFiles/rfic.dir/extraction/mom.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/extraction/mom.cpp.o.d"
+  "/root/repo/src/extraction/panel_kernel.cpp" "src/CMakeFiles/rfic.dir/extraction/panel_kernel.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/extraction/panel_kernel.cpp.o.d"
+  "/root/repo/src/extraction/peec.cpp" "src/CMakeFiles/rfic.dir/extraction/peec.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/extraction/peec.cpp.o.d"
+  "/root/repo/src/extraction/spiral.cpp" "src/CMakeFiles/rfic.dir/extraction/spiral.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/extraction/spiral.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/rfic.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/hb/harmonic_balance.cpp" "src/CMakeFiles/rfic.dir/hb/harmonic_balance.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/hb/harmonic_balance.cpp.o.d"
+  "/root/repo/src/hb/hb_jacobian.cpp" "src/CMakeFiles/rfic.dir/hb/hb_jacobian.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/hb/hb_jacobian.cpp.o.d"
+  "/root/repo/src/hb/rf_measures.cpp" "src/CMakeFiles/rfic.dir/hb/rf_measures.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/hb/rf_measures.cpp.o.d"
+  "/root/repo/src/hb/spectrum.cpp" "src/CMakeFiles/rfic.dir/hb/spectrum.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/hb/spectrum.cpp.o.d"
+  "/root/repo/src/mpde/bivariate.cpp" "src/CMakeFiles/rfic.dir/mpde/bivariate.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/mpde/bivariate.cpp.o.d"
+  "/root/repo/src/mpde/envelope.cpp" "src/CMakeFiles/rfic.dir/mpde/envelope.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/mpde/envelope.cpp.o.d"
+  "/root/repo/src/mpde/fast_system.cpp" "src/CMakeFiles/rfic.dir/mpde/fast_system.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/mpde/fast_system.cpp.o.d"
+  "/root/repo/src/mpde/hier_shooting.cpp" "src/CMakeFiles/rfic.dir/mpde/hier_shooting.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/mpde/hier_shooting.cpp.o.d"
+  "/root/repo/src/mpde/mfdtd.cpp" "src/CMakeFiles/rfic.dir/mpde/mfdtd.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/mpde/mfdtd.cpp.o.d"
+  "/root/repo/src/mpde/mmft.cpp" "src/CMakeFiles/rfic.dir/mpde/mmft.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/mpde/mmft.cpp.o.d"
+  "/root/repo/src/numeric/dense.cpp" "src/CMakeFiles/rfic.dir/numeric/dense.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/numeric/dense.cpp.o.d"
+  "/root/repo/src/numeric/eig.cpp" "src/CMakeFiles/rfic.dir/numeric/eig.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/numeric/eig.cpp.o.d"
+  "/root/repo/src/numeric/lu.cpp" "src/CMakeFiles/rfic.dir/numeric/lu.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/numeric/lu.cpp.o.d"
+  "/root/repo/src/numeric/qr.cpp" "src/CMakeFiles/rfic.dir/numeric/qr.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/numeric/qr.cpp.o.d"
+  "/root/repo/src/numeric/svd.cpp" "src/CMakeFiles/rfic.dir/numeric/svd.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/numeric/svd.cpp.o.d"
+  "/root/repo/src/phasenoise/floquet.cpp" "src/CMakeFiles/rfic.dir/phasenoise/floquet.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/phasenoise/floquet.cpp.o.d"
+  "/root/repo/src/phasenoise/jitter_mc.cpp" "src/CMakeFiles/rfic.dir/phasenoise/jitter_mc.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/phasenoise/jitter_mc.cpp.o.d"
+  "/root/repo/src/phasenoise/phase_noise.cpp" "src/CMakeFiles/rfic.dir/phasenoise/phase_noise.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/phasenoise/phase_noise.cpp.o.d"
+  "/root/repo/src/rom/arnoldi_rom.cpp" "src/CMakeFiles/rfic.dir/rom/arnoldi_rom.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/rom/arnoldi_rom.cpp.o.d"
+  "/root/repo/src/rom/linear_system.cpp" "src/CMakeFiles/rfic.dir/rom/linear_system.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/rom/linear_system.cpp.o.d"
+  "/root/repo/src/rom/prima.cpp" "src/CMakeFiles/rfic.dir/rom/prima.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/rom/prima.cpp.o.d"
+  "/root/repo/src/rom/pvl.cpp" "src/CMakeFiles/rfic.dir/rom/pvl.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/rom/pvl.cpp.o.d"
+  "/root/repo/src/rom/rom_noise.cpp" "src/CMakeFiles/rfic.dir/rom/rom_noise.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/rom/rom_noise.cpp.o.d"
+  "/root/repo/src/sparse/krylov.cpp" "src/CMakeFiles/rfic.dir/sparse/krylov.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/sparse/krylov.cpp.o.d"
+  "/root/repo/src/sparse/sparse_lu.cpp" "src/CMakeFiles/rfic.dir/sparse/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/sparse/sparse_lu.cpp.o.d"
+  "/root/repo/src/sparse/sparse_matrix.cpp" "src/CMakeFiles/rfic.dir/sparse/sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/rfic.dir/sparse/sparse_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

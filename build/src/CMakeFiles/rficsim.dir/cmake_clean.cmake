@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rficsim.dir/cli/rficsim.cpp.o"
+  "CMakeFiles/rficsim.dir/cli/rficsim.cpp.o.d"
+  "rficsim"
+  "rficsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rficsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ac_noise.cpp" "tests/CMakeFiles/rfic_tests.dir/test_ac_noise.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_ac_noise.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/rfic_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_dc.cpp" "tests/CMakeFiles/rfic_tests.dir/test_dc.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_dc.cpp.o.d"
+  "/root/repo/tests/test_dense.cpp" "tests/CMakeFiles/rfic_tests.dir/test_dense.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_dense.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/rfic_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extraction.cpp" "tests/CMakeFiles/rfic_tests.dir/test_extraction.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_extraction.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/rfic_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_hb.cpp" "tests/CMakeFiles/rfic_tests.dir/test_hb.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_hb.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rfic_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_mpde.cpp" "tests/CMakeFiles/rfic_tests.dir/test_mpde.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_mpde.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/rfic_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_phasenoise.cpp" "tests/CMakeFiles/rfic_tests.dir/test_phasenoise.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_phasenoise.cpp.o.d"
+  "/root/repo/tests/test_rf_measures.cpp" "tests/CMakeFiles/rfic_tests.dir/test_rf_measures.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_rf_measures.cpp.o.d"
+  "/root/repo/tests/test_rom.cpp" "tests/CMakeFiles/rfic_tests.dir/test_rom.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_rom.cpp.o.d"
+  "/root/repo/tests/test_shooting.cpp" "tests/CMakeFiles/rfic_tests.dir/test_shooting.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_shooting.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/rfic_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_transient.cpp" "tests/CMakeFiles/rfic_tests.dir/test_transient.cpp.o" "gcc" "tests/CMakeFiles/rfic_tests.dir/test_transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
