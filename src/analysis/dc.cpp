@@ -93,12 +93,15 @@ bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
 }
 
 DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
+  RFIC_REQUIRE(sys.dim() > 0, "dcOperatingPoint: empty system");
+  RFIC_REQUIRE(opts.maxIterations > 0, "dcOperatingPoint: maxIterations == 0");
   DCResult res;
   res.x = RVec(sys.dim(), 0.0);
 
   // Strategy 1: plain Newton from zero.
   if (dcNewton(sys, res.x, 1.0, 0.0, opts, res.iterations)) {
     res.converged = true;
+    res.status = diag::SolverStatus::Converged;
     res.strategy = "newton";
     return res;
   }
@@ -122,6 +125,7 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
     if (ok) {
       res.x = x;
       res.converged = true;
+      res.status = diag::SolverStatus::Converged;
       res.iterations = iters;
       res.strategy = "gmin";
       return res;
@@ -146,6 +150,7 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
     if (ok) {
       res.x = x;
       res.converged = true;
+      res.status = diag::SolverStatus::Converged;
       res.iterations = iters;
       res.strategy = "source";
       return res;

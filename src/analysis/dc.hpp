@@ -4,6 +4,7 @@
 #pragma once
 
 #include "circuit/mna.hpp"
+#include "diag/convergence.hpp"
 
 namespace rfic::analysis {
 
@@ -23,6 +24,7 @@ struct DCOptions {
 struct DCResult {
   RVec x;
   bool converged = false;
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
   std::size_t iterations = 0;
   std::string strategy;  ///< "newton", "gmin", or "source"
 };

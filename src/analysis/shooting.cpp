@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "diag/contracts.hpp"
 #include "numeric/lu.hpp"
 
 namespace rfic::analysis {
@@ -61,12 +62,19 @@ PSSResult shootingPSS(const circuit::MnaSystem& sys, Real period,
     ++res.newtonIterations;
     if (!sweepPeriod(sys, 0.0, period, res.x0, opts, res.times,
                      res.trajectory, res.monodromy)) {
+      res.status = diag::SolverStatus::Breakdown;  // integrator failed
       return res;
     }
     RVec g = res.trajectory.back();
     g -= res.x0;
-    if (numeric::norm2(g) < opts.tolerance * (1.0 + numeric::norm2(res.x0))) {
+    const Real gnorm = numeric::norm2(g);
+    if (!diag::isFinite(gnorm)) {
+      res.status = diag::SolverStatus::Diverged;
+      return res;
+    }
+    if (gnorm < opts.tolerance * (1.0 + numeric::norm2(res.x0))) {
       res.converged = true;
+      res.status = diag::SolverStatus::Converged;
       return res;
     }
     // Solve (M − I)·dx = −g.
@@ -75,6 +83,7 @@ PSSResult shootingPSS(const circuit::MnaSystem& sys, Real period,
     const RVec dx = numeric::solveDense(std::move(j), g);
     res.x0 -= dx;
   }
+  res.status = diag::SolverStatus::MaxIterations;
   return res;
 }
 
@@ -97,13 +106,19 @@ PSSResult shootingOscillatorPSS(const circuit::MnaSystem& sys,
     ++res.newtonIterations;
     if (!sweepPeriod(sys, 0.0, res.period, res.x0, opts, res.times,
                      res.trajectory, res.monodromy)) {
+      res.status = diag::SolverStatus::Breakdown;  // integrator failed
       return res;
     }
     RVec g = res.trajectory.back();
     g -= res.x0;
     const Real gnorm = numeric::norm2(g);
+    if (!diag::isFinite(gnorm)) {
+      res.status = diag::SolverStatus::Diverged;
+      return res;
+    }
     if (gnorm < opts.tolerance * (1.0 + numeric::norm2(res.x0))) {
       res.converged = true;
+      res.status = diag::SolverStatus::Converged;
       return res;
     }
 
@@ -132,6 +147,7 @@ PSSResult shootingOscillatorPSS(const circuit::MnaSystem& sys,
     res.period -= alpha * d[n];
     RFIC_REQUIRE(res.period > 0, "shootingOscillatorPSS: period collapsed");
   }
+  res.status = diag::SolverStatus::MaxIterations;
   return res;
 }
 

@@ -14,6 +14,7 @@
 
 #include "analysis/transient.hpp"
 #include "circuit/mna.hpp"
+#include "diag/convergence.hpp"
 #include "numeric/dense.hpp"
 
 namespace rfic::analysis {
@@ -37,6 +38,7 @@ struct ShootingOptions {
 
 struct PSSResult {
   bool converged = false;
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
   Real period = 0;
   IntegrationMethod method = IntegrationMethod::backwardEuler;
   RVec x0;                       ///< state at t = 0 on the periodic orbit

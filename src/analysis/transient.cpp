@@ -1,5 +1,7 @@
 #include "analysis/transient.hpp"
 
+#include "diag/contracts.hpp"
+
 #include <cmath>
 #include <random>
 
@@ -14,7 +16,7 @@ numeric::RMat tripletsTimesDense(const sparse::RTriplets& t,
                                  const numeric::RMat& s) {
   numeric::RMat out(t.rows(), s.cols());
   for (const auto& e : t.entries()) {
-    if (e.value == 0.0) continue;
+    if (diag::exactlyZero(e.value)) continue;
     for (std::size_t j = 0; j < s.cols(); ++j)
       out(e.row, j) += e.value * s(e.col, j);
   }
@@ -162,7 +164,7 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
     circuit::MnaEval e0;
     sys.eval(x0, opts.tstart, e0, true);
     for (const auto& en : e0.C.entries())
-      if (en.value != 0.0) dynamicMask[en.row] = 1;
+      if (!diag::exactlyZero(en.value)) dynamicMask[en.row] = 1;
   }
 
   res.time.push_back(t);

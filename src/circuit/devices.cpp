@@ -10,8 +10,11 @@ constexpr Real kKT = 1.380649e-23 * 300.0;
 }  // namespace
 
 Resistor::Resistor(std::string name, int n1, int n2, Real ohms)
-    : Device(std::move(name)), n1_(n1), n2_(n2), r_(ohms), g_(1.0 / ohms) {
+    : Device(std::move(name)), n1_(n1), n2_(n2), r_(ohms), g_(0) {
+  // Validate before dividing: with FE trapping armed, 1/0 in the
+  // initializer list would raise SIGFPE before this throw.
   RFIC_REQUIRE(ohms > 0, "Resistor: resistance must be positive");
+  g_ = 1.0 / ohms;
 }
 
 void Resistor::stamp(const RVec& x, const RVec*, Stamp& s) const {

@@ -10,8 +10,11 @@
 //   .hb <f1> <h1> [<f2> <h2>]    harmonic balance, 1 or 2 tones
 //   .print <node> [<node>...]    selects output nodes (default: all)
 //
-// Usage: rficsim <netlist-file>     (or netlist on stdin with "-")
+// Usage: rficsim [--fe-trap] <netlist-file>   (or netlist on stdin with "-")
+// --fe-trap arms floating-point exception trapping (SIGFPE at the first
+// invalid operation) for debugging NaN propagation.
 #include <cmath>
+#include <memory>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -25,6 +28,7 @@
 #include "analysis/transient.hpp"
 #include "circuit/netlist.hpp"
 #include "circuit/sources.hpp"
+#include "diag/fe_trap.hpp"
 #include "hb/harmonic_balance.hpp"
 #include "hb/spectrum.hpp"
 
@@ -202,8 +206,17 @@ int runFile(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --fe-trap: crash (SIGFPE) at the first invalid FP operation instead of
+  // letting a NaN propagate through a solve — the debugging mode of the
+  // numerics-contract layer.
+  std::unique_ptr<diag::ScopedFeTrap> feTrap;
+  if (argc >= 2 && std::string(argv[1]) == "--fe-trap") {
+    feTrap = std::make_unique<diag::ScopedFeTrap>();
+    --argc;
+    ++argv;
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: rficsim <netlist-file | ->\n");
+    std::fprintf(stderr, "usage: rficsim [--fe-trap] <netlist-file | ->\n");
     return 1;
   }
   std::string text;

@@ -1,0 +1,117 @@
+// Numerics contracts: runtime checks for the invariants that, when broken,
+// produce plausible-but-wrong spectra instead of crashes.
+//
+// The delicate kernels of this library — matrix-implicit Krylov harmonic
+// balance, the Demir/Roychowdhury phase-noise machinery, IES³ compression —
+// all share the same failure mode: a NaN or a dimension slip propagates
+// silently and corrupts the result without any visible error. This header
+// provides two layers of defence:
+//
+//  * Always-on functions (`checkFinite`, `checkDims`, `exactlyZero`) used
+//    at public API boundaries, where the cost is negligible relative to the
+//    work behind the call.
+//  * `RFIC_CONTRACT` / `RFIC_CHECK_FINITE` / `RFIC_CHECK_DIMS` macros for
+//    hot inner loops. They compile to nothing unless `RFIC_DIAG` is
+//    defined (the `Diag` build type defines it globally, so every TU in a
+//    build agrees and there is no ODR hazard). Use the macros inside .cpp
+//    files on hot paths; use the functions at entry points.
+//
+// Contract violations throw the library's existing exception taxonomy:
+// dimension errors are `InvalidArgument` (caller-preventable), non-finite
+// values are `NumericalError` (data-dependent).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "common.hpp"
+
+namespace rfic::diag {
+
+/// True if v is neither NaN nor ±Inf.
+inline bool isFinite(Real v) { return std::isfinite(v); }
+inline bool isFinite(const Complex& v) {
+  return std::isfinite(v.real()) && std::isfinite(v.imag());
+}
+
+/// Intentional exact floating-point comparison against zero. Exact-zero
+/// tests are legitimate (breakdown guards, unset-value sentinels, skipping
+/// exact-zero pivots) but indistinguishable in source from the accidental
+/// `==` the numerics lint forbids; routing them through this helper makes
+/// the intent auditable. Anything tolerance-like must use an explicit
+/// threshold instead.
+inline bool exactlyZero(Real v) { return v == Real(0); }  // lint: allow-float-eq
+inline bool exactlyZero(const Complex& v) {
+  return exactlyZero(v.real()) && exactlyZero(v.imag());
+}
+
+/// Throw NumericalError naming `what` if v is NaN or Inf.
+inline void checkFinite(Real v, const char* what) {
+  if (!isFinite(v))
+    failNumerical(std::string(what) + ": non-finite value " +
+                  std::to_string(v));
+}
+inline void checkFinite(const Complex& v, const char* what) {
+  if (!isFinite(v))
+    failNumerical(std::string(what) + ": non-finite value (" +
+                  std::to_string(v.real()) + ", " + std::to_string(v.imag()) +
+                  ")");
+}
+
+/// Throw NumericalError naming `what` and the offending index if any
+/// element of [first, first+n) is NaN or Inf.
+template <class T>
+void checkFiniteRange(const T* first, std::size_t n, const char* what) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!isFinite(first[i]))
+      failNumerical(std::string(what) + ": non-finite value at index " +
+                    std::to_string(i));
+  }
+}
+
+/// Container overload: anything contiguous — Vec/std::vector (data/size)
+/// or Mat (data/rows/cols).
+template <class C>
+void checkFinite(const C& c, const char* what) {
+  if constexpr (requires { c.size(); }) {
+    checkFiniteRange(c.data(), c.size(), what);
+  } else {
+    checkFiniteRange(c.data(), c.rows() * c.cols(), what);
+  }
+}
+
+/// Throw InvalidArgument reporting both sizes if actual != expected.
+inline void checkDims(std::size_t actual, std::size_t expected,
+                      const char* what) {
+  if (actual != expected)
+    failInvalid(std::string(what) + ": dimension mismatch, got " +
+                std::to_string(actual) + ", expected " +
+                std::to_string(expected));
+}
+
+}  // namespace rfic::diag
+
+// Hot-path contract macros: active only in the Diag build type (which
+// defines RFIC_DIAG for every TU), compiled out everywhere else. Keep them
+// out of header-inline functions — TU-dependent expansion there would be an
+// ODR violation.
+#ifdef RFIC_DIAG
+#define RFIC_CONTRACT(cond, msg) \
+  do {                           \
+    if (!(cond)) ::rfic::failNumerical(msg); \
+  } while (false)
+#define RFIC_CHECK_FINITE(value, what) ::rfic::diag::checkFinite(value, what)
+#define RFIC_CHECK_DIMS(actual, expected, what) \
+  ::rfic::diag::checkDims(actual, expected, what)
+#else
+#define RFIC_CONTRACT(cond, msg) \
+  do {                           \
+  } while (false)
+#define RFIC_CHECK_FINITE(value, what) \
+  do {                                 \
+  } while (false)
+#define RFIC_CHECK_DIMS(actual, expected, what) \
+  do {                                          \
+  } while (false)
+#endif

@@ -1,0 +1,38 @@
+// Structured convergence reporting shared by every iterative solver.
+//
+// The project rule (enforced by tools/numerics_lint.py) is that no
+// iterative process may silently return: GMRES, BiCGSTAB, CG, the shooting
+// and HB Newton loops, and DC continuation all classify *why* they stopped,
+// not just whether the residual target was met. Callers that previously
+// read only the `converged` bool keep working; callers that need to
+// distinguish "hit the iteration cap while still contracting" from "the
+// recurrence broke down on a singular system" now can.
+#pragma once
+
+namespace rfic::diag {
+
+/// Why an iterative solver stopped.
+enum class SolverStatus {
+  NotRun = 0,     ///< solver was never entered (default-constructed result)
+  Converged,      ///< residual target met
+  MaxIterations,  ///< iteration cap hit before the target
+  Breakdown,      ///< recurrence broke down (e.g. rho ≈ 0 in BiCGSTAB);
+                  ///< typical of singular or near-singular systems
+  Stagnated,      ///< residual stopped improving (Krylov space exhausted)
+  Diverged,       ///< residual became non-finite (NaN/Inf)
+};
+
+/// Stable human-readable name for logs and error messages.
+inline const char* toString(SolverStatus s) {
+  switch (s) {
+    case SolverStatus::NotRun: return "not-run";
+    case SolverStatus::Converged: return "converged";
+    case SolverStatus::MaxIterations: return "max-iterations";
+    case SolverStatus::Breakdown: return "breakdown";
+    case SolverStatus::Stagnated: return "stagnated";
+    case SolverStatus::Diverged: return "diverged";
+  }
+  return "unknown";
+}
+
+}  // namespace rfic::diag

@@ -1,0 +1,29 @@
+#include "diag/fe_trap.hpp"
+
+#include <cfenv>
+
+namespace rfic::diag {
+
+#if defined(__GLIBC__)
+
+ScopedFeTrap::ScopedFeTrap() {
+  previousMask_ = fegetexcept();
+  feenableexcept(FE_INVALID | FE_DIVBYZERO | FE_OVERFLOW);
+}
+
+ScopedFeTrap::~ScopedFeTrap() {
+  fedisableexcept(FE_ALL_EXCEPT);
+  if (previousMask_ >= 0) feenableexcept(previousMask_);
+}
+
+bool ScopedFeTrap::supported() { return true; }
+
+#else
+
+ScopedFeTrap::ScopedFeTrap() = default;
+ScopedFeTrap::~ScopedFeTrap() = default;
+bool ScopedFeTrap::supported() { return false; }
+
+#endif
+
+}  // namespace rfic::diag

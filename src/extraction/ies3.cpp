@@ -76,6 +76,8 @@ namespace {
 void acaCompress(const std::function<Real(std::size_t, std::size_t)>& entry,
                  std::size_t m, std::size_t n, Real tol, std::size_t maxRank,
                  RMat& uOut, RMat& vOut) {
+  RFIC_REQUIRE(m > 0 && n > 0, "acaCompress: empty block");
+  RFIC_REQUIRE(tol > 0, "acaCompress: tolerance must be positive");
   std::vector<RVec> us, vs;
   std::vector<char> rowUsed(m, 0), colUsed(n, 0);
   Real frob2 = 0;  // running ‖S_k‖²_F estimate

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "diag/contracts.hpp"
+
 namespace rfic::fft {
 
 namespace {
@@ -84,10 +86,17 @@ std::size_t nextPowerOfTwo(std::size_t n) {
   return p;
 }
 
-void fft(std::vector<Complex>& x) { transform(x, false); }
-void ifft(std::vector<Complex>& x) { transform(x, true); }
+void fft(std::vector<Complex>& x) {
+  RFIC_CHECK_FINITE(x, "fft: input");
+  transform(x, false);
+}
+void ifft(std::vector<Complex>& x) {
+  RFIC_CHECK_FINITE(x, "ifft: input");
+  transform(x, true);
+}
 
 std::vector<Complex> rfft(const std::vector<Real>& x) {
+  RFIC_REQUIRE(!x.empty(), "rfft: empty input");
   std::vector<Complex> c(x.begin(), x.end());
   fft(c);
   c.resize(x.size() / 2 + 1);
@@ -95,6 +104,9 @@ std::vector<Complex> rfft(const std::vector<Real>& x) {
 }
 
 std::vector<Real> irfft(const std::vector<Complex>& half, std::size_t n) {
+  // n == 0 would pass the size check below (0/2 + 1 == 1) and then write
+  // half[0] into an empty buffer — reject it explicitly.
+  RFIC_REQUIRE(n > 0, "irfft: zero output length");
   RFIC_REQUIRE(half.size() == n / 2 + 1, "irfft: half spectrum size mismatch");
   std::vector<Complex> full(n);
   for (std::size_t k = 0; k < half.size(); ++k) full[k] = half[k];

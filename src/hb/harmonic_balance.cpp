@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "diag/contracts.hpp"
 #include "fft/fft.hpp"
 #include "hb/hb_jacobian.hpp"
 #include "numeric/lu.hpp"
@@ -86,6 +87,10 @@ std::pair<Real, Real> HarmonicBalance::sampleTimes(std::size_t s) const {
 }
 
 void HarmonicBalance::spectrumToTime(const CMat& coeffs, RMat& samples) const {
+  RFIC_CHECK_DIMS(coeffs.rows(), n_, "HB::spectrumToTime coeffs rows");
+  RFIC_CHECK_DIMS(coeffs.cols(), indices_.size(),
+                  "HB::spectrumToTime coeffs cols");
+  RFIC_CHECK_FINITE(coeffs, "HB::spectrumToTime coeffs");
   samples = RMat(n_, msamp_);
   std::vector<Complex> grid(msamp_);
   const Real scale = static_cast<Real>(msamp_);
@@ -108,6 +113,9 @@ void HarmonicBalance::spectrumToTime(const CMat& coeffs, RMat& samples) const {
 }
 
 void HarmonicBalance::timeToSpectrum(const RMat& samples, CMat& coeffs) const {
+  RFIC_CHECK_DIMS(samples.rows(), n_, "HB::timeToSpectrum samples rows");
+  RFIC_CHECK_DIMS(samples.cols(), msamp_, "HB::timeToSpectrum samples cols");
+  RFIC_CHECK_FINITE(samples, "HB::timeToSpectrum samples");
   coeffs = CMat(n_, indices_.size());
   std::vector<Complex> grid(msamp_);
   const Real inv = 1.0 / static_cast<Real>(msamp_);
@@ -240,6 +248,11 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
       packReal(bSpec, bPack);
       const Real scale = 1e-12 + numeric::norm2(bPack);
       const Real rnorm = numeric::norm2(r);
+      if (!diag::isFinite(rnorm)) {
+        sol.status = diag::SolverStatus::Diverged;
+        sol.coeffs = coeffs;
+        return sol;
+      }
       if (rnorm < opts_.tolerance * scale) {
         stageConverged = true;
         break;
@@ -289,12 +302,14 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
       }
     }
     if (!stageConverged && stage == ramp) {
+      sol.status = diag::SolverStatus::MaxIterations;
       sol.coeffs = coeffs;
       return sol;  // converged flag stays false
     }
   }
 
   sol.converged = true;
+  sol.status = diag::SolverStatus::Converged;
   sol.coeffs = coeffs;
   return sol;
 }

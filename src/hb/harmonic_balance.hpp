@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "circuit/mna.hpp"
+#include "diag/convergence.hpp"
 #include "numeric/dense.hpp"
 #include "sparse/krylov.hpp"
 
@@ -48,6 +49,7 @@ struct HBOptions {
 /// Converged HB spectrum plus solver statistics.
 struct HBSolution {
   bool converged = false;
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
   std::size_t newtonIterations = 0;
   std::size_t gmresIterations = 0;  ///< cumulative inner iterations
   std::size_t realUnknowns = 0;     ///< size of the Newton system

@@ -1,5 +1,7 @@
 #include "mpde/mmft.hpp"
 
+#include "diag/contracts.hpp"
+
 namespace rfic::mpde {
 
 namespace {
@@ -62,7 +64,7 @@ class MMFTStacked final : public FastSystem {
         // Coupling Jacobian: ∂/∂y_l of D(m,l)·q(y_l) = D(m,l)·C_l.
         for (std::size_t l = 0; l < m1_; ++l) {
           const Real dml = d_(m, l);
-          if (dml == 0.0) continue;
+          if (diag::exactlyZero(dml)) continue;
           for (const auto& en : evals[l].C.entries())
             e.G(m * n_ + en.row, l * n_ + en.col) += dml * en.value;
         }

@@ -1,5 +1,7 @@
 #include "numeric/lu.hpp"
 
+#include "diag/contracts.hpp"
+
 #include <cmath>
 
 namespace rfic::numeric {
@@ -21,7 +23,7 @@ LU<T>::LU(Mat<T> a) : lu_(std::move(a)) {
         p = i;
       }
     }
-    if (pmax == Real{0}) failNumerical("LU: matrix is singular");
+    if (diag::exactlyZero(pmax)) failNumerical("LU: matrix is singular");
     piv_[k] = static_cast<int>(p);
     if (p != k) {
       pivSign_ = -pivSign_;
@@ -31,7 +33,7 @@ LU<T>::LU(Mat<T> a) : lu_(std::move(a)) {
     for (std::size_t i = k + 1; i < n; ++i) {
       const T m = lu_(i, k) / pivot;
       lu_(i, k) = m;
-      if (m == T{}) continue;
+      if (diag::exactlyZero(m)) continue;
       const T* rowk = lu_.rowPtr(k);
       T* rowi = lu_.rowPtr(i);
       for (std::size_t j = k + 1; j < n; ++j) rowi[j] -= m * rowk[j];

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <map>
 
+#include "diag/contracts.hpp"
+
 namespace rfic::phasenoise {
 
 Real PhaseNoiseResult::lorentzian(int k, Real offsetHz) const {
@@ -19,7 +21,8 @@ Real PhaseNoiseResult::ssbPhaseNoiseDbc(Real offsetHz) const {
 Real PhaseNoiseResult::ltvPhaseNoiseDbc(Real offsetHz) const {
   const Real w0 = kTwoPi * f0;
   const Real dw = kTwoPi * offsetHz;
-  RFIC_REQUIRE(offsetHz != 0, "ltvPhaseNoiseDbc: diverges at zero offset");
+  RFIC_REQUIRE(!diag::exactlyZero(offsetHz),
+               "ltvPhaseNoiseDbc: diverges at zero offset");
   return 10.0 * std::log10(w0 * w0 * c / (dw * dw));
 }
 
@@ -30,6 +33,12 @@ Real PhaseNoiseResult::linewidthHz() const {
 
 PhaseNoiseResult analyzeOscillatorPhaseNoise(const MnaSystem& sys,
                                              const PSSResult& pss) {
+  // An unconverged or empty PSS would silently produce garbage (and
+  // trajectory.size() - 1 below would wrap on an empty trajectory).
+  RFIC_REQUIRE(pss.converged, "analyzeOscillatorPhaseNoise: PSS not converged");
+  RFIC_REQUIRE(pss.trajectory.size() >= 2 && pss.period > 0,
+               "analyzeOscillatorPhaseNoise: empty PSS trajectory");
+
   PhaseNoiseResult res;
   res.period = pss.period;
   res.f0 = 1.0 / pss.period;
@@ -59,6 +68,7 @@ PhaseNoiseResult analyzeOscillatorPhaseNoise(const MnaSystem& sys,
     }
   }
   c /= pss.period;
+  diag::checkFinite(c, "analyzeOscillatorPhaseNoise: diffusion constant c");
   res.c = c;
   res.perSource.reserve(bySource.size());
   for (auto& [label, val] : bySource)

@@ -3,7 +3,11 @@
 #include <cmath>
 #include <vector>
 
+#include "diag/contracts.hpp"
+
 namespace rfic::sparse {
+
+using diag::SolverStatus;
 
 namespace {
 
@@ -31,10 +35,12 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
   if (x.size() != n) x = Vec<T>(n);
 
   const Real bnorm = numeric::norm2(b);
+  diag::checkFinite(bnorm, "gmres: rhs norm");
   IterativeResult res;
-  if (bnorm == 0) {
+  if (diag::exactlyZero(bnorm)) {
     x.setZero();
     res.converged = true;
+    res.status = SolverStatus::Converged;
     return res;
   }
   const Real target = opts.tolerance * bnorm;
@@ -46,6 +52,7 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
   Vec<T> w(n), tmp(n);
 
   std::size_t totalIt = 0;
+  Real lastRestartResidual = -1;  // true residual at the previous restart
   while (totalIt < opts.maxIterations) {
     // r = b - A x  (A applied to the true x; preconditioning is right-sided)
     a.apply(x, w);
@@ -53,10 +60,24 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
     r -= w;
     Real beta = numeric::norm2(r);
     res.residualNorm = beta;
-    if (beta <= target) {
-      res.converged = true;
+    if (!diag::isFinite(beta)) {
+      res.status = SolverStatus::Diverged;
       return res;
     }
+    if (beta <= target) {
+      res.converged = true;
+      res.status = SolverStatus::Converged;
+      return res;
+    }
+    // A restart cycle that produced no residual reduction at all means the
+    // Krylov space is exhausted (singular or inconsistent system): x is
+    // already the least-squares-optimal point reachable, and further
+    // restarts would spin on identical iterates until the iteration cap.
+    if (lastRestartResidual >= 0 && beta >= lastRestartResidual) {
+      res.status = SolverStatus::Stagnated;
+      return res;
+    }
+    lastRestartResidual = beta;
 
     v.assign(1, r);
     v[0] *= T(1.0 / beta);
@@ -76,6 +97,7 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
         numeric::axpy(-hij, v[i], w);
       }
       const Real wnorm = numeric::norm2(w);
+      RFIC_CHECK_FINITE(wnorm, "gmres: Arnoldi vector norm");
       h(j + 1, j) = wnorm;
       if (wnorm > 0) {
         Vec<T> vj1 = w;
@@ -91,7 +113,7 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
       // New rotation to annihilate h(j+1, j).
       const T f = h(j, j), gg = h(j + 1, j);
       const Real denom = std::sqrt(std::norm(Complex(f)) + std::norm(Complex(gg)));
-      if (denom == 0) {
+      if (diag::exactlyZero(denom)) {
         cs[j] = T(1);
         sn[j] = T(0);
       } else {
@@ -111,12 +133,14 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
       }
     }
 
-    // Solve the small triangular system and update x.
+    // Solve the small triangular system and update x. A zero diagonal in
+    // the projected triangular factor means the Krylov space hit a
+    // singular direction; skip that component rather than dividing by it.
     std::vector<T> y(j);
     for (std::size_t i = j; i-- > 0;) {
       T s = g[i];
       for (std::size_t k = i + 1; k < j; ++k) s -= h(i, k) * y[k];
-      y[i] = s / h(i, i);
+      y[i] = diag::exactlyZero(h(i, i)) ? T(0) : s / h(i, i);
     }
     Vec<T> du(n);
     for (std::size_t i = 0; i < j; ++i) numeric::axpy(y[i], v[i], du);
@@ -124,10 +148,26 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
     x += tmp;
 
     if (res.residualNorm <= target) {
-      res.converged = true;
-      return res;
+      // The Givens recurrence estimate |g(j+1)| is unreliable once a zero
+      // appears on the projected Hessenberg diagonal (happy breakdown on a
+      // singular system drives it to exactly 0 while the true residual is
+      // stuck at the least-squares distance). Never declare convergence on
+      // the estimate alone — confirm with a true residual.
+      a.apply(x, w);
+      Vec<T> r2 = b;
+      r2 -= w;
+      const Real trueRes = numeric::norm2(r2);
+      res.residualNorm = trueRes;
+      if (trueRes <= target) {
+        res.converged = true;
+        res.status = SolverStatus::Converged;
+        return res;
+      }
+      // Otherwise fall through: the restart loop re-enters and the
+      // stagnation detector classifies a system that cannot improve.
     }
   }
+  res.status = SolverStatus::MaxIterations;
   return res;
 }
 
@@ -141,9 +181,11 @@ IterativeResult bicgstab(const LinearOperator<T>& a, const Vec<T>& b,
 
   IterativeResult res;
   const Real bnorm = numeric::norm2(b);
-  if (bnorm == 0) {
+  diag::checkFinite(bnorm, "bicgstab: rhs norm");
+  if (diag::exactlyZero(bnorm)) {
     x.setZero();
     res.converged = true;
+    res.status = SolverStatus::Converged;
     return res;
   }
   const Real target = opts.tolerance * bnorm;
@@ -158,7 +200,10 @@ IterativeResult bicgstab(const LinearOperator<T>& a, const Vec<T>& b,
 
   for (std::size_t it = 0; it < opts.maxIterations; ++it) {
     const T rhoNew = numeric::dot(rhat, r);
-    if (std::abs(rhoNew) < 1e-300) break;  // breakdown
+    if (std::abs(rhoNew) < 1e-300) {
+      res.status = SolverStatus::Breakdown;  // rho ≈ 0: Lanczos breakdown
+      return res;
+    }
     if (it == 0) {
       p = r;
     } else {
@@ -169,30 +214,52 @@ IterativeResult bicgstab(const LinearOperator<T>& a, const Vec<T>& b,
     rho = rhoNew;
     applyOrCopy(rightPrec, p, phat);
     a.apply(phat, vv);
-    alpha = rho / numeric::dot(rhat, vv);
+    const T rhatv = numeric::dot(rhat, vv);
+    if (std::abs(rhatv) < 1e-300) {
+      res.status = SolverStatus::Breakdown;  // ⟨r̂, A·p̂⟩ ≈ 0
+      return res;
+    }
+    alpha = rho / rhatv;
     for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * vv[i];
     res.residualNorm = numeric::norm2(s);
     ++res.iterations;
+    if (!diag::isFinite(res.residualNorm)) {
+      res.status = SolverStatus::Diverged;
+      return res;
+    }
     if (res.residualNorm <= target) {
       numeric::axpy(alpha, phat, x);
       res.converged = true;
+      res.status = SolverStatus::Converged;
       return res;
     }
     applyOrCopy(rightPrec, s, shat);
     a.apply(shat, t);
     const Real tn = numeric::norm2(t);
-    if (tn == 0) break;
+    if (diag::exactlyZero(tn)) {
+      res.status = SolverStatus::Breakdown;
+      return res;
+    }
     omega = numeric::dot(t, s) / static_cast<T>(tn * tn);
     for (std::size_t i = 0; i < n; ++i)
       x[i] += alpha * phat[i] + omega * shat[i];
     for (std::size_t i = 0; i < n; ++i) r[i] = s[i] - omega * t[i];
     res.residualNorm = numeric::norm2(r);
-    if (res.residualNorm <= target) {
-      res.converged = true;
+    if (!diag::isFinite(res.residualNorm)) {
+      res.status = SolverStatus::Diverged;
       return res;
     }
-    if (std::abs(omega) < 1e-300) break;
+    if (res.residualNorm <= target) {
+      res.converged = true;
+      res.status = SolverStatus::Converged;
+      return res;
+    }
+    if (std::abs(omega) < 1e-300) {
+      res.status = SolverStatus::Breakdown;  // omega ≈ 0: stabiliser stalled
+      return res;
+    }
   }
+  res.status = SolverStatus::MaxIterations;
   return res;
 }
 
@@ -205,9 +272,11 @@ IterativeResult conjugateGradient(const LinearOperator<Real>& a,
 
   IterativeResult res;
   const Real bnorm = numeric::norm2(b);
-  if (bnorm == 0) {
+  diag::checkFinite(bnorm, "cg: rhs norm");
+  if (diag::exactlyZero(bnorm)) {
     x.setZero();
     res.converged = true;
+    res.status = SolverStatus::Converged;
     return res;
   }
   const Real target = opts.tolerance * bnorm;
@@ -219,20 +288,31 @@ IterativeResult conjugateGradient(const LinearOperator<Real>& a,
   Real rs = numeric::dot(r, r);
   for (std::size_t it = 0; it < opts.maxIterations; ++it) {
     a.apply(p, ap);
-    const Real alpha = rs / numeric::dot(p, ap);
+    const Real pap = numeric::dot(p, ap);
+    if (std::abs(pap) < 1e-300) {
+      res.status = SolverStatus::Breakdown;  // ⟨p, A·p⟩ ≈ 0: A not SPD
+      return res;
+    }
+    const Real alpha = rs / pap;
     numeric::axpy(alpha, p, x);
     numeric::axpy(-alpha, ap, r);
     const Real rsNew = numeric::dot(r, r);
     res.residualNorm = std::sqrt(rsNew);
     ++res.iterations;
+    if (!diag::isFinite(res.residualNorm)) {
+      res.status = SolverStatus::Diverged;
+      return res;
+    }
     if (res.residualNorm <= target) {
       res.converged = true;
+      res.status = SolverStatus::Converged;
       return res;
     }
     p *= rsNew / rs;
     p += r;
     rs = rsNew;
   }
+  res.status = SolverStatus::MaxIterations;
   return res;
 }
 
@@ -241,7 +321,7 @@ JacobiPreconditioner<T>::JacobiPreconditioner(const CSR<T>& a)
     : invDiag_(a.rows(), T(1)) {
   for (std::size_t r = 0; r < a.rows(); ++r) {
     for (std::size_t p = a.rowPtr()[r]; p < a.rowPtr()[r + 1]; ++p) {
-      if (a.colIdx()[p] == r && a.values()[p] != T{}) {
+      if (a.colIdx()[p] == r && !diag::exactlyZero(a.values()[p])) {
         invDiag_[r] = T(1) / a.values()[p];
         break;
       }

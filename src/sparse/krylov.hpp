@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "diag/convergence.hpp"
 #include "numeric/dense.hpp"
 #include "sparse/sparse_matrix.hpp"
 
@@ -54,11 +55,17 @@ class CSROperator final : public LinearOperator<T> {
   const CSR<T>& a_;
 };
 
-/// Iteration report shared by all solvers.
+/// Iteration report shared by all solvers. `status` classifies *why* the
+/// solver stopped (converged / iteration cap / breakdown / stagnation /
+/// divergence); `converged` is kept as the common fast-path query.
 struct IterativeResult {
   bool converged = false;
   std::size_t iterations = 0;
   Real residualNorm = 0;
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
+
+  /// Stable name of `status` for logs and error messages.
+  const char* statusName() const { return diag::toString(status); }
 };
 
 struct IterativeOptions {

@@ -145,5 +145,49 @@ TEST(Edge, ConditionEstimateOfNearSingularMatrix) {
   EXPECT_GT(numeric::conditionEstimate(a), 1e12);
 }
 
+TEST(Edge, ZeroLengthRealFFTRejected) {
+  // rfft of an empty signal used to fabricate a one-element spectrum; the
+  // inverse direction wrote through an empty buffer (out-of-bounds). Both
+  // are now explicit errors.
+  EXPECT_THROW(fft::rfft({}), InvalidArgument);
+  EXPECT_THROW(fft::irfft({Complex(1.0, 0.0)}, 0), InvalidArgument);
+}
+
+TEST(Edge, RealFFTRoundTripSmallestLengths) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    std::vector<Real> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<Real>(i) + 0.5;
+    const auto half = fft::rfft(x);
+    ASSERT_EQ(half.size(), n / 2 + 1);
+    const auto back = fft::irfft(half, n);
+    ASSERT_EQ(back.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-12);
+  }
+}
+
+TEST(Edge, FFT2SizeMismatchRejected) {
+  std::vector<Complex> x(6);
+  EXPECT_THROW(fft::fft2(x, 2, 2), InvalidArgument);
+  EXPECT_THROW(fft::ifft2(x, 4, 2), InvalidArgument);
+}
+
+TEST(Edge, SingularDenseLUThrowsNumericalError) {
+  RMat a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;  // rank 1
+  EXPECT_THROW(numeric::LU<Real>{a}, NumericalError);
+}
+
+TEST(Edge, SingularSparseSystemRejected) {
+  sparse::RTriplets t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 1.0);  // rank 1
+  EXPECT_THROW(sparse::RSparseLU lu{t}, NumericalError);
+}
+
 }  // namespace
 }  // namespace rfic

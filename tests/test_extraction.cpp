@@ -346,7 +346,9 @@ TEST(Resonator, AssemblyCapacitanceMatrixIsPhysical) {
     EXPECT_GT(cap.matrix(i, i), 0.0);
     Real rowSum = 0;
     for (std::size_t j = 0; j < nc; ++j) {
-      if (i != j) EXPECT_LT(cap.matrix(i, j), 0.0);
+      if (i != j) {
+        EXPECT_LT(cap.matrix(i, j), 0.0);
+      }
       rowSum += cap.matrix(i, j);
     }
     EXPECT_GT(rowSum, -1e-15);  // capacitance to infinity is non-negative

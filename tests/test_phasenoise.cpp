@@ -28,7 +28,7 @@ using numeric::RVec;
 class VdpPhaseNoise : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    circuitPtr = new Circuit;
+    circuitPtr = std::make_unique<Circuit>();
     Circuit& c = *circuitPtr;
     const int v = c.node("v");
     const int br = c.allocBranch("L1");
@@ -36,7 +36,7 @@ class VdpPhaseNoise : public ::testing::Test {
     c.add<Inductor>("L1", v, -1, br, 1e-6);
     c.add<Resistor>("Rl", v, -1, 2000.0);
     c.add<CubicConductance>("GN", v, -1, -2e-3, 1e-3);
-    sysPtr = new MnaSystem(c);
+    sysPtr = std::make_unique<MnaSystem>(c);
 
     TransientOptions to;
     to.tstop = 40e-6;
@@ -48,31 +48,28 @@ class VdpPhaseNoise : public ::testing::Test {
     const Real tEst = analysis::estimatePeriod(tr, 0, 0.0);
     ShootingOptions so;
     so.stepsPerPeriod = 800;
-    pssPtr = new analysis::PSSResult(
+    pssPtr = std::make_unique<analysis::PSSResult>(
         shootingOscillatorPSS(*sysPtr, tEst, tr.x.back(), 0, 0.0, so));
-    pnPtr = new PhaseNoiseResult(analyzeOscillatorPhaseNoise(*sysPtr, *pssPtr));
+    pnPtr = std::make_unique<PhaseNoiseResult>(
+        analyzeOscillatorPhaseNoise(*sysPtr, *pssPtr));
   }
   static void TearDownTestSuite() {
-    delete pnPtr;
-    delete pssPtr;
-    delete sysPtr;
-    delete circuitPtr;
-    pnPtr = nullptr;
-    pssPtr = nullptr;
-    sysPtr = nullptr;
-    circuitPtr = nullptr;
+    pnPtr.reset();
+    pssPtr.reset();
+    sysPtr.reset();
+    circuitPtr.reset();
   }
 
-  static Circuit* circuitPtr;
-  static MnaSystem* sysPtr;
-  static analysis::PSSResult* pssPtr;
-  static PhaseNoiseResult* pnPtr;
+  static std::unique_ptr<Circuit> circuitPtr;
+  static std::unique_ptr<MnaSystem> sysPtr;
+  static std::unique_ptr<analysis::PSSResult> pssPtr;
+  static std::unique_ptr<PhaseNoiseResult> pnPtr;
 };
 
-Circuit* VdpPhaseNoise::circuitPtr = nullptr;
-MnaSystem* VdpPhaseNoise::sysPtr = nullptr;
-analysis::PSSResult* VdpPhaseNoise::pssPtr = nullptr;
-PhaseNoiseResult* VdpPhaseNoise::pnPtr = nullptr;
+std::unique_ptr<Circuit> VdpPhaseNoise::circuitPtr;
+std::unique_ptr<MnaSystem> VdpPhaseNoise::sysPtr;
+std::unique_ptr<analysis::PSSResult> VdpPhaseNoise::pssPtr;
+std::unique_ptr<PhaseNoiseResult> VdpPhaseNoise::pnPtr;
 
 TEST_F(VdpPhaseNoise, FloquetStructure) {
   ASSERT_TRUE(pssPtr->converged);

@@ -71,7 +71,9 @@ TEST(RFMeasures, IP3IndependentOfDriveInWeakRegime) {
     ASSERT_TRUE(sol.converged);
     const auto ip3 =
         hb::intercept3(sol, static_cast<std::size_t>(tb.b), drive);
-    if (prev > 0) EXPECT_NEAR(ip3.inputIP3, prev, 0.1 * prev);
+    if (prev > 0) {
+      EXPECT_NEAR(ip3.inputIP3, prev, 0.1 * prev);
+    }
     prev = ip3.inputIP3;
   }
 }
@@ -97,7 +99,7 @@ TEST(RFMeasures, CompressionPointViaRealHBSweep) {
   // Drive the cubic bench harder and harder through single-tone HB and
   // find P1dB from actual solutions; compare against the closed form for
   // the node voltage v solving gs·(a−v) = g1·v + g3·v³.
-  const Real g1 = 1e-3, g3 = 5e-3, rs = 1000.0, gs = 1.0 / rs;
+  const Real g1 = 1e-3, g3 = 5e-3, rs = 1000.0;
   auto fundamentalOut = [&](Real amp) {
     Circuit c;
     const int a = c.node("a"), b = c.node("b");

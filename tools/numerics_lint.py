@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Repo-specific numerics lint for the rfic library.
+
+Statically enforces the project's numerics contracts — the rules that keep
+the delicate kernels (matrix-implicit HB, Floquet/phase-noise, IES3) from
+drifting into silent-wrong-answer territory:
+
+  float-eq      No == / != between floating-point expressions in solver
+                code. Exact-zero guards must go through
+                rfic::diag::exactlyZero() so the intent is auditable;
+                tolerance tests must use an explicit threshold.
+  raw-new       No raw new / delete. The library owns memory through
+                containers and smart pointers only.
+  data-alias    No pointer captured from X.data() may be used after a
+                subsequent X.resize()/push_back()/assign() in the same
+                function — the classic invalidated-alias UB.
+  entry-check   Every registered public solver entry point must validate
+                its input dimensions (RFIC_REQUIRE / diag::check*) near the
+                top of its body.
+  status        Iterative-solver translation units must report structured
+                convergence statuses (diag::SolverStatus), not bare bools.
+
+Escape hatch: append  // lint: allow-<rule>  to a flagged line when the
+pattern is intentional (used sparingly; each use is visible in review).
+
+Usage: numerics_lint.py [repo_root]   (exit 0 = clean, 1 = violations)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINT_DIRS = ("src", "tests", "bench", "examples")
+CPP_EXTS = {".cpp", ".hpp", ".h", ".cc"}
+
+# Solver translation units held to the strictest rules (float-eq applies
+# only here; raw-new and data-alias apply everywhere).
+SOLVER_DIRS = (
+    "src/numeric",
+    "src/sparse",
+    "src/fft",
+    "src/analysis",
+    "src/hb",
+    "src/mpde",
+    "src/phasenoise",
+    "src/rom",
+    "src/extraction",
+)
+
+# (file, function signature regex) pairs: the function body must contain a
+# dimension/argument validation within its first VALIDATION_WINDOW lines.
+ENTRY_POINTS = [
+    ("src/sparse/krylov.cpp", r"IterativeResult gmres\("),
+    ("src/sparse/krylov.cpp", r"IterativeResult bicgstab\("),
+    ("src/sparse/krylov.cpp", r"IterativeResult conjugateGradient\("),
+    ("src/analysis/shooting.cpp", r"PSSResult shootingPSS\("),
+    ("src/analysis/shooting.cpp", r"PSSResult shootingOscillatorPSS\("),
+    ("src/analysis/dc.cpp", r"DCResult dcOperatingPoint\("),
+    ("src/hb/harmonic_balance.cpp", r"HBSolution HarmonicBalance::solve\("),
+    ("src/fft/fft.cpp", r"std::vector<Complex> rfft\("),
+    ("src/fft/fft.cpp", r"std::vector<Real> irfft\("),
+    ("src/fft/fft.cpp", r"void fft2\("),
+    ("src/fft/fft.cpp", r"void ifft2\("),
+    ("src/phasenoise/phase_noise.cpp",
+     r"PhaseNoiseResult analyzeOscillatorPhaseNoise\("),
+]
+VALIDATION_RE = re.compile(r"RFIC_REQUIRE|RFIC_CHECK|diag::check")
+VALIDATION_WINDOW = 12  # lines of body searched for the first validation
+
+# Translation units that implement iterative solvers: each must mention the
+# structured status type, and its matching header must carry a status field.
+STATUS_UNITS = [
+    ("src/sparse/krylov.cpp", "src/sparse/krylov.hpp"),
+    ("src/analysis/shooting.cpp", "src/analysis/shooting.hpp"),
+    ("src/analysis/dc.cpp", "src/analysis/dc.hpp"),
+    ("src/hb/harmonic_balance.cpp", "src/hb/harmonic_balance.hpp"),
+]
+
+FLOAT_LIT = r"(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?"
+# A comparison where at least one side is an unambiguous float literal
+# (contains a decimal point or an exponent). Integer literals are excluded:
+# `n == 0` on a size_t is fine and ubiquitous.
+FLOAT_ONLY_LIT = r"(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)"
+FLOAT_EQ_RE = re.compile(
+    r"(?:" + FLOAT_ONLY_LIT + r"\s*[=!]=)|(?:[=!]=\s*" + FLOAT_ONLY_LIT + r")"
+)
+# Calls whose result is always floating point; comparing them with == / !=
+# against anything is flagged.
+FLOAT_CALL_EQ_RE = re.compile(
+    r"(?:norm2|normInf|std::abs|std::norm|std::sqrt)\s*\([^()]*\)\s*[=!]=")
+
+NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_:<]")
+DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[A-Za-z_(*]")
+DATA_CAPTURE_RE = re.compile(r"[*&]?\s*(\w+)\s*=\s*(\w+)\.data\(\)")
+MUTATOR_RE = r"\.(?:resize|push_back|emplace_back|assign|clear|shrink_to_fit)\("
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line structure
+    and any `lint: allow-...` directives (kept so per-line opt-outs work)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            comment = text[i:j]
+            m = re.search(r"lint:\s*allow-[\w-]+", comment)
+            out.append(" " * 2 + (m.group(0) if m else "") )
+            out.append(" " * max(0, (j - i) - len(out[-1]) - 2))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            block = text[i:j + 2]
+            out.append(re.sub(r"[^\n]", " ", block))
+            i = j + 2
+        elif c in "\"'":
+            q = c
+            j = i + 1
+            while j < n and text[j] != q:
+                j += 2 if text[j] == "\\" else 1
+            out.append(q + " " * max(0, j - i - 1) + (q if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed(line, rule):
+    return f"allow-{rule}" in line
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = Path(root)
+        self.violations = []
+
+    def flag(self, path, lineno, rule, msg):
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    def lint_file(self, path):
+        raw = path.read_text()
+        clean = strip_comments_and_strings(raw)
+        lines = clean.splitlines()
+        rel = str(path.relative_to(self.root))
+        in_solver = any(rel.startswith(d) for d in SOLVER_DIRS)
+
+        data_aliases = []  # (ptr, container, lineno), reset at function end
+        for num, line in enumerate(lines, 1):
+            if re.match(r"^[})]", line):
+                data_aliases = []
+
+            # raw-new: applies everywhere.
+            if not allowed(line, "raw-new"):
+                if "operator new" not in line and NEW_RE.search(line):
+                    self.flag(path, num, "raw-new",
+                              "raw `new` — use containers or make_unique/"
+                              "make_shared")
+                if ("operator delete" not in line and "= delete" not in line
+                        and DELETE_RE.search(line)):
+                    self.flag(path, num, "raw-new",
+                              "raw `delete` — ownership must be automatic")
+
+            # data-alias: pointer from .data() used across a reallocation.
+            m = DATA_CAPTURE_RE.search(line)
+            if m:
+                data_aliases.append((m.group(1), m.group(2), num))
+            for ptr, cont, where in data_aliases:
+                if re.search(r"\b" + re.escape(cont) + MUTATOR_RE, line) \
+                        and not allowed(line, "data-alias"):
+                    self.flag(path, num, "data-alias",
+                              f"`{cont}` reallocated while `{ptr}` (from "
+                              f"{cont}.data() at line {where}) may still "
+                              "alias its old buffer")
+
+            # float-eq: solver code only.
+            if in_solver and not allowed(line, "float-eq") \
+                    and "operator==" not in line and "operator!=" not in line:
+                if FLOAT_EQ_RE.search(line) or FLOAT_CALL_EQ_RE.search(line):
+                    self.flag(path, num, "float-eq",
+                              "floating-point == / != — use an explicit "
+                              "tolerance or diag::exactlyZero()")
+
+    def lint_entry_points(self):
+        for rel, sig in ENTRY_POINTS:
+            path = self.root / rel
+            if not path.exists():
+                self.flag(path if path.is_absolute() else self.root / rel, 1,
+                          "entry-check", f"registered entry point file "
+                          f"{rel} is missing")
+                continue
+            text = strip_comments_and_strings(path.read_text())
+            lines = text.splitlines()
+            found_sig = False
+            for i, line in enumerate(lines):
+                if re.search(sig, line):
+                    found_sig = True
+                    body = "\n".join(lines[i:i + VALIDATION_WINDOW])
+                    if not VALIDATION_RE.search(body):
+                        self.flag(path, i + 1, "entry-check",
+                                  f"solver entry point `{sig}` does not "
+                                  "validate its inputs (RFIC_REQUIRE / "
+                                  "diag::check*) near the top of its body")
+                    break
+            if not found_sig:
+                self.flag(path, 1, "entry-check",
+                          f"expected entry point matching `{sig}` not found "
+                          "(update ENTRY_POINTS if it moved)")
+
+    def lint_status(self):
+        for cpp_rel, hpp_rel in STATUS_UNITS:
+            cpp, hpp = self.root / cpp_rel, self.root / hpp_rel
+            if cpp.exists() and "SolverStatus" not in cpp.read_text():
+                self.flag(cpp, 1, "status",
+                          "iterative solver does not set a structured "
+                          "diag::SolverStatus")
+            if hpp.exists() and not re.search(
+                    r"SolverStatus\s+status", hpp.read_text()):
+                self.flag(hpp, 1, "status",
+                          "solver result struct lacks a "
+                          "`diag::SolverStatus status` field")
+
+    def run(self):
+        for d in LINT_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in CPP_EXTS and path.is_file():
+                    self.lint_file(path)
+        self.lint_entry_points()
+        self.lint_status()
+        return self.violations
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    violations = Linter(root).run()
+    if violations:
+        print(f"numerics_lint: {len(violations)} violation(s)")
+        for v in violations:
+            print("  " + v)
+        return 1
+    print("numerics_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
