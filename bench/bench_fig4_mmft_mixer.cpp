@@ -21,6 +21,7 @@ using namespace rfic::bench;
 
 int main() {
   header("Fig. 4 — MMFT switching mixer: time-varying harmonics");
+  JsonReporter rep("fig4_mmft_mixer");
   const Real fRF = 100e3;   // paper's RF tone
   const Real fLO = 900e6;   // paper's LO
   circuit::Circuit ckt;
@@ -36,6 +37,9 @@ int main() {
   const Real seconds = sw.seconds();
   std::printf("converged=%d  shooting iterations=%zu  wall=%.2f s\n",
               res.converged ? 1 : 0, res.shootingIterations, seconds);
+  rep.flag("converged", res.converged);
+  rep.count("shooting_iterations", res.shootingIterations);
+  rep.metric("wall_s", seconds);
   if (!res.converged) return 1;
 
   const auto up = static_cast<std::size_t>(nodes.outp);
@@ -75,5 +79,8 @@ int main() {
               (3 * fRF + fLO) * 1e-6, a31 * 1e3);
   std::printf("distortion: %0.1f dB below the desired mix (paper: ~35 dB)\n",
               -hb::toDb(a31, a11));
+  rep.metric("mix_911_mV", a11 * 1e3);
+  rep.metric("mix_933_mV", a31 * 1e3);
+  rep.metric("distortion_db", -hb::toDb(a31, a11));
   return 0;
 }

@@ -37,6 +37,7 @@ Real fitExponent(const std::vector<Real>& n, const std::vector<Real>& y) {
 
 int main() {
   header("Fig. 6 — IES3 electromagnetic-solver scaling");
+  JsonReporter rep("fig6_ies3_scaling");
   std::printf("%-8s %-12s %-12s %-12s %-12s %-12s %-8s\n", "panels",
               "dense MB", "ies3 MB", "compr %", "dense s", "ies3 s", "gmres");
   rule();
@@ -84,10 +85,14 @@ int main() {
     std::printf("\n");
   }
   rule();
-  std::printf("fitted IES3 memory exponent: n^%.2f  (dense: n^2)\n",
-              fitExponent(ns, iesMem));
+  const Real memExp = fitExponent(ns, iesMem);
+  const Real timeExp = fitExponent(ns, iesTime);
+  rep.count("max_panels", static_cast<std::size_t>(ns.back()));
+  rep.metric("ies3_memory_exponent", memExp);
+  rep.metric("ies3_time_exponent", timeExp);
+  std::printf("fitted IES3 memory exponent: n^%.2f  (dense: n^2)\n", memExp);
   std::printf("fitted IES3 time exponent:   n^%.2f  (dense LU: n^3)\n",
-              fitExponent(ns, iesTime));
+              timeExp);
   std::printf("paper: both \"scale only slightly faster than linearly\"\n");
   return 0;
 }

@@ -48,6 +48,16 @@ void printRows(const char* title, const std::vector<Row>& rows) {
 
 int main() {
   header("Section 2.2 — choosing a multi-time method (ablation)");
+  JsonReporter rep("sec22_mpde_methods");
+  const auto record = [&rep](const std::string& prefix,
+                             const std::vector<Row>& rows) {
+    for (const auto& r : rows) {
+      const std::string key = prefix + "." + r.method;
+      rep.flag(key + ".ok", r.ok);
+      rep.metric(key + ".relerr", r.err);
+      rep.metric(key + ".wall_s", r.secs);
+    }
+  };
 
   // --- Problem A: mildly nonlinear, both tones sinusoidal. ---------------
   {
@@ -119,6 +129,7 @@ int main() {
                       sw.seconds()});
     }
     printRows("Problem A — sinusoidal two-tone (HB's home turf):", rows);
+    record("A", rows);
     std::printf("guidance check: HB/MMFT (spectral slow axis) are the "
                 "accurate/cheap choices; BE-based MFDTD/HS pay first-order "
                 "error on smooth waveforms.\n");
@@ -183,6 +194,7 @@ int main() {
                       sw.seconds()});
     }
     printRows("Problem B — switching mixer, square LO:", rows);
+    record("B", rows);
     std::printf("guidance check: time-domain fast axes (MMFT shooting, HS)\n"
                 "handle the switching waveform directly; HB needs a long\n"
                 "Fourier tail for the square LO (paper Sec. 2.2).\n");

@@ -29,6 +29,7 @@ using namespace rfic::analysis;
 
 int main() {
   header("Section 3 — oscillator phase noise (PPV theory)");
+  JsonReporter rep("sec3_phase_noise");
   Circuit c;
   const int v = c.node("v");
   const int br = c.allocBranch("L1");
@@ -67,6 +68,10 @@ int main() {
   for (const auto& m : pn.floquet.multipliers)
     std::printf(" (%.4f%+.4fj)", m.real(), m.imag());
   std::printf("\nc = %.4e s, linewidth = %.4e Hz\n", pn.c, pn.linewidthHz());
+  rep.flag("pss_converged", pss.converged);
+  rep.metric("f0_mhz", 1e-6 / pss.period);
+  rep.metric("c_s", pn.c);
+  rep.metric("linewidth_hz", pn.linewidthHz());
 
   std::printf("\nper-source contributions to c (separability claim):\n");
   for (const auto& [label, cc] : pn.perSource)
@@ -120,5 +125,8 @@ int main() {
               "(ratio %.2f)\n",
               mc.slopePerCycle, mc.theoreticalSlope,
               mc.slopePerCycle / mc.theoreticalSlope);
+  rep.count("mc_paths", mc.usedPaths);
+  rep.metric("mc_wall_s", sw.seconds());
+  rep.metric("mc_slope_ratio", mc.slopePerCycle / mc.theoreticalSlope);
   return 0;
 }

@@ -20,6 +20,7 @@ using namespace rfic::rom;
 
 int main() {
   header("Section 5 — PVL vs Arnoldi vs PRIMA on a 1200-segment RC line");
+  JsonReporter rep("sec5_rom");
   const auto sys = makeRCLine(1200, 2000.0, 2e-9);
 
   // --- Moment-matching table.
@@ -63,6 +64,11 @@ int main() {
       epr = std::max(epr, std::abs(pr.transfer(s) - href) / h0);
     }
     std::printf("%-6zu %-14.3e %-14.3e %-14.3e\n", order, ep, ea, epr);
+    if (order == 8) {
+      rep.metric("q8.pvl_relerr", ep);
+      rep.metric("q8.arnoldi_relerr", ea);
+      rep.metric("q8.prima_relerr", epr);
+    }
   }
 
   // --- Stability/passivity comparison.
@@ -89,5 +95,9 @@ int main() {
   const Real tf = sw.seconds();
   std::printf("\nbuild PVL(q=12): %.3f s; one full 100-point sweep of the "
               "unreduced system: %.3f s\n", tp, tf);
+  rep.flag("prima_poles_stable", pr8.polesStable());
+  rep.count("pvl_unstable_poles", pvlUnstable);
+  rep.metric("pvl_build_q12_s", tp);
+  rep.metric("full_sweep_s", tf);
   return 0;
 }

@@ -15,6 +15,7 @@ using namespace rfic::rom;
 
 int main() {
   header("Section 5 [7] — noise evaluation via Pade-based model reduction");
+  JsonReporter rep("sec5_rom_noise");
   const std::size_t segments = quickMode() ? 600 : 2000;
   const auto sys = makeRCLine(segments, 1000.0, 1e-9);
 
@@ -42,6 +43,12 @@ int main() {
     std::printf("%-6zu %-14.3e %-12.3f %-12.3f %-10.1f\n", q,
                 res.maxRelError, res.directSeconds, res.romSeconds,
                 res.directSeconds / res.romSeconds);
+    if (q == 8) {
+      rep.metric("q8.max_rel_err", res.maxRelError);
+      rep.metric("q8.direct_s", res.directSeconds);
+      rep.metric("q8.rom_s", res.romSeconds);
+      rep.metric("q8.speedup", res.directSeconds / res.romSeconds);
+    }
   }
 
   // Show a slice of the spectrum itself (direct vs ROM at q = 8).

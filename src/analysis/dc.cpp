@@ -2,18 +2,16 @@
 
 #include <cmath>
 
-#include "sparse/sparse_lu.hpp"
-
 namespace rfic::analysis {
 
 namespace {
 
 // SPICE-style componentwise KCL check: every residual entry small against
 // the local current level.
-bool residualConverged(const RVec& r, const circuit::MnaEval& e,
+bool residualConverged(const RVec& r, const RVec& f, const RVec& b,
                        Real sourceScale, const DCOptions& opts) {
   for (std::size_t i = 0; i < r.size(); ++i) {
-    const Real level = std::abs(e.f[i]) + std::abs(sourceScale * e.b[i]);
+    const Real level = std::abs(f[i]) + std::abs(sourceScale * b[i]);
     if (std::abs(r[i]) > opts.tolRelative * level + opts.tolResidual)
       return false;
   }
@@ -22,27 +20,25 @@ bool residualConverged(const RVec& r, const circuit::MnaEval& e,
 
 }  // namespace
 
-bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
-              const DCOptions& opts, std::size_t& itersOut) {
-  const std::size_t n = sys.dim();
-  circuit::MnaEval e;
+bool dcNewton(circuit::MnaWorkspace& ws, RVec& x, Real sourceScale,
+              Real gshunt, const DCOptions& opts, std::size_t& itersOut) {
+  const std::size_t n = ws.dim();
   RVec xPrev = x;
   // The componentwise relative test alone is satisfiable by garbage iterates
   // whose device currents are astronomically large (r ≈ f there); require
   // the last Newton update to have settled as well, SPICE-style.
   Real lastUpdate = 1e300;
+  RVec r(n), rTrue(n), rt(n);
   for (std::size_t it = 0; it < opts.maxIterations; ++it) {
     itersOut = it + 1;
     // Convergence is judged on the TRUE residual (no junction limiting):
     // the limited evaluation can look perfectly KCL-consistent while the
     // actual iterate is far from a solution.
     {
-      circuit::MnaEval eTrue;
-      sys.eval(x, 0.0, eTrue, false);
-      RVec rTrue(n);
+      ws.eval(x, 0.0, false);
       for (std::size_t i = 0; i < n; ++i)
-        rTrue[i] = eTrue.f[i] - sourceScale * eTrue.b[i] + gshunt * x[i];
-      if (residualConverged(rTrue, eTrue, sourceScale, opts)) {
+        rTrue[i] = ws.f()[i] - sourceScale * ws.b()[i] + gshunt * x[i];
+      if (residualConverged(rTrue, ws.f(), ws.b(), sourceScale, opts)) {
         const bool updateSettled =
             lastUpdate < opts.tolUpdate * (1.0 + numeric::normInf(x));
         if (updateSettled || numeric::norm2(rTrue) < opts.tolResidual)
@@ -50,19 +46,18 @@ bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
       }
     }
     // The Newton step itself uses the limited evaluation.
-    sys.eval(x, 0.0, e, true, it > 0 ? &xPrev : nullptr);
-    RVec r(n);
+    ws.eval(x, 0.0, true, it > 0 ? &xPrev : nullptr);
     for (std::size_t i = 0; i < n; ++i)
-      r[i] = e.f[i] - sourceScale * e.b[i] + gshunt * x[i];
+      r[i] = ws.f()[i] - sourceScale * ws.b()[i] + gshunt * x[i];
     const Real rnorm = numeric::norm2(r);
 
-    // J = G + gshunt·I
-    sparse::RTriplets j = e.G;
-    for (std::size_t i = 0; i < n; ++i) j.add(i, i, gshunt);
+    // J = G + gshunt·I over the cached pattern; after the first iteration
+    // this is a numeric refactorization (SolverStatus::Repivoted when the
+    // recorded pivots went stale).
     RVec dx;
     try {
-      sparse::RSparseLU lu(j);
-      dx = lu.solve(r);
+      ws.factorJacobian(0.0, 1.0, gshunt);
+      dx = ws.solve(r);
     } catch (const NumericalError&) {
       return false;
     }
@@ -73,11 +68,9 @@ bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
     for (int damp = 0;; ++damp) {
       RVec trial = x;
       numeric::axpy(-alpha, dx, trial);
-      circuit::MnaEval et;
-      sys.eval(trial, 0.0, et, false, &xPrev);
-      RVec rt(n);
+      ws.eval(trial, 0.0, false, &xPrev);
       for (std::size_t i = 0; i < n; ++i)
-        rt[i] = et.f[i] - sourceScale * et.b[i] + gshunt * trial[i];
+        rt[i] = ws.f()[i] - sourceScale * ws.b()[i] + gshunt * trial[i];
       const Real rtNorm = numeric::norm2(rt);
       // Junction limiting makes the evaluated residual differ from the pure
       // Newton model, so accept any non-diverging step.
@@ -92,17 +85,28 @@ bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
   return false;
 }
 
+bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
+              const DCOptions& opts, std::size_t& itersOut) {
+  circuit::MnaWorkspace ws(sys);
+  return dcNewton(ws, x, sourceScale, gshunt, opts, itersOut);
+}
+
 DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
   RFIC_REQUIRE(sys.dim() > 0, "dcOperatingPoint: empty system");
   RFIC_REQUIRE(opts.maxIterations > 0, "dcOperatingPoint: maxIterations == 0");
   DCResult res;
   res.x = RVec(sys.dim(), 0.0);
 
+  // One workspace for all strategies: the circuit's pattern and pivot order
+  // carry across Newton restarts and continuation ramps.
+  circuit::MnaWorkspace ws(sys);
+
   // Strategy 1: plain Newton from zero.
-  if (dcNewton(sys, res.x, 1.0, 0.0, opts, res.iterations)) {
+  if (dcNewton(ws, res.x, 1.0, 0.0, opts, res.iterations)) {
     res.converged = true;
     res.status = diag::SolverStatus::Converged;
     res.strategy = "newton";
+    res.perf = ws.counters();
     return res;
   }
 
@@ -116,7 +120,7 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
                          ? 0.0
                          : opts.initialGmin * std::pow(0.1, static_cast<Real>(k));
       std::size_t it = 0;
-      if (!dcNewton(sys, x, 1.0, g, opts, it)) {
+      if (!dcNewton(ws, x, 1.0, g, opts, it)) {
         ok = false;
         break;
       }
@@ -128,6 +132,7 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
       res.status = diag::SolverStatus::Converged;
       res.iterations = iters;
       res.strategy = "gmin";
+      res.perf = ws.counters();
       return res;
     }
   }
@@ -141,7 +146,7 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
       const Real scale =
           static_cast<Real>(k) / static_cast<Real>(opts.sourceSteps);
       std::size_t it = 0;
-      if (!dcNewton(sys, x, scale, 0.0, opts, it)) {
+      if (!dcNewton(ws, x, scale, 0.0, opts, it)) {
         ok = false;
         break;
       }
@@ -153,6 +158,7 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
       res.status = diag::SolverStatus::Converged;
       res.iterations = iters;
       res.strategy = "source";
+      res.perf = ws.counters();
       return res;
     }
   }

@@ -4,7 +4,9 @@
 #pragma once
 
 #include "circuit/mna.hpp"
+#include "circuit/mna_workspace.hpp"
 #include "diag/convergence.hpp"
+#include "perf/perf.hpp"
 
 namespace rfic::analysis {
 
@@ -27,6 +29,7 @@ struct DCResult {
   diag::SolverStatus status = diag::SolverStatus::NotRun;
   std::size_t iterations = 0;
   std::string strategy;  ///< "newton", "gmin", or "source"
+  perf::Snapshot perf;   ///< pipeline counters for the whole solve
 };
 
 /// Solve f(x) = b(0). Tries plain Newton, then gmin stepping, then source
@@ -37,5 +40,11 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts = {});
 /// Exposed for the continuation strategies and for tests.
 bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
               const DCOptions& opts, std::size_t& itersOut);
+
+/// Pattern-cached variant sharing one workspace across calls — the gmin and
+/// source continuation strategies reuse the same factorization pattern for
+/// every ramp point.
+bool dcNewton(circuit::MnaWorkspace& ws, RVec& x, Real sourceScale,
+              Real gshunt, const DCOptions& opts, std::size_t& itersOut);
 
 }  // namespace rfic::analysis

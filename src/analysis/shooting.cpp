@@ -10,12 +10,15 @@ namespace rfic::analysis {
 namespace {
 
 // Integrate one period from x0 with sensitivity propagation; fills the
-// trajectory and returns the monodromy matrix in `sens`.
-bool sweepPeriod(const circuit::MnaSystem& sys, Real t0, Real period,
+// trajectory and returns the monodromy matrix in `sens`. The workspace
+// persists across periods (and Newton iterations), so every step after the
+// very first refactors on the cached pattern instead of refactoring
+// symbolically.
+bool sweepPeriod(circuit::MnaWorkspace& ws, Real t0, Real period,
                  const RVec& x0, const ShootingOptions& opts,
                  std::vector<Real>& times, std::vector<RVec>& traj,
                  RMat& sens) {
-  const std::size_t n = sys.dim();
+  const std::size_t n = ws.dim();
   const std::size_t m = opts.stepsPerPeriod;
   const Real h = period / static_cast<Real>(m);
   sens = RMat::identity(n);
@@ -24,7 +27,7 @@ bool sweepPeriod(const circuit::MnaSystem& sys, Real t0, Real period,
   RVec x = x0, x1;
   for (std::size_t k = 0; k < m; ++k) {
     const Real t = t0 + h * static_cast<Real>(k);
-    if (!integrateStep(sys, opts.method, t, h, x, nullptr, x1, &sens)) {
+    if (!integrateStep(ws, opts.method, t, h, x, nullptr, x1, &sens)) {
       return false;
     }
     x = x1;
@@ -58,9 +61,10 @@ PSSResult shootingPSS(const circuit::MnaSystem& sys, Real period,
   res.method = opts.method;
   res.x0 = guess;
 
+  circuit::MnaWorkspace ws(sys);
   for (std::size_t it = 0; it < opts.maxIterations; ++it) {
     ++res.newtonIterations;
-    if (!sweepPeriod(sys, 0.0, period, res.x0, opts, res.times,
+    if (!sweepPeriod(ws, 0.0, period, res.x0, opts, res.times,
                      res.trajectory, res.monodromy)) {
       res.status = diag::SolverStatus::Breakdown;  // integrator failed
       return res;
@@ -102,9 +106,10 @@ PSSResult shootingOscillatorPSS(const circuit::MnaSystem& sys,
   res.x0 = guess;
   res.x0[anchorIndex] = anchorValue;
 
+  circuit::MnaWorkspace ws(sys);
   for (std::size_t it = 0; it < opts.maxIterations; ++it) {
     ++res.newtonIterations;
-    if (!sweepPeriod(sys, 0.0, res.period, res.x0, opts, res.times,
+    if (!sweepPeriod(ws, 0.0, res.period, res.x0, opts, res.times,
                      res.trajectory, res.monodromy)) {
       res.status = diag::SolverStatus::Breakdown;  // integrator failed
       return res;

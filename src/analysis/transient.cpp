@@ -3,6 +3,7 @@
 #include "diag/contracts.hpp"
 
 #include <cmath>
+#include <optional>
 #include <random>
 
 #include "sparse/sparse_lu.hpp"
@@ -23,6 +24,46 @@ numeric::RMat tripletsTimesDense(const sparse::RTriplets& t,
   return out;
 }
 
+// Time-discretization residual and Jacobian combination J = jacQ·C + jacG·G
+// for one Newton iterate — the one shared assembly for BE / trapezoidal /
+// Gear-2 regardless of whether the evaluation came from an MnaEval or an
+// MnaWorkspace.
+void assembleResidual(IntegrationMethod method, Real h, bool haveGearHist,
+                      const RVec& q1, const RVec& f1, const RVec& b1,
+                      const RVec& q0, const RVec& f0, const RVec& b0,
+                      const RVec& qPrev, RVec& r, Real& jacQ, Real& jacG) {
+  const std::size_t n = q1.size();
+  r.resize(n);
+  switch (method) {
+    case IntegrationMethod::backwardEuler:
+      for (std::size_t i = 0; i < n; ++i)
+        r[i] = q1[i] - q0[i] + h * (f1[i] - b1[i]);
+      jacQ = 1.0;
+      jacG = h;
+      break;
+    case IntegrationMethod::trapezoidal:
+      for (std::size_t i = 0; i < n; ++i)
+        r[i] = q1[i] - q0[i] + 0.5 * h * (f1[i] - b1[i] + f0[i] - b0[i]);
+      jacQ = 1.0;
+      jacG = 0.5 * h;
+      break;
+    case IntegrationMethod::gear2:
+      if (haveGearHist) {
+        for (std::size_t i = 0; i < n; ++i)
+          r[i] = 1.5 * q1[i] - 2.0 * q0[i] + 0.5 * qPrev[i] +
+                 h * (f1[i] - b1[i]);
+        jacQ = 1.5;
+        jacG = h;
+      } else {  // BDF1 start-up step
+        for (std::size_t i = 0; i < n; ++i)
+          r[i] = q1[i] - q0[i] + h * (f1[i] - b1[i]);
+        jacQ = 1.0;
+        jacG = h;
+      }
+      break;
+  }
+}
+
 }  // namespace
 
 bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
@@ -34,55 +75,31 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
 
   // History evaluation at (x0, t0).
   circuit::MnaEval e0;
-  const bool needHist = (method != IntegrationMethod::backwardEuler) ||
-                        (sensitivity != nullptr);
   sys.eval(x0, t0, e0, sensitivity != nullptr);
   circuit::MnaEval ePrev;
-  if (method == IntegrationMethod::gear2 && xPrevStep) {
+  const bool haveGearHist =
+      method == IntegrationMethod::gear2 && xPrevStep != nullptr;
+  if (haveGearHist) {
     RFIC_REQUIRE(sensitivity == nullptr,
                  "integrateStep: Gear-2 does not propagate sensitivities");
     sys.eval(*xPrevStep, t0 - h, ePrev, false);
   }
-  (void)needHist;
 
   x1 = x0;
   RVec xIter = x0;
   circuit::MnaEval e1;
+  RVec r;
   bool converged = false;
+  // Set after a small-update iterate: the next residual evaluation (cheap —
+  // no factorization) confirms the step instead of accepting it blind.
+  bool confirmPending = false;
+  Real confirmRnorm = 0;
   for (std::size_t it = 0; it < maxNewton; ++it) {
     if (newtonIters) ++*newtonIters;
     sys.eval(x1, t1, e1, true, it > 0 ? &xIter : nullptr);
-    RVec r(n);
-    Real jacQ = 0, jacG = 0;  // coefficients J = jacQ·C1 + jacG·G1
-    switch (method) {
-      case IntegrationMethod::backwardEuler:
-        for (std::size_t i = 0; i < n; ++i)
-          r[i] = e1.q[i] - e0.q[i] + h * (e1.f[i] - e1.b[i]);
-        jacQ = 1.0;
-        jacG = h;
-        break;
-      case IntegrationMethod::trapezoidal:
-        for (std::size_t i = 0; i < n; ++i)
-          r[i] = e1.q[i] - e0.q[i] +
-                 0.5 * h * (e1.f[i] - e1.b[i] + e0.f[i] - e0.b[i]);
-        jacQ = 1.0;
-        jacG = 0.5 * h;
-        break;
-      case IntegrationMethod::gear2:
-        if (xPrevStep) {
-          for (std::size_t i = 0; i < n; ++i)
-            r[i] = 1.5 * e1.q[i] - 2.0 * e0.q[i] + 0.5 * ePrev.q[i] +
-                   h * (e1.f[i] - e1.b[i]);
-          jacQ = 1.5;
-          jacG = h;
-        } else {  // BDF1 start-up step
-          for (std::size_t i = 0; i < n; ++i)
-            r[i] = e1.q[i] - e0.q[i] + h * (e1.f[i] - e1.b[i]);
-          jacQ = 1.0;
-          jacG = h;
-        }
-        break;
-    }
+    Real jacQ = 0, jacG = 0;
+    assembleResidual(method, h, haveGearHist, e1.q, e1.f, e1.b, e0.q, e0.f,
+                     e0.b, ePrev.q, r, jacQ, jacG);
     const Real rnorm = numeric::normInf(r);
     // Residual is in charge units; scale tolerance by h to make it a
     // current tolerance.
@@ -90,6 +107,14 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
       converged = true;
       break;
     }
+    // Confirming evaluation after a converged-by-update iterate: accept if
+    // the final update did not make the residual worse (a NaN or a jump out
+    // of the Newton basin fails this and keeps iterating).
+    if (confirmPending && rnorm <= 2.0 * confirmRnorm) {
+      converged = true;
+      break;
+    }
+    confirmPending = false;
 
     sparse::RTriplets j(n, n);
     for (const auto& en : e1.C.entries()) j.add(en.row, en.col, jacQ * en.value);
@@ -100,10 +125,8 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
       xIter = x1;
       x1 -= dx;
       if (numeric::norm2(dx) < tol * (1.0 + numeric::norm2(x1))) {
-        converged = true;
-        // One more residual evaluation next loop iteration would confirm;
-        // accept here to avoid an extra factorization.
-        break;
+        confirmPending = true;
+        confirmRnorm = rnorm;
       }
     } catch (const NumericalError&) {
       return false;
@@ -142,12 +165,121 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
   return true;
 }
 
+bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
+                   Real t0, Real h, const RVec& x0, const RVec* xPrevStep,
+                   RVec& x1, numeric::RMat* sensitivity, std::size_t maxNewton,
+                   Real tol, std::size_t* newtonIters) {
+  const std::size_t n = ws.dim();
+  const Real t1 = t0 + h;
+  const bool wantSens = sensitivity != nullptr;
+
+  // History evaluation at (x0, t0); the workspace buffers are reused every
+  // evaluation, so history vectors (and, for the sensitivity path, the C0/
+  // G0 value arrays) are copied out.
+  ws.eval(x0, t0, wantSens);
+  RVec q0 = ws.q(), f0 = ws.f(), b0 = ws.b();
+  std::vector<Real> c0Vals, g0Vals;
+  std::size_t c0Version = 0;
+  if (wantSens) {
+    c0Vals = ws.cValues();
+    g0Vals = ws.gValues();
+    c0Version = ws.patternVersion();
+  }
+  RVec qPrev;
+  const bool haveGearHist =
+      method == IntegrationMethod::gear2 && xPrevStep != nullptr;
+  if (haveGearHist) {
+    RFIC_REQUIRE(sensitivity == nullptr,
+                 "integrateStep: Gear-2 does not propagate sensitivities");
+    ws.eval(*xPrevStep, t0 - h, false);
+    qPrev = ws.q();
+  }
+
+  x1 = x0;
+  RVec xIter = x0;
+  RVec r;
+  bool converged = false;
+  bool confirmPending = false;
+  Real confirmRnorm = 0;
+  for (std::size_t it = 0; it < maxNewton; ++it) {
+    if (newtonIters) ++*newtonIters;
+    ws.eval(x1, t1, true, it > 0 ? &xIter : nullptr);
+    Real jacQ = 0, jacG = 0;
+    assembleResidual(method, h, haveGearHist, ws.q(), ws.f(), ws.b(), q0, f0,
+                     b0, qPrev, r, jacQ, jacG);
+    const Real rnorm = numeric::normInf(r);
+    if (rnorm < tol * std::max(h, 1e-30)) {
+      converged = true;
+      break;
+    }
+    if (confirmPending && rnorm <= 2.0 * confirmRnorm) {
+      converged = true;
+      break;
+    }
+    confirmPending = false;
+
+    try {
+      // First call factors symbolically; later iterations (and steps)
+      // replay the recorded elimination on the new values.
+      ws.factorJacobian(jacQ, jacG);
+      const RVec dx = ws.solve(r);
+      xIter = x1;
+      x1 -= dx;
+      if (numeric::norm2(dx) < tol * (1.0 + numeric::norm2(x1))) {
+        confirmPending = true;
+        confirmRnorm = rnorm;
+      }
+    } catch (const NumericalError&) {
+      return false;
+    }
+  }
+  if (!converged) return false;
+
+  if (sensitivity) {
+    const Real gw = (method == IntegrationMethod::trapezoidal) ? 0.5 * h : h;
+    // The pattern may have grown during the Newton loop; the cached C0/G0
+    // value arrays must match the pattern the final Jacobian uses.
+    for (;;) {
+      if (c0Version != ws.patternVersion()) {
+        ws.eval(x0, t0, true);
+        c0Vals = ws.cValues();
+        g0Vals = ws.gValues();
+        c0Version = ws.patternVersion();
+      }
+      ws.eval(x1, t1, true);
+      if (ws.patternVersion() == c0Version) break;
+    }
+    ws.factorJacobian(1.0, gw);
+
+    const auto& pat = ws.pattern();
+    numeric::RMat out(n, sensitivity->cols());
+    RVec col(n), y(n), yg(n);
+    for (std::size_t c = 0; c < sensitivity->cols(); ++c) {
+      for (std::size_t i = 0; i < n; ++i) col[i] = (*sensitivity)(i, c);
+      pat.multiplyWith(c0Vals, col, y);
+      if (method == IntegrationMethod::trapezoidal) {
+        pat.multiplyWith(g0Vals, col, yg);
+        for (std::size_t i = 0; i < n; ++i) y[i] -= gw * yg[i];
+      }
+      const RVec sol = ws.solve(y);
+      for (std::size_t i = 0; i < n; ++i) out(i, c) = sol[i];
+    }
+    *sensitivity = std::move(out);
+  }
+  return true;
+}
+
 TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
                              const TransientOptions& opts) {
   RFIC_REQUIRE(opts.tstop > opts.tstart, "runTransient: tstop must exceed tstart");
   RFIC_REQUIRE(opts.dt > 0, "runTransient: dt must be positive");
   TransientResult res;
   const Real dtMin = opts.dtMin > 0 ? opts.dtMin : opts.dt * 1e-6;
+
+  // One workspace for the whole sweep: the sparsity pattern is discovered
+  // on the first step and every later Newton iteration refactors in place.
+  std::optional<circuit::MnaWorkspace> ws;
+  if (opts.patternCache) ws.emplace(sys);
 
   Real t = opts.tstart;
   Real h = opts.dt;
@@ -161,10 +293,19 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
   // with the excitation and must not drive step rejection.
   std::vector<char> dynamicMask(x0.size(), 0);
   if (opts.adaptive) {
-    circuit::MnaEval e0;
-    sys.eval(x0, opts.tstart, e0, true);
-    for (const auto& en : e0.C.entries())
-      if (!diag::exactlyZero(en.value)) dynamicMask[en.row] = 1;
+    if (ws) {
+      ws->eval(x0, opts.tstart, true);
+      const auto& rp = ws->pattern().rowPtr();
+      const auto& cv = ws->cValues();
+      for (std::size_t row = 0; row < ws->dim(); ++row)
+        for (std::size_t p = rp[row]; p < rp[row + 1]; ++p)
+          if (!diag::exactlyZero(cv[p])) dynamicMask[row] = 1;
+    } else {
+      circuit::MnaEval e0;
+      sys.eval(x0, opts.tstart, e0, true);
+      for (const auto& en : e0.C.entries())
+        if (!diag::exactlyZero(en.value)) dynamicMask[en.row] = 1;
+    }
   }
 
   res.time.push_back(t);
@@ -173,12 +314,21 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
   while (t < opts.tstop - 1e-12 * opts.tstop) {
     h = std::min(h, opts.tstop - t);
     RVec x1;
-    const bool ok = integrateStep(
-        sys, opts.method, t, h, x, havePrev ? &xPrev : nullptr, x1, nullptr,
-        opts.maxNewton, opts.newtonTol, &res.newtonIterations);
+    const bool ok =
+        ws ? integrateStep(*ws, opts.method, t, h, x,
+                           havePrev ? &xPrev : nullptr, x1, nullptr,
+                           opts.maxNewton, opts.newtonTol,
+                           &res.newtonIterations)
+           : integrateStep(sys, opts.method, t, h, x,
+                           havePrev ? &xPrev : nullptr, x1, nullptr,
+                           opts.maxNewton, opts.newtonTol,
+                           &res.newtonIterations);
     if (!ok) {
       h *= 0.5;
-      if (h < dtMin) return res;  // res.ok stays false
+      if (h < dtMin) {
+        if (ws) res.perf = ws->counters();
+        return res;  // res.ok stays false
+      }
       continue;
     }
 
@@ -217,6 +367,7 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
     res.time.assign(1, t);
     res.x.assign(1, x);
   }
+  if (ws) res.perf = ws->counters();
   res.ok = true;
   return res;
 }
@@ -230,13 +381,14 @@ TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
   std::normal_distribution<Real> gauss(0.0, 1.0);
 
   const std::size_t n = sys.dim();
+  circuit::MnaWorkspace ws(sys);
   Real t = opts.tstart;
   RVec x = x0;
   res.time.push_back(t);
   res.x.push_back(x);
   const Real h = opts.dt;
 
-  circuit::MnaEval e0, e1;
+  RVec q0, r(n);
   while (t < opts.tstop - 1e-12 * opts.tstop) {
     // Sample device noise at the current operating point (cyclostationary
     // modulation happens automatically through the x-dependence).
@@ -252,25 +404,25 @@ TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
     }
 
     // One BE Newton solve with the noise current on the RHS.
-    sys.eval(x, t, e0, false);
+    ws.eval(x, t, false);
+    q0 = ws.q();
     RVec x1 = x;
     RVec xIter = x;
     bool converged = false;
     for (std::size_t it = 0; it < opts.maxNewton; ++it) {
       ++res.newtonIterations;
-      sys.eval(x1, t + h, e1, true, it > 0 ? &xIter : nullptr);
-      RVec r(n);
+      ws.eval(x1, t + h, true, it > 0 ? &xIter : nullptr);
+      const auto& q1 = ws.q();
+      const auto& f1 = ws.f();
+      const auto& b1 = ws.b();
       for (std::size_t i = 0; i < n; ++i)
-        r[i] = e1.q[i] - e0.q[i] + h * (e1.f[i] - e1.b[i] - inoise[i]);
+        r[i] = q1[i] - q0[i] + h * (f1[i] - b1[i] - inoise[i]);
       if (numeric::normInf(r) < opts.newtonTol * h) {
         converged = true;
         break;
       }
-      sparse::RTriplets j(n, n);
-      for (const auto& en : e1.C.entries()) j.add(en.row, en.col, en.value);
-      for (const auto& en : e1.G.entries()) j.add(en.row, en.col, h * en.value);
-      sparse::RSparseLU lu(j);
-      const RVec dx = lu.solve(r);
+      ws.factorJacobian(1.0, h);
+      const RVec dx = ws.solve(r);
       xIter = x1;
       x1 -= dx;
       if (numeric::norm2(dx) < opts.newtonTol * (1.0 + numeric::norm2(x1))) {
@@ -278,7 +430,10 @@ TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
         break;
       }
     }
-    if (!converged) return res;
+    if (!converged) {
+      res.perf = ws.counters();
+      return res;
+    }
     x = x1;
     t += h;
     ++res.steps;
@@ -291,6 +446,7 @@ TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
     res.time.assign(1, t);
     res.x.assign(1, x);
   }
+  res.perf = ws.counters();
   res.ok = true;
   return res;
 }

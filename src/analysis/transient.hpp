@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "circuit/mna.hpp"
+#include "circuit/mna_workspace.hpp"
+#include "perf/perf.hpp"
 
 namespace rfic::analysis {
 
@@ -35,6 +37,10 @@ struct TransientOptions {
   Real newtonTol = 1e-9;
   bool storeWaveforms = true;    ///< keep every accepted point
   Real noiseScale = 1.0;         ///< PSD multiplier in runNoisyTransient
+  /// Use the MnaWorkspace pattern-cached pipeline (cached sparsity +
+  /// symbolic/numeric LU split). Off = the original rebuild-everything
+  /// path, kept for A/B benchmarking.
+  bool patternCache = true;
 };
 
 struct TransientResult {
@@ -43,6 +49,7 @@ struct TransientResult {
   bool ok = false;
   std::size_t steps = 0;
   std::size_t newtonIterations = 0;
+  perf::Snapshot perf;  ///< pipeline counters (pattern-cached path only)
 };
 
 /// Integrate the circuit DAE from x0. If opts.storeWaveforms is false only
@@ -59,6 +66,16 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
                    Real h, const RVec& x0, const RVec* xPrevStep, RVec& x1,
                    numeric::RMat* sensitivity, std::size_t maxNewton = 50,
                    Real tol = 1e-9, std::size_t* newtonIters = nullptr);
+
+/// Pattern-cached variant: the workspace's sparsity pattern and LU pivot
+/// order persist across calls, so Newton iterations after the first pay
+/// only a numeric refactorization. Preferred inside stepping loops
+/// (runTransient, shooting) that take many steps on one circuit.
+bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
+                   Real t0, Real h, const RVec& x0, const RVec* xPrevStep,
+                   RVec& x1, numeric::RMat* sensitivity,
+                   std::size_t maxNewton = 50, Real tol = 1e-9,
+                   std::size_t* newtonIters = nullptr);
 
 /// Additive white-noise transient (Euler–Maruyama on top of BE): at each
 /// step every device noise generator injects an independent Gaussian

@@ -32,17 +32,39 @@ enum class TimeAxis { slow, fast };
 
 /// Accumulation target handed to Device::stamp(). Rows/columns < 0 denote
 /// the ground node and are silently dropped.
+///
+/// Two matrix modes exist. The original triplet mode appends (row, col,
+/// value) records — simple, but it allocates and re-sorts every evaluation.
+/// The pattern mode (used by MnaWorkspace) accumulates directly into
+/// preallocated value arrays over a cached CSR sparsity pattern; a stamp at
+/// a position absent from the pattern is diverted to an overflow triplet
+/// list so the caller can grow the pattern and re-evaluate (devices like
+/// the diode stamp some positions conditionally, so the first discovery
+/// pass is not guaranteed to see every position).
 class Stamp {
  public:
+  /// Pattern-mode target: G and C share one CSR pattern; values land in
+  /// gVals/cVals by CSR position, misses in the overflow triplets.
+  struct PatternTarget {
+    const sparse::RCSR* pattern = nullptr;
+    std::vector<Real>* gVals = nullptr;
+    std::vector<Real>* cVals = nullptr;
+    sparse::RTriplets* gOverflow = nullptr;
+    sparse::RTriplets* cOverflow = nullptr;
+  };
+
   Stamp(RVec& f, RVec& q, RVec& b, sparse::RTriplets* g, sparse::RTriplets* c,
         Real t1, Real t2)
       : f_(f), q_(q), b_(b), g_(g), c_(c), t1_(t1), t2_(t2) {}
+
+  Stamp(RVec& f, RVec& q, RVec& b, const PatternTarget& pt, Real t1, Real t2)
+      : f_(f), q_(q), b_(b), pt_(&pt), t1_(t1), t2_(t2) {}
 
   /// Time seen by sources on the given axis.
   Real time(TimeAxis axis) const { return axis == TimeAxis::fast ? t2_ : t1_; }
   Real slowTime() const { return t1_; }
   Real fastTime() const { return t2_; }
-  bool wantMatrices() const { return g_ != nullptr; }
+  bool wantMatrices() const { return g_ != nullptr || pt_ != nullptr; }
 
   void addF(int row, Real v) {
     if (row >= 0) f_[static_cast<std::size_t>(row)] += v;
@@ -55,21 +77,53 @@ class Stamp {
   }
   /// ∂f/∂x entry.
   void addG(int row, int col, Real v) {
-    if (row >= 0 && col >= 0 && g_)
-      g_->add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), v);
+    if (row < 0 || col < 0) return;
+    const auto r = static_cast<std::size_t>(row);
+    const auto c = static_cast<std::size_t>(col);
+    if (g_) {
+      g_->add(r, c, v);
+    } else if (pt_) {
+      patternAdd(*pt_->gVals, *pt_->gOverflow, r, c, v);
+    }
   }
   /// ∂q/∂x entry.
   void addC(int row, int col, Real v) {
-    if (row >= 0 && col >= 0 && c_)
-      c_->add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), v);
+    if (row < 0 || col < 0) return;
+    const auto r = static_cast<std::size_t>(row);
+    const auto c = static_cast<std::size_t>(col);
+    if (c_) {
+      c_->add(r, c, v);
+    } else if (pt_) {
+      patternAdd(*pt_->cVals, *pt_->cOverflow, r, c, v);
+    }
   }
 
  private:
+  void patternAdd(std::vector<Real>& vals, sparse::RTriplets& overflow,
+                  std::size_t r, std::size_t c, Real v) {
+    const auto& rp = pt_->pattern->rowPtr();
+    const auto& ci = pt_->pattern->colIdx();
+    // Binary search for c within row r of the sorted pattern.
+    std::size_t lo = rp[r], hi = rp[r + 1];
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (ci[mid] < c)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    if (lo < rp[r + 1] && ci[lo] == c)
+      vals[lo] += v;
+    else
+      overflow.add(r, c, v);
+  }
+
   RVec& f_;
   RVec& q_;
   RVec& b_;
-  sparse::RTriplets* g_;
-  sparse::RTriplets* c_;
+  sparse::RTriplets* g_ = nullptr;
+  sparse::RTriplets* c_ = nullptr;
+  const PatternTarget* pt_ = nullptr;
   Real t1_, t2_;
 };
 

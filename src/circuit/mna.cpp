@@ -9,8 +9,10 @@ void MnaSystem::evalBivariate(const RVec& x, Real t1, Real t2, MnaEval& e,
   e.q.assign(n_, 0.0);
   e.b.assign(n_, 0.0);
   if (wantMatrices) {
-    e.G = sparse::RTriplets(n_, n_);
-    e.C = sparse::RTriplets(n_, n_);
+    // reset() keeps the entry buffers' capacity, so a reused MnaEval stops
+    // paying for triplet allocation after the first evaluation.
+    e.G.reset(n_, n_);
+    e.C.reset(n_, n_);
   }
   Stamp s(e.f, e.q, e.b, wantMatrices ? &e.G : nullptr,
           wantMatrices ? &e.C : nullptr, t1, t2);

@@ -1,0 +1,170 @@
+#include "circuit/mna_workspace.hpp"
+
+#include <algorithm>
+
+namespace rfic::circuit {
+
+// First-time pattern discovery: one triplet-mode evaluation at the caller's
+// point, unioned with the diagonal (analyses add gshunt/gDiag terms there,
+// and a structurally present diagonal keeps the factorization robust).
+void MnaWorkspace::ensurePattern(const RVec& x, Real t1, Real t2,
+                                 const RVec* xPrev) {
+  if (pattern_.rows() == n_ && n_ > 0) return;
+  MnaEval e;
+  sys_.evalBivariate(x, t1, t2, e, true, xPrev);
+  sparse::RTriplets u(n_, n_);
+  for (const auto& en : e.G.entries()) u.add(en.row, en.col, 0.0);
+  for (const auto& en : e.C.entries()) u.add(en.row, en.col, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) u.add(i, i, 0.0);
+  pattern_ = sparse::RCSR(u);
+  ++patternVersion_;
+  luPatternCurrent_ = false;
+
+  diagSlot_.assign(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto& rp = pattern_.rowPtr();
+    const auto& ci = pattern_.colIdx();
+    std::size_t lo = rp[i], hi = rp[i + 1];
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (ci[mid] < i)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    diagSlot_[i] = lo;
+  }
+
+  gVals_.assign(pattern_.nnz(), 0.0);
+  cVals_.assign(pattern_.nnz(), 0.0);
+  gOv_.reset(n_, n_);
+  cOv_.reset(n_, n_);
+}
+
+// A device stamped a position outside the cached pattern (conditional
+// stamps — e.g. a diode whose junction capacitance was zero during
+// discovery). Union the misses into the pattern; the caller re-evaluates.
+void MnaWorkspace::growPattern() {
+  sparse::RTriplets u(n_, n_);
+  const auto& rp = pattern_.rowPtr();
+  const auto& ci = pattern_.colIdx();
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) u.add(r, ci[p], 0.0);
+  for (const auto& en : gOv_.entries()) u.add(en.row, en.col, 0.0);
+  for (const auto& en : cOv_.entries()) u.add(en.row, en.col, 0.0);
+  pattern_ = sparse::RCSR(u);
+  ++patternVersion_;
+  luPatternCurrent_ = false;
+
+  diagSlot_.assign(n_, 0);
+  const auto& rp2 = pattern_.rowPtr();
+  const auto& ci2 = pattern_.colIdx();
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t lo = rp2[i], hi = rp2[i + 1];
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (ci2[mid] < i)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    diagSlot_[i] = lo;
+  }
+
+  gVals_.assign(pattern_.nnz(), 0.0);
+  cVals_.assign(pattern_.nnz(), 0.0);
+}
+
+void MnaWorkspace::evalBivariate(const RVec& x, Real t1, Real t2,
+                                 bool wantMatrices, const RVec* xPrev) {
+  RFIC_REQUIRE(x.size() == n_, "MnaWorkspace::eval: state size mismatch");
+  const perf::Timer timer;
+
+  if (!wantMatrices) {
+    // Vector-only evaluation needs no pattern machinery.
+    f_.assign(n_, 0.0);
+    q_.assign(n_, 0.0);
+    b_.assign(n_, 0.0);
+    Stamp s(f_, q_, b_, nullptr, nullptr, t1, t2);
+    for (const auto& dev : sys_.circuit().devices()) dev->stamp(x, xPrev, s);
+    const auto ns = timer.ns();
+    counters_.addEval(ns);
+    perf::global().addEval(ns);
+    return;
+  }
+
+  ensurePattern(x, t1, t2, xPrev);
+  for (;;) {
+    f_.assign(n_, 0.0);
+    q_.assign(n_, 0.0);
+    b_.assign(n_, 0.0);
+    std::fill(gVals_.begin(), gVals_.end(), 0.0);
+    std::fill(cVals_.begin(), cVals_.end(), 0.0);
+    gOv_.reset(n_, n_);
+    cOv_.reset(n_, n_);
+
+    Stamp::PatternTarget pt;
+    pt.pattern = &pattern_;
+    pt.gVals = &gVals_;
+    pt.cVals = &cVals_;
+    pt.gOverflow = &gOv_;
+    pt.cOverflow = &cOv_;
+    Stamp s(f_, q_, b_, pt, t1, t2);
+    for (const auto& dev : sys_.circuit().devices()) dev->stamp(x, xPrev, s);
+
+    if (gOv_.entries().empty() && cOv_.entries().empty()) break;
+    growPattern();
+  }
+  const auto ns = timer.ns();
+  counters_.addEval(ns);
+  perf::global().addEval(ns);
+}
+
+diag::SolverStatus MnaWorkspace::factorJacobian(Real cCoeff, Real gCoeff,
+                                                Real gDiag) {
+  RFIC_REQUIRE(pattern_.rows() == n_,
+               "MnaWorkspace::factorJacobian before matrix evaluation");
+  const std::size_t nnz = pattern_.nnz();
+  jVals_.resize(nnz);
+  for (std::size_t p = 0; p < nnz; ++p)
+    jVals_[p] = cCoeff * cVals_[p] + gCoeff * gVals_[p];
+  if (gDiag != 0.0)  // lint: allow-float-eq (exact sentinel for "no shunt")
+    for (std::size_t i = 0; i < n_; ++i) jVals_[diagSlot_[i]] += gDiag;
+
+  const perf::Timer timer;
+  // !lu_.analyzed() covers a previous factorization attempt that threw on a
+  // singular matrix: the workspace pattern is still current, but the LU
+  // holds no usable program to replay.
+  if (!luPatternCurrent_ || !lu_.analyzed()) {
+    sparse::RCSR j = pattern_;
+    j.values() = jVals_;
+    lu_.factor(j);
+    luPatternCurrent_ = true;
+    const auto ns = timer.ns();
+    counters_.addFactorization(ns);
+    perf::global().addFactorization(ns);
+    return diag::SolverStatus::Converged;
+  }
+  const diag::SolverStatus st = lu_.refactor(jVals_);
+  const auto ns = timer.ns();
+  if (st == diag::SolverStatus::Converged) {
+    counters_.addRefactorization(ns);
+    perf::global().addRefactorization(ns);
+  } else {
+    // Repivoted: a full factorization ran under the hood.
+    counters_.addFactorization(ns);
+    perf::global().addFactorization(ns);
+  }
+  return st;
+}
+
+RVec MnaWorkspace::solve(const RVec& rhs) {
+  const perf::Timer timer;
+  RVec x = lu_.solve(rhs);
+  const auto ns = timer.ns();
+  counters_.addSolve(ns);
+  perf::global().addSolve(ns);
+  return x;
+}
+
+}  // namespace rfic::circuit

@@ -1,0 +1,102 @@
+// MnaWorkspace: the pattern-cached assemble→factor→solve pipeline.
+//
+// Every Newton-based analysis repeats the same three steps — evaluate the
+// circuit, combine C and G into a Jacobian, factor and solve — and before
+// this layer each step rebuilt its data structures from scratch: fresh
+// triplet lists per evaluation, fresh hashing and Markowitz ordering per
+// factorization. The workspace caches what never changes between
+// iterations:
+//
+//  - the union sparsity pattern of G, C, and the diagonal, discovered on
+//    the first evaluation and grown on demand (devices may stamp positions
+//    conditionally; a stamp that misses the pattern lands in an overflow
+//    list, the pattern is re-unioned, and the evaluation repeats);
+//  - preallocated value arrays that devices stamp into through cached CSR
+//    positions — zero heap churn per iteration;
+//  - a SymbolicLU whose pivot order and fill pattern are reused by cheap
+//    numeric refactorizations until pivot growth forces a repivot
+//    (surfaced as diag::SolverStatus::Repivoted).
+//
+// The workspace also owns a perf::Counters instance and mirrors every
+// event into perf::global(), so analyses and `rficsim --stats` can report
+// evals / factorizations / refactorizations / solves and their wall time.
+#pragma once
+
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "diag/convergence.hpp"
+#include "perf/perf.hpp"
+#include "sparse/symbolic_lu.hpp"
+
+namespace rfic::circuit {
+
+class MnaWorkspace {
+ public:
+  explicit MnaWorkspace(const MnaSystem& sys) : sys_(sys), n_(sys.dim()) {}
+
+  std::size_t dim() const { return n_; }
+  const MnaSystem& system() const { return sys_; }
+
+  /// Univariate evaluation at time t (both axes read t).
+  void eval(const RVec& x, Real t, bool wantMatrices,
+            const RVec* xPrev = nullptr) {
+    evalBivariate(x, t, t, wantMatrices, xPrev);
+  }
+
+  /// Bivariate evaluation: slow sources read t1, fast sources read t2.
+  /// Fills f()/q()/b() and, when wantMatrices, gValues()/cValues() over
+  /// pattern(). Self-healing: a stamped position missing from the cached
+  /// pattern grows the pattern and repeats the evaluation.
+  void evalBivariate(const RVec& x, Real t1, Real t2, bool wantMatrices,
+                     const RVec* xPrev = nullptr);
+
+  const RVec& f() const { return f_; }
+  const RVec& q() const { return q_; }
+  const RVec& b() const { return b_; }
+
+  /// Shared G/C sparsity pattern (values are all zero; use gValues()/
+  /// cValues()). Valid after the first matrix evaluation.
+  const sparse::RCSR& pattern() const { return pattern_; }
+  const std::vector<Real>& gValues() const { return gVals_; }
+  const std::vector<Real>& cValues() const { return cVals_; }
+  /// Bumped every time the pattern grows; lets callers that cache value
+  /// arrays (e.g. HB's per-sample Jacobians) detect a mid-sweep change.
+  std::size_t patternVersion() const { return patternVersion_; }
+
+  /// Factor J = cCoeff·C + gCoeff·G + gDiag·I from the current values —
+  /// the one shared C/G-combination helper for every Newton loop. The
+  /// first call (and any call after a pattern change) performs a full
+  /// symbolic factorization; subsequent calls are numeric refactorizations.
+  /// Returns Converged (cheap replay) or Repivoted (growth-triggered fresh
+  /// factorization); see diag::SolverStatus.
+  diag::SolverStatus factorJacobian(Real cCoeff, Real gCoeff, Real gDiag = 0);
+
+  /// Solve with the most recent factorization.
+  RVec solve(const RVec& rhs);
+
+  /// This workspace's pipeline counters (also mirrored into perf::global()).
+  perf::Snapshot counters() const { return counters_.snapshot(); }
+
+ private:
+  void ensurePattern(const RVec& x, Real t1, Real t2, const RVec* xPrev);
+  void growPattern();
+
+  const MnaSystem& sys_;
+  std::size_t n_;
+
+  RVec f_, q_, b_;
+  sparse::RCSR pattern_;                 ///< union pattern, zero values
+  std::vector<Real> gVals_, cVals_;      ///< stamped by position
+  std::vector<std::size_t> diagSlot_;    ///< CSR position of (i, i)
+  sparse::RTriplets gOv_, cOv_;          ///< pattern misses (rare)
+  std::size_t patternVersion_ = 0;
+
+  std::vector<Real> jVals_;              ///< combined Jacobian values
+  sparse::RSymbolicLU lu_;
+  bool luPatternCurrent_ = false;        ///< lu_ analyzed this pattern
+
+  perf::Counters counters_;
+};
+
+}  // namespace rfic::circuit

@@ -10,9 +10,12 @@
 //   .hb <f1> <h1> [<f2> <h2>]    harmonic balance, 1 or 2 tones
 //   .print <node> [<node>...]    selects output nodes (default: all)
 //
-// Usage: rficsim [--fe-trap] <netlist-file>   (or netlist on stdin with "-")
+// Usage: rficsim [--fe-trap] [--stats] <netlist-file>   (or stdin with "-")
 // --fe-trap arms floating-point exception trapping (SIGFPE at the first
 // invalid operation) for debugging NaN propagation.
+// --stats prints the pipeline performance counters (device evaluations,
+// symbolic factorizations vs. numeric refactorizations, solves, and time
+// per stage) to stderr after all analyses finish.
 #include <cmath>
 #include <memory>
 #include <cstdio>
@@ -31,6 +34,7 @@
 #include "diag/fe_trap.hpp"
 #include "hb/harmonic_balance.hpp"
 #include "hb/spectrum.hpp"
+#include "perf/perf.hpp"
 
 namespace {
 
@@ -210,13 +214,23 @@ int main(int argc, char** argv) {
   // letting a NaN propagate through a solve — the debugging mode of the
   // numerics-contract layer.
   std::unique_ptr<diag::ScopedFeTrap> feTrap;
-  if (argc >= 2 && std::string(argv[1]) == "--fe-trap") {
-    feTrap = std::make_unique<diag::ScopedFeTrap>();
+  bool stats = false;
+  while (argc >= 2 && argv[1][0] == '-' && argv[1][1] == '-') {
+    const std::string flag = argv[1];
+    if (flag == "--fe-trap") {
+      feTrap = std::make_unique<diag::ScopedFeTrap>();
+    } else if (flag == "--stats") {
+      stats = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 1;
+    }
     --argc;
     ++argv;
   }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: rficsim [--fe-trap] <netlist-file | ->\n");
+    std::fprintf(stderr,
+                 "usage: rficsim [--fe-trap] [--stats] <netlist-file | ->\n");
     return 1;
   }
   std::string text;
@@ -235,7 +249,12 @@ int main(int argc, char** argv) {
     text = buf.str();
   }
   try {
-    return runFile(text);
+    const int rc = runFile(text);
+    if (stats) {
+      const std::string report = perf::format(perf::global().snapshot());
+      std::fprintf(stderr, "%s", report.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -20,6 +20,8 @@ enum class SolverStatus {
                   ///< typical of singular or near-singular systems
   Stagnated,      ///< residual stopped improving (Krylov space exhausted)
   Diverged,       ///< residual became non-finite (NaN/Inf)
+  Repivoted,      ///< pattern-reusing refactorization hit excessive pivot
+                  ///< growth and fell back to a fresh full factorization
 };
 
 /// Stable human-readable name for logs and error messages.
@@ -31,6 +33,7 @@ inline const char* toString(SolverStatus s) {
     case SolverStatus::Breakdown: return "breakdown";
     case SolverStatus::Stagnated: return "stagnated";
     case SolverStatus::Diverged: return "diverged";
+    case SolverStatus::Repivoted: return "repivoted";
   }
   return "unknown";
 }

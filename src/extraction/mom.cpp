@@ -5,6 +5,7 @@
 
 #include "extraction/panel_kernel.hpp"
 #include "numeric/lu.hpp"
+#include "perf/thread_pool.hpp"
 #include "sparse/krylov.hpp"
 #include "sparse/sparse_matrix.hpp"
 
@@ -13,11 +14,13 @@ namespace rfic::extraction {
 RMat assembleMoMMatrix(const PanelMesh& mesh) {
   const std::size_t n = mesh.panels.size();
   RMat p(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
+  // Panel-pair potentials are independent; fill one source-panel column per
+  // pool task (disjoint writes, no synchronization needed).
+  perf::ThreadPool::global().parallelFor(n, [&](std::size_t j) {
     const Panel& src = mesh.panels[j];
     for (std::size_t i = 0; i < n; ++i)
       p(i, j) = panelPotential(src, mesh.panels[i].centroid());
-  }
+  });
   return p;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "circuit/mna_workspace.hpp"
 #include "diag/contracts.hpp"
 #include "fft/fft.hpp"
 #include "hb/hb_jacobian.hpp"
@@ -182,40 +183,63 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
 
   RMat samples;
   CMat fSpec, qSpec, bSpec;
-  circuit::MnaEval ev;
+  // One workspace for the whole solve: every sample stamps into the same
+  // cached pattern, so the per-sample Jacobians are plain value arrays.
+  circuit::MnaWorkspace ws(sys_);
 
   // Evaluate the packed HB residual at `coeffs`; when gOut/cOut are given
-  // also collect the per-sample Jacobians and their time averages.
+  // also collect the per-sample Jacobian values (over ws.pattern()) and
+  // their time averages.
   auto residual = [&](const CMat& x, Real lambda, RVec& r,
-                      std::vector<sparse::RCSR>* gOut,
-                      std::vector<sparse::RCSR>* cOut,
+                      std::vector<std::vector<Real>>* gOut,
+                      std::vector<std::vector<Real>>* cOut,
                       sparse::RTriplets* gAvg, sparse::RTriplets* cAvg) {
     spectrumToTime(x, samples);
     RMat fS(n_, msamp_), qS(n_, msamp_), bS(n_, msamp_);
     RVec xs(n_);
     const bool wantMat = gOut != nullptr;
-    if (gAvg) {
-      *gAvg = sparse::RTriplets(n_, n_);
-      *cAvg = sparse::RTriplets(n_, n_);
-    }
     const Real avgW = 1.0 / static_cast<Real>(msamp_);
-    for (std::size_t s = 0; s < msamp_; ++s) {
-      for (std::size_t u = 0; u < n_; ++u) xs[u] = samples(u, s);
-      const auto [t1, t2] = sampleTimes(s);
-      sys_.evalBivariate(xs, t1, t2, ev, wantMat);
-      for (std::size_t u = 0; u < n_; ++u) {
-        fS(u, s) = ev.f[u];
-        qS(u, s) = ev.q[u];
-        bS(u, s) = ev.b[u];
+    std::vector<Real> gAvgVals, cAvgVals;
+    for (bool done = false; !done;) {
+      // The pattern can grow mid-sweep (conditional device stamps); value
+      // arrays copied before a growth are stale, so restart the sweep.
+      std::size_t ver = 0;
+      done = true;
+      for (std::size_t s = 0; s < msamp_; ++s) {
+        for (std::size_t u = 0; u < n_; ++u) xs[u] = samples(u, s);
+        const auto [t1, t2] = sampleTimes(s);
+        ws.evalBivariate(xs, t1, t2, wantMat);
+        for (std::size_t u = 0; u < n_; ++u) {
+          fS(u, s) = ws.f()[u];
+          qS(u, s) = ws.q()[u];
+          bS(u, s) = ws.b()[u];
+        }
+        if (!wantMat) continue;
+        if (s == 0) {
+          ver = ws.patternVersion();
+          gAvgVals.assign(ws.pattern().nnz(), 0.0);
+          cAvgVals.assign(ws.pattern().nnz(), 0.0);
+        } else if (ws.patternVersion() != ver) {
+          done = false;
+          break;
+        }
+        (*gOut)[s] = ws.gValues();
+        (*cOut)[s] = ws.cValues();
+        for (std::size_t p = 0; p < gAvgVals.size(); ++p) {
+          gAvgVals[p] += ws.gValues()[p] * avgW;
+          cAvgVals[p] += ws.cValues()[p] * avgW;
+        }
       }
-      if (wantMat) {
-        (*gOut)[s] = sparse::RCSR(ev.G);
-        (*cOut)[s] = sparse::RCSR(ev.C);
-        if (gAvg) {
-          for (const auto& en : ev.G.entries())
-            gAvg->add(en.row, en.col, en.value * avgW);
-          for (const auto& en : ev.C.entries())
-            cAvg->add(en.row, en.col, en.value * avgW);
+    }
+    if (wantMat && gAvg) {
+      gAvg->reset(n_, n_);
+      cAvg->reset(n_, n_);
+      const auto& rp = ws.pattern().rowPtr();
+      const auto& ci = ws.pattern().colIdx();
+      for (std::size_t row = 0; row < n_; ++row) {
+        for (std::size_t p = rp[row]; p < rp[row + 1]; ++p) {
+          gAvg->add(row, ci[p], gAvgVals[p]);
+          cAvg->add(row, ci[p], cAvgVals[p]);
         }
       }
     }
@@ -234,8 +258,11 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
 
   // Drive level for the convergence scale.
   RVec r;
-  std::vector<sparse::RCSR> gS(msamp_), cS(msamp_);
-  sparse::RTriplets gAvg, cAvg;
+  std::vector<std::vector<Real>> gS(msamp_), cS(msamp_);
+  sparse::RTriplets gAvg(n_, n_), cAvg(n_, n_);
+  // Persistent preconditioner: after the first Newton iteration every
+  // update() is a parallel numeric refactorization of the harmonic blocks.
+  HBBlockPreconditioner prec(*this);
 
   const std::size_t ramp = std::max<std::size_t>(1, opts_.continuationSteps);
   for (std::size_t stage = 1; stage <= ramp; ++stage) {
@@ -251,6 +278,8 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
       if (!diag::isFinite(rnorm)) {
         sol.status = diag::SolverStatus::Diverged;
         sol.coeffs = coeffs;
+        sol.perf = ws.counters();
+        sol.perf += prec.counters();
         return sol;
       }
       if (rnorm < opts_.tolerance * scale) {
@@ -258,7 +287,7 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
         break;
       }
 
-      const HBOperator jac(*this, gS, cS);
+      const HBOperator jac(*this, ws.pattern(), gS, cS);
       RVec dx(n_ * nc_);
       if (opts_.useDirectSolver) {
         // Probe the operator column by column — exact dense Jacobian.
@@ -273,7 +302,7 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
         }
         dx = numeric::solveDense(std::move(jd), r);
       } else {
-        const HBBlockPreconditioner prec(*this, gAvg, cAvg);
+        prec.update(gAvg, cAvg);
         dx.setZero();
         const auto stat = sparse::gmres(jac, r, dx, &prec, opts_.gmres);
         sol.gmresIterations += stat.iterations;
@@ -304,6 +333,8 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
     if (!stageConverged && stage == ramp) {
       sol.status = diag::SolverStatus::MaxIterations;
       sol.coeffs = coeffs;
+      sol.perf = ws.counters();
+      sol.perf += prec.counters();
       return sol;  // converged flag stays false
     }
   }
@@ -311,6 +342,8 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
   sol.converged = true;
   sol.status = diag::SolverStatus::Converged;
   sol.coeffs = coeffs;
+  sol.perf = ws.counters();
+  sol.perf += prec.counters();
   return sol;
 }
 

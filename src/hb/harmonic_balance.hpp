@@ -22,6 +22,7 @@
 #include "circuit/mna.hpp"
 #include "diag/convergence.hpp"
 #include "numeric/dense.hpp"
+#include "perf/perf.hpp"
 #include "sparse/krylov.hpp"
 
 namespace rfic::hb {
@@ -53,6 +54,7 @@ struct HBSolution {
   std::size_t newtonIterations = 0;
   std::size_t gmresIterations = 0;  ///< cumulative inner iterations
   std::size_t realUnknowns = 0;     ///< size of the Newton system
+  perf::Snapshot perf;              ///< pipeline counters for the solve
 
   std::vector<std::array<int, 2>> indices;  ///< retained (k1, k2), canonical
   std::vector<Real> freqs;                  ///< k1·f1 + k2·f2 per index [Hz]

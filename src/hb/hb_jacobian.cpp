@@ -1,6 +1,8 @@
 #include "hb/hb_jacobian.hpp"
 
 #include "hb/harmonic_balance.hpp"
+#include "perf/perf.hpp"
+#include "perf/thread_pool.hpp"
 
 namespace rfic::hb {
 
@@ -8,9 +10,10 @@ using numeric::CMat;
 using numeric::RVec;
 
 HBOperator::HBOperator(const HarmonicBalance& engine,
-                       std::vector<sparse::RCSR> gSamples,
-                       std::vector<sparse::RCSR> cSamples)
-    : eng_(engine), g_(std::move(gSamples)), c_(std::move(cSamples)) {
+                       const sparse::RCSR& pattern,
+                       const std::vector<std::vector<Real>>& gSampleVals,
+                       const std::vector<std::vector<Real>>& cSampleVals)
+    : eng_(engine), pat_(pattern), g_(gSampleVals), c_(cSampleVals) {
   RFIC_REQUIRE(g_.size() == eng_.msamp_ && c_.size() == eng_.msamp_,
                "HBOperator: sample Jacobian count mismatch");
 }
@@ -29,9 +32,9 @@ void HBOperator::apply(const RVec& y, RVec& out) const {
   RVec xs(n), tmp(n);
   for (std::size_t s = 0; s < ms; ++s) {
     for (std::size_t u = 0; u < n; ++u) xs[u] = ySamp(u, s);
-    g_[s].multiply(xs, tmp);
+    pat_.multiplyWith(g_[s], xs, tmp);
     for (std::size_t u = 0; u < n; ++u) gy(u, s) = tmp[u];
-    c_[s].multiply(xs, tmp);
+    pat_.multiplyWith(c_[s], xs, tmp);
     for (std::size_t u = 0; u < n; ++u) cy(u, s) = tmp[u];
   }
   CMat gSpec, cSpec;
@@ -46,21 +49,66 @@ void HBOperator::apply(const RVec& y, RVec& out) const {
   eng_.packReal(r, out);
 }
 
+HBBlockPreconditioner::HBBlockPreconditioner(const HarmonicBalance& engine)
+    : eng_(engine), blocks_(engine.indices_.size()) {}
+
 HBBlockPreconditioner::HBBlockPreconditioner(const HarmonicBalance& engine,
                                              const sparse::RTriplets& gAvg,
                                              const sparse::RTriplets& cAvg)
-    : eng_(engine) {
+    : HBBlockPreconditioner(engine) {
+  update(gAvg, cAvg);
+}
+
+void HBBlockPreconditioner::update(const sparse::RTriplets& gAvg,
+                                   const sparse::RTriplets& cAvg) {
   const std::size_t n = eng_.n_;
-  blocks_.reserve(eng_.indices_.size());
-  for (std::size_t j = 0; j < eng_.indices_.size(); ++j) {
-    const Complex jw(0.0, eng_.omega(j));
-    sparse::CTriplets a(n, n);
-    for (const auto& en : gAvg.entries())
-      a.add(en.row, en.col, Complex(en.value, 0.0));
-    for (const auto& en : cAvg.entries())
-      a.add(en.row, en.col, jw * en.value);
-    blocks_.push_back(std::make_unique<sparse::CSparseLU>(a));
+  // Pack Ḡ and C̄ into one complex CSR over their union pattern: the real
+  // part accumulates g, the imaginary part c, so block κ's value array is
+  // simply Complex(g_p, ω_κ·c_p).
+  sparse::CTriplets packedT(n, n);
+  for (const auto& en : gAvg.entries())
+    packedT.add(en.row, en.col, Complex(en.value, 0.0));
+  for (const auto& en : cAvg.entries())
+    packedT.add(en.row, en.col, Complex(0.0, en.value));
+  sparse::CCSR packed(packedT);
+
+  const bool samePattern = havePattern_ &&
+                           packed.rowPtr() == packed_.rowPtr() &&
+                           packed.colIdx() == packed_.colIdx();
+  packed_ = std::move(packed);
+  if (!samePattern) {
+    // A device started (or stopped) stamping a position — the recorded
+    // block pivots no longer match; rebuild from scratch.
+    blocks_.assign(eng_.indices_.size(), sparse::CSymbolicLU());
+    havePattern_ = true;
   }
+
+  const std::size_t nnz = packed_.nnz();
+  const auto& pv = packed_.values();
+  auto& pool = perf::ThreadPool::global();
+  pool.parallelFor(blocks_.size(), [&](std::size_t j) {
+    const Real w = eng_.omega(j);
+    std::vector<Complex> vals(nnz);
+    for (std::size_t p = 0; p < nnz; ++p)
+      vals[p] = Complex(pv[p].real(), w * pv[p].imag());
+    const perf::Timer timer;
+    if (blocks_[j].analyzed()) {
+      const auto st = blocks_[j].refactor(vals);
+      if (st == diag::SolverStatus::Converged) {
+        counters_.addRefactorization(timer.ns());
+        perf::global().addRefactorization(timer.ns());
+      } else {  // SolverStatus::Repivoted — a full factorization ran
+        counters_.addFactorization(timer.ns());
+        perf::global().addFactorization(timer.ns());
+      }
+    } else {
+      sparse::CCSR block = packed_;
+      block.values() = std::move(vals);
+      blocks_[j].factor(block);
+      counters_.addFactorization(timer.ns());
+      perf::global().addFactorization(timer.ns());
+    }
+  });
 }
 
 std::size_t HBBlockPreconditioner::dim() const { return eng_.n_ * eng_.nc_; }
@@ -71,11 +119,14 @@ void HBBlockPreconditioner::apply(const RVec& r, RVec& z) const {
   const std::size_t n = eng_.n_;
   CMat zSpec(n, eng_.indices_.size());
   numeric::CVec rhs(n);
+  const perf::Timer timer;
   for (std::size_t j = 0; j < eng_.indices_.size(); ++j) {
     for (std::size_t u = 0; u < n; ++u) rhs[u] = rSpec(u, j);
-    const numeric::CVec sol = blocks_[j]->solve(rhs);
+    const numeric::CVec sol = blocks_[j].solve(rhs);
     for (std::size_t u = 0; u < n; ++u) zSpec(u, j) = sol[u];
   }
+  counters_.addSolve(timer.ns());
+  perf::global().addSolve(timer.ns());
   // The DC block solve may produce a residual imaginary part from packing
   // round trips; packReal drops it, which is exactly the projection we want.
   eng_.packReal(zSpec, z);

@@ -2,28 +2,33 @@
 
 #include <cmath>
 
+#include "circuit/mna_workspace.hpp"
+
 namespace rfic::mpde {
 
 namespace {
 
 // Fast-axis system at frozen slow time t1 with the BE slow-derivative term:
 //   d/dt2 q(y) + f(y) + q(y)/h1 = b̂(t1, t2) + q(x_prev(t2))/h1
+// Evaluations run through one MnaWorkspace, so every call after the first
+// stamps into the cached pattern with no triplet churn; the dense Jacobians
+// the fast-axis BVP solver wants are scattered straight from the cached
+// CSR value arrays.
 class EnvelopeInner final : public FastSystem {
  public:
   EnvelopeInner(const MnaSystem& sys, Real t1, Real fastPeriod,
                 std::size_t m2, Real h1,
                 const std::vector<numeric::RVec>* prev)
-      : sys_(sys), n_(sys.dim()), m2_(m2), t1_(t1), T2_(fastPeriod), h1_(h1) {
+      : ws_(sys), n_(sys.dim()), m2_(m2), t1_(t1), T2_(fastPeriod), h1_(h1) {
     if (h1_ > 0) {
       RFIC_REQUIRE(prev != nullptr && prev->size() >= m2_,
                    "EnvelopeInner: previous waveform required");
       // Pre-evaluate q along the previous waveform at every fast sample.
       qPrev_.resize(m2_);
-      circuit::MnaEval e;
       for (std::size_t j = 0; j < m2_; ++j) {
         const Real t2 = T2_ * static_cast<Real>(j) / static_cast<Real>(m2_);
-        sys_.evalBivariate((*prev)[j], t1_, t2, e, false);
-        qPrev_[j] = e.q;
+        ws_.evalBivariate((*prev)[j], t1_, t2, false);
+        qPrev_[j] = ws_.q();
       }
     }
   }
@@ -36,31 +41,40 @@ class EnvelopeInner final : public FastSystem {
             bool wantMatrices) const override {
     const std::size_t jw = j % m2_;
     const Real t2 = T2_ * static_cast<Real>(jw) / static_cast<Real>(m2_);
-    circuit::MnaEval ev;
-    sys_.evalBivariate(y, t1_, t2, ev, wantMatrices);
-    e.f = ev.f;
-    e.q = ev.q;
-    e.b = ev.b;
+    ws_.evalBivariate(y, t1_, t2, wantMatrices);
+    e.f = ws_.f();
+    e.q = ws_.q();
+    e.b = ws_.b();
+    const Real w = (h1_ > 0) ? 1.0 / h1_ : 0.0;
     if (h1_ > 0) {
-      const Real w = 1.0 / h1_;
       for (std::size_t u = 0; u < n_; ++u) {
-        e.f[u] += w * ev.q[u];
+        e.f[u] += w * ws_.q()[u];
         e.b[u] += w * qPrev_[jw][u];
       }
     }
     if (wantMatrices) {
-      e.G = ev.G.toDense();
-      e.C = ev.C.toDense();
-      if (h1_ > 0) {
-        const Real w = 1.0 / h1_;
-        for (const auto& en : ev.C.entries())
-          e.G(en.row, en.col) += w * en.value;
+      if (e.G.rows() != n_ || e.G.cols() != n_) {
+        e.G = numeric::RMat(n_, n_);
+        e.C = numeric::RMat(n_, n_);
+      } else {
+        e.G.setZero();
+        e.C.setZero();
+      }
+      const auto& rp = ws_.pattern().rowPtr();
+      const auto& ci = ws_.pattern().colIdx();
+      const auto& gv = ws_.gValues();
+      const auto& cv = ws_.cValues();
+      for (std::size_t row = 0; row < n_; ++row) {
+        for (std::size_t p = rp[row]; p < rp[row + 1]; ++p) {
+          e.G(row, ci[p]) = gv[p] + w * cv[p];
+          e.C(row, ci[p]) = cv[p];
+        }
       }
     }
   }
 
  private:
-  const MnaSystem& sys_;
+  mutable circuit::MnaWorkspace ws_;
   std::size_t n_, m2_;
   Real t1_, T2_, h1_;
   std::vector<numeric::RVec> qPrev_;

@@ -1,11 +1,35 @@
 #include "mpde/mfdtd.hpp"
 
 #include <cmath>
+#include <cstdint>
 
+#include "circuit/mna_workspace.hpp"
+#include "diag/contracts.hpp"
 #include "sparse/krylov.hpp"
-#include "sparse/sparse_lu.hpp"
+#include "sparse/symbolic_lu.hpp"
 
 namespace rfic::mpde {
+
+namespace {
+
+// Position of column `col` in CSR row `row`, found by binary search.
+std::size_t csrPos(const sparse::RCSR& a, std::size_t row, std::size_t col) {
+  const auto& rp = a.rowPtr();
+  const auto& ci = a.colIdx();
+  std::size_t lo = rp[row], hi = rp[row + 1];
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ci[mid] < col)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  RFIC_REQUIRE(lo < rp[row + 1] && ci[lo] == col,
+               "runMFDTD: grid Jacobian position missing from pattern");
+  return lo;
+}
+
+}  // namespace
 
 MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
                      const numeric::RVec& dcOp, const MFDTDOptions& opts) {
@@ -27,18 +51,57 @@ MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
   for (std::size_t p = 0; p < np; ++p)
     for (std::size_t u = 0; u < n; ++u) x[p * n + u] = dcOp[u];
 
-  std::vector<circuit::MnaEval> evals(np);
+  // Every grid point stamps the same circuit, so all share the workspace
+  // pattern: one per-point (f, q, b) snapshot plus G/C value arrays.
+  circuit::MnaWorkspace ws(sys);
+  std::vector<numeric::RVec> fV(np), qV(np), bV(np);
+  std::vector<std::vector<Real>> gV(np), cV(np);
   numeric::RVec xp(n);
+
+  // The global grid Jacobian inherits its structure from the workspace
+  // pattern replicated over the (diagonal, t1-neighbor, t2-neighbor)
+  // blocks. It is assembled once; each Newton iteration only refills the
+  // value array and numerically refactors on the recorded pivot order.
+  sparse::RCSR gpat;
+  std::vector<std::uint32_t> posDiag, posP1, posP2;
+  std::vector<Real> gvals;
+  sparse::RSymbolicLU glu;
+  std::size_t patVer = 0;
+  bool havePattern = false;
+  // Only the C pattern couples neighboring grid points; using the full
+  // G∪C union there would multiply the inter-block fill-in. A slot joins
+  // cActive the first time any grid point stamps charge into it, and the
+  // global structure is rebuilt when the set grows.
+  std::vector<char> cActive;
+  std::vector<std::uint32_t> cSlots;
 
   for (std::size_t it = 0; it < opts.maxNewton; ++it) {
     ++res.newtonIterations;
 
-    // Evaluate every grid point.
-    for (std::size_t i = 0; i < m1; ++i) {
-      for (std::size_t j = 0; j < m2; ++j) {
-        const std::size_t p = i * m2 + j;
-        for (std::size_t u = 0; u < n; ++u) xp[u] = x[p * n + u];
-        sys.evalBivariate(xp, res.grid.t1(i), res.grid.t2(j), evals[p], true);
+    // Evaluate every grid point; restart the sweep if a conditional stamp
+    // grows the shared pattern mid-flight.
+    for (bool done = false; !done;) {
+      done = true;
+      for (std::size_t i = 0; i < m1 && done; ++i) {
+        for (std::size_t j = 0; j < m2; ++j) {
+          const std::size_t p = i * m2 + j;
+          for (std::size_t u = 0; u < n; ++u) xp[u] = x[p * n + u];
+          ws.evalBivariate(xp, res.grid.t1(i), res.grid.t2(j), true);
+          if (p > 0 && ws.patternVersion() != patVer) {
+            done = false;
+            break;
+          }
+          if (p == 0 && ws.patternVersion() != patVer) {
+            patVer = ws.patternVersion();
+            havePattern = false;
+            cActive.clear();  // slot numbering changed with the pattern
+          }
+          fV[p] = ws.f();
+          qV[p] = ws.q();
+          bV[p] = ws.b();
+          gV[p] = ws.gValues();
+          cV[p] = ws.cValues();
+        }
       }
     }
 
@@ -50,13 +113,12 @@ MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
       for (std::size_t j = 0; j < m2; ++j) {
         const std::size_t jm = (j + m2 - 1) % m2;
         const std::size_t p = i * m2 + j;
-        const auto& e = evals[p];
-        const auto& e1 = evals[im * m2 + j];
-        const auto& e2 = evals[i * m2 + jm];
+        const auto& q1 = qV[im * m2 + j];
+        const auto& q2 = qV[i * m2 + jm];
         for (std::size_t u = 0; u < n; ++u) {
-          r[p * n + u] = (e.q[u] - e1.q[u]) / h1 + (e.q[u] - e2.q[u]) / h2 +
-                         e.f[u] - e.b[u];
-          bScale = std::max(bScale, std::abs(e.b[u]) + std::abs(e.f[u]));
+          r[p * n + u] = (qV[p][u] - q1[u]) / h1 + (qV[p][u] - q2[u]) / h2 +
+                         fV[p][u] - bV[p][u];
+          bScale = std::max(bScale, std::abs(bV[p][u]) + std::abs(fV[p][u]));
         }
       }
     }
@@ -66,33 +128,108 @@ MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
       break;
     }
 
-    // Assemble the global sparse Jacobian.
-    sparse::RTriplets jac(nu, nu);
+    const auto& prp = ws.pattern().rowPtr();
+    const auto& pci = ws.pattern().colIdx();
+    const std::size_t pnnz = ws.pattern().nnz();
+
+    cActive.resize(pnnz, 0);
+    for (std::size_t q = 0; q < pnnz; ++q) {
+      if (cActive[q]) continue;
+      for (std::size_t p = 0; p < np; ++p) {
+        if (cV[p][q] != Real{}) {
+          cActive[q] = 1;
+          havePattern = false;
+          break;
+        }
+      }
+    }
+
+    if (!havePattern) {
+      cSlots.clear();
+      for (std::size_t q = 0; q < pnnz; ++q)
+        if (cActive[q]) cSlots.push_back(static_cast<std::uint32_t>(q));
+      // Assemble the union structure once, then cache the CSR position of
+      // every (point, pattern-slot, block) contribution so value fills are
+      // flat array writes.
+      // Slot → pattern row, for addressing neighbor-block entries by slot.
+      std::vector<std::size_t> slotRow(pnnz);
+      for (std::size_t row = 0; row < n; ++row)
+        for (std::size_t q = prp[row]; q < prp[row + 1]; ++q) slotRow[q] = row;
+
+      const std::size_t ncs = cSlots.size();
+      sparse::RTriplets pat(nu, nu);
+      for (std::size_t i = 0; i < m1; ++i) {
+        const std::size_t im = (i + m1 - 1) % m1;
+        for (std::size_t j = 0; j < m2; ++j) {
+          const std::size_t jm = (j + m2 - 1) % m2;
+          const std::size_t p = i * m2 + j;
+          const std::size_t p1 = im * m2 + j;
+          const std::size_t p2 = i * m2 + jm;
+          for (std::size_t row = 0; row < n; ++row)
+            for (std::size_t q = prp[row]; q < prp[row + 1]; ++q)
+              pat.add(p * n + row, p * n + pci[q], 0.0);
+          for (const std::uint32_t q : cSlots) {
+            pat.add(p * n + slotRow[q], p1 * n + pci[q], 0.0);
+            pat.add(p * n + slotRow[q], p2 * n + pci[q], 0.0);
+          }
+        }
+      }
+      gpat = sparse::RCSR(pat);
+      posDiag.resize(np * pnnz);
+      posP1.resize(np * ncs);
+      posP2.resize(np * ncs);
+      for (std::size_t i = 0; i < m1; ++i) {
+        const std::size_t im = (i + m1 - 1) % m1;
+        for (std::size_t j = 0; j < m2; ++j) {
+          const std::size_t jm = (j + m2 - 1) % m2;
+          const std::size_t p = i * m2 + j;
+          const std::size_t p1 = im * m2 + j;
+          const std::size_t p2 = i * m2 + jm;
+          for (std::size_t row = 0; row < n; ++row) {
+            for (std::size_t q = prp[row]; q < prp[row + 1]; ++q) {
+              posDiag[p * pnnz + q] = static_cast<std::uint32_t>(
+                  csrPos(gpat, p * n + row, p * n + pci[q]));
+            }
+          }
+          for (std::size_t s = 0; s < ncs; ++s) {
+            const std::uint32_t q = cSlots[s];
+            const std::size_t grow = p * n + slotRow[q];
+            posP1[p * ncs + s] = static_cast<std::uint32_t>(
+                csrPos(gpat, grow, p1 * n + pci[q]));
+            posP2[p * ncs + s] = static_cast<std::uint32_t>(
+                csrPos(gpat, grow, p2 * n + pci[q]));
+          }
+        }
+      }
+      glu = sparse::RSymbolicLU();
+      havePattern = true;
+    }
+
+    gvals.assign(gpat.nnz(), 0.0);
+    const std::size_t ncs = cSlots.size();
+    const Real dd = 1.0 / h1 + 1.0 / h2;
     for (std::size_t i = 0; i < m1; ++i) {
       const std::size_t im = (i + m1 - 1) % m1;
       for (std::size_t j = 0; j < m2; ++j) {
         const std::size_t jm = (j + m2 - 1) % m2;
         const std::size_t p = i * m2 + j;
-        const std::size_t p1 = im * m2 + j;
-        const std::size_t p2 = i * m2 + jm;
-        const auto& e = evals[p];
-        for (const auto& en : e.C.entries()) {
-          jac.add(p * n + en.row, p * n + en.col,
-                  en.value * (1.0 / h1 + 1.0 / h2));
+        const auto& c1 = cV[im * m2 + j];
+        const auto& c2 = cV[i * m2 + jm];
+        for (std::size_t q = 0; q < pnnz; ++q)
+          gvals[posDiag[p * pnnz + q]] += cV[p][q] * dd + gV[p][q];
+        for (std::size_t s = 0; s < ncs; ++s) {
+          const std::uint32_t q = cSlots[s];
+          gvals[posP1[p * ncs + s]] -= c1[q] / h1;
+          gvals[posP2[p * ncs + s]] -= c2[q] / h2;
         }
-        for (const auto& en : e.G.entries())
-          jac.add(p * n + en.row, p * n + en.col, en.value);
-        for (const auto& en : evals[p1].C.entries())
-          jac.add(p * n + en.row, p1 * n + en.col, -en.value / h1);
-        for (const auto& en : evals[p2].C.entries())
-          jac.add(p * n + en.row, p2 * n + en.col, -en.value / h2);
       }
     }
+    res.jacobianNnz = gpat.nnz();
 
     numeric::RVec dx(nu);
     if (opts.useIterativeSolver) {
-      sparse::RCSR a(jac);
-      res.jacobianNnz = a.nnz();
+      sparse::RCSR a = gpat;
+      a.values() = gvals;
       sparse::CSROperator<Real> op(a);
       sparse::JacobiPreconditioner<Real> prec(a);
       sparse::IterativeOptions io;
@@ -103,9 +240,29 @@ MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
       if (!st.converged)
         failNumerical("runMFDTD: GMRES failed on the grid Jacobian");
     } else {
-      sparse::RSparseLU lu(jac);
-      res.jacobianNnz = lu.factorNnz();
-      dx = lu.solve(r);
+      const perf::Timer timer;
+      if (!glu.analyzed()) {
+        sparse::RCSR a = gpat;
+        a.values() = gvals;
+        glu.factor(a);
+        ++res.perf.factorizations;
+        res.perf.factorNs += timer.ns();
+        perf::global().addFactorization(timer.ns());
+      } else if (glu.refactor(gvals) == diag::SolverStatus::Converged) {
+        ++res.perf.refactorizations;
+        res.perf.refactorNs += timer.ns();
+        perf::global().addRefactorization(timer.ns());
+      } else {  // repivoted: a full factorization ran under the hood
+        ++res.perf.factorizations;
+        res.perf.factorNs += timer.ns();
+        perf::global().addFactorization(timer.ns());
+      }
+      res.jacobianNnz = glu.factorNnz();
+      const perf::Timer solveTimer;
+      dx = glu.solve(r);
+      ++res.perf.solves;
+      res.perf.solveNs += solveTimer.ns();
+      perf::global().addSolve(solveTimer.ns());
     }
     x -= dx;
   }
@@ -114,6 +271,7 @@ MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
     for (std::size_t j = 0; j < m2; ++j)
       for (std::size_t u = 0; u < n; ++u)
         res.grid.at(u, i, j) = x[(i * m2 + j) * n + u];
+  res.perf += ws.counters();
   return res;
 }
 

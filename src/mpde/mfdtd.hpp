@@ -11,6 +11,7 @@
 
 #include "circuit/mna.hpp"
 #include "mpde/bivariate.hpp"
+#include "perf/perf.hpp"
 
 namespace rfic::mpde {
 
@@ -29,6 +30,7 @@ struct MFDTDResult {
   BivariateGrid grid;
   std::size_t newtonIterations = 0;
   std::size_t jacobianNnz = 0;  ///< assembled sparse Jacobian size
+  perf::Snapshot perf;          ///< pipeline counters for the solve
 };
 
 MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,

@@ -1,0 +1,31 @@
+#include "perf/perf.hpp"
+
+#include <cstdio>
+
+namespace rfic::perf {
+
+Counters& global() {
+  static Counters instance;
+  return instance;
+}
+
+std::string format(const Snapshot& s) {
+  char buf[512];
+  const auto ms = [](std::uint64_t ns) {
+    return static_cast<double>(ns) * 1e-6;
+  };
+  std::snprintf(buf, sizeof(buf),
+                "evals            %10llu  (%10.3f ms)\n"
+                "factorizations   %10llu  (%10.3f ms)\n"
+                "refactorizations %10llu  (%10.3f ms)\n"
+                "solves           %10llu  (%10.3f ms)\n",
+                static_cast<unsigned long long>(s.evals), ms(s.evalNs),
+                static_cast<unsigned long long>(s.factorizations),
+                ms(s.factorNs),
+                static_cast<unsigned long long>(s.refactorizations),
+                ms(s.refactorNs),
+                static_cast<unsigned long long>(s.solves), ms(s.solveNs));
+  return buf;
+}
+
+}  // namespace rfic::perf

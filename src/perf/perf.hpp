@@ -1,0 +1,111 @@
+// Lightweight performance counters for the assemble→factor→solve pipeline.
+//
+// The paper's Section 2 cost argument is quantitative: steady-state RF
+// methods become practical only when repeated circuit evaluation and
+// linearization are cheap. This layer makes that cost observable. Every
+// MnaWorkspace (and the HB preconditioner) bumps a Counters instance —
+// evaluations, symbolic factorizations, numeric refactorizations, solves,
+// and wall nanoseconds per stage — and analyses copy a Snapshot into their
+// results. A process-global instance feeds `rficsim --stats` and the bench
+// JSON reporters.
+//
+// Counter fields are relaxed atomics so the parallel fan-out paths (HB
+// block-preconditioner assembly, jitter Monte-Carlo, MoM panel fill) can
+// share one instance without synchronization; totals are exact because
+// each increment is atomic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace rfic::perf {
+
+/// Plain copyable totals — what analyses embed in their result structs.
+struct Snapshot {
+  std::uint64_t evals = 0;             ///< circuit (f, q, b[, G, C]) evaluations
+  std::uint64_t factorizations = 0;    ///< full symbolic+numeric factorizations
+  std::uint64_t refactorizations = 0;  ///< pattern-reusing numeric passes
+  std::uint64_t solves = 0;            ///< triangular solves
+  std::uint64_t evalNs = 0;
+  std::uint64_t factorNs = 0;
+  std::uint64_t refactorNs = 0;
+  std::uint64_t solveNs = 0;
+
+  Snapshot& operator+=(const Snapshot& o) {
+    evals += o.evals;
+    factorizations += o.factorizations;
+    refactorizations += o.refactorizations;
+    solves += o.solves;
+    evalNs += o.evalNs;
+    factorNs += o.factorNs;
+    refactorNs += o.refactorNs;
+    solveNs += o.solveNs;
+    return *this;
+  }
+};
+
+/// Thread-safe accumulator. Increments use relaxed atomics — the counters
+/// are statistics, not synchronization.
+class Counters {
+ public:
+  void addEval(std::uint64_t ns) { bump(evals_, evalNs_, ns); }
+  void addFactorization(std::uint64_t ns) { bump(factor_, factorNs_, ns); }
+  void addRefactorization(std::uint64_t ns) { bump(refactor_, refactorNs_, ns); }
+  void addSolve(std::uint64_t ns) { bump(solves_, solveNs_, ns); }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.evals = evals_.load(std::memory_order_relaxed);
+    s.factorizations = factor_.load(std::memory_order_relaxed);
+    s.refactorizations = refactor_.load(std::memory_order_relaxed);
+    s.solves = solves_.load(std::memory_order_relaxed);
+    s.evalNs = evalNs_.load(std::memory_order_relaxed);
+    s.factorNs = factorNs_.load(std::memory_order_relaxed);
+    s.refactorNs = refactorNs_.load(std::memory_order_relaxed);
+    s.solveNs = solveNs_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    for (auto* a : {&evals_, &factor_, &refactor_, &solves_, &evalNs_,
+                    &factorNs_, &refactorNs_, &solveNs_})
+      a->store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& count,
+                   std::atomic<std::uint64_t>& ns, std::uint64_t dt) {
+    count.fetch_add(1, std::memory_order_relaxed);
+    ns.fetch_add(dt, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> evals_{0}, factor_{0}, refactor_{0}, solves_{0};
+  std::atomic<std::uint64_t> evalNs_{0}, factorNs_{0}, refactorNs_{0},
+      solveNs_{0};
+};
+
+/// Process-wide counters: every MnaWorkspace contributes here in addition
+/// to its local instance. Read by `rficsim --stats` and the benches.
+Counters& global();
+
+/// Monotonic wall-clock stamp for the pipeline timers.
+class Timer {
+ public:
+  Timer() : t0_(std::chrono::steady_clock::now()) {}
+  std::uint64_t ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Multi-line human-readable rendering (used by rficsim --stats).
+std::string format(const Snapshot& s);
+
+}  // namespace rfic::perf

@@ -1,0 +1,120 @@
+#include "perf/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace rfic::perf {
+
+namespace {
+// Set while a thread is executing chunks of some batch; a nested
+// parallelFor from such a thread must run inline to avoid deadlocking on
+// the pool it is itself draining.
+thread_local bool tlInPool = false;
+
+std::size_t defaultThreads() {
+  if (const char* env = std::getenv("RFIC_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 2;
+}
+}  // namespace
+
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;          // first exception, guarded by errMu
+  std::mutex errMu;
+
+  void run() {
+    tlInPool = true;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errMu);
+        if (!error) error = std::current_exception();
+      }
+    }
+    tlInPool = false;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = threads > 0 ? threads : defaultThreads();
+  // The caller participates, so spawn total-1 workers.
+  const std::size_t nWorkers = total > 1 ? total - 1 : 0;
+  workers_.reserve(nWorkers);
+  for (std::size_t i = 0; i < nWorkers; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    Batch* b = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || batch_ != nullptr; });
+      if (stop_) return;
+      b = batch_;
+      ++busy_;
+    }
+    b->run();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+      if (busy_ == 0 && b->next.load(std::memory_order_relaxed) >= b->n)
+        doneCv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Serial fast paths: trivially small batches, no workers, or a nested
+  // call from inside a worker thread.
+  if (n == 1 || workers_.empty() || tlInPool) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Batch b;
+  b.n = n;
+  b.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &b;
+  }
+  cv_.notify_all();
+
+  b.run();  // the caller is a lane too
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_ = nullptr;  // late wakers see no batch and go back to sleep
+    doneCv_.wait(lock, [this] { return busy_ == 0; });
+  }
+  if (b.error) std::rethrow_exception(b.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace rfic::perf

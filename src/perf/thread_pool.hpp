@@ -1,0 +1,60 @@
+// Fixed-size thread pool for the embarrassingly parallel hot loops:
+// HB block-diagonal preconditioner assembly, jitter Monte-Carlo sample
+// paths, and MoM panel-matrix fill.
+//
+// Design constraints:
+//  - Workers are created once and persist; parallelFor hands out chunk
+//    indices through a single atomic counter, and the calling thread
+//    participates, so small trip counts cost no synchronization beyond
+//    one mutex round-trip.
+//  - A parallelFor issued from inside a worker (nested parallelism) runs
+//    inline serially — no deadlock, no oversubscription.
+//  - The first exception thrown by any chunk is captured and rethrown on
+//    the calling thread.
+//  - Memory ordering is conservative (acquire/release via mutex +
+//    condition_variable); validated under RFIC_SANITIZE=thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfic::perf {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks a size from RFIC_THREADS, falling back to the
+  /// hardware concurrency (at least 1 worker besides the caller).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes working a parallelFor: workers + the calling thread.
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for i in [0, n). Blocks until all iterations finish.
+  /// fn must be safe to invoke concurrently from multiple threads.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool, sized from RFIC_THREADS (default: hardware).
+  static ThreadPool& global();
+
+ private:
+  struct Batch;
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes workers when a batch arrives
+  std::condition_variable doneCv_;   ///< wakes the caller when a batch drains
+  Batch* batch_ = nullptr;           ///< current batch, guarded by mu_
+  std::size_t busy_ = 0;             ///< workers still inside the batch
+  bool stop_ = false;
+};
+
+}  // namespace rfic::perf

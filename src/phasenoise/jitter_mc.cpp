@@ -5,6 +5,7 @@
 
 #include "analysis/transient.hpp"
 #include "numeric/qr.hpp"
+#include "perf/thread_pool.hpp"
 
 namespace rfic::phasenoise {
 
@@ -40,15 +41,23 @@ JitterMCResult monteCarloJitter(const MnaSystem& sys, const PSSResult& pss,
   to.dt = pss.period / static_cast<Real>(opts.stepsPerCycle);
   to.noiseScale = opts.noiseScale;
 
+  // Sample paths are independent: run them on the process thread pool into
+  // per-path slots, then compact serially. Each path keeps its seed
+  // (opts.seed + 7919·p), so the ensemble is identical to the serial run.
+  std::vector<std::vector<Real>> pathCrossings(opts.paths);
+  perf::ThreadPool::global().parallelFor(opts.paths, [&](std::size_t p) {
+    const auto tr = analysis::runNoisyTransient(sys, pss.x0, to,
+                                                opts.seed + 7919 * p);
+    if (!tr.ok) return;
+    auto cr = risingCrossings(tr, crossingIndex, level);
+    if (cr.size() < 4) return;
+    pathCrossings[p] = std::move(cr);
+  });
   std::vector<std::vector<Real>> crossings;
   crossings.reserve(opts.paths);
   std::size_t minCount = SIZE_MAX;
-  for (std::size_t p = 0; p < opts.paths; ++p) {
-    const auto tr = analysis::runNoisyTransient(sys, pss.x0, to,
-                                                opts.seed + 7919 * p);
-    if (!tr.ok) continue;
-    auto cr = risingCrossings(tr, crossingIndex, level);
-    if (cr.size() < 4) continue;
+  for (auto& cr : pathCrossings) {
+    if (cr.empty()) continue;
     minCount = std::min(minCount, cr.size());
     crossings.push_back(std::move(cr));
   }

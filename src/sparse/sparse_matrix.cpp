@@ -63,6 +63,20 @@ void CSR<T>::multiply(const Vec<T>& x, Vec<T>& y) const {
 }
 
 template <class T>
+void CSR<T>::multiplyWith(const std::vector<T>& vals, const Vec<T>& x,
+                          Vec<T>& y) const {
+  RFIC_REQUIRE(vals.size() == val_.size(), "CSR::multiplyWith nnz mismatch");
+  RFIC_REQUIRE(x.size() == cols_, "CSR::multiplyWith size mismatch");
+  y.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    T s{};
+    for (std::size_t p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p)
+      s += vals[p] * x[colIdx_[p]];
+    y[r] = s;
+  }
+}
+
+template <class T>
 Vec<T> CSR<T>::transposeMultiply(const Vec<T>& x) const {
   RFIC_REQUIRE(x.size() == rows_, "CSR::transposeMultiply size mismatch");
   Vec<T> y(cols_);

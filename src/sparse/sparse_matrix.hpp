@@ -29,6 +29,13 @@ class Triplets {
     entries_.push_back({r, c, v});
   }
   void clear() { entries_.clear(); }
+  /// Re-dimension and empty, keeping the entry buffer's capacity — for
+  /// callers that rebuild the same-sized system every iteration.
+  void reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    entries_.clear();
+  }
 
   struct Entry {
     std::size_t row, col;
@@ -73,6 +80,12 @@ class CSR {
   }
   /// y = Aᵀ x (no conjugation)
   Vec<T> transposeMultiply(const Vec<T>& x) const;
+
+  /// y = A x with this pattern but an external value array — lets many
+  /// matrices share one CSR structure (e.g. per-sample HB Jacobians that
+  /// all stamp the same circuit topology).
+  void multiplyWith(const std::vector<T>& vals, const Vec<T>& x,
+                    Vec<T>& y) const;
 
   Mat<T> toDense() const;
 

@@ -1,0 +1,259 @@
+#include "sparse/symbolic_lu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rfic::sparse {
+
+template <class T>
+SymbolicLU<T>::SymbolicLU(const CSR<T>& a, const Options& opts) {
+  factor(a, opts);
+}
+
+template <class T>
+void SymbolicLU<T>::factor(const CSR<T>& a, const Options& opts) {
+  RFIC_REQUIRE(a.rows() == a.cols(), "SymbolicLU: square matrix required");
+  opts_ = opts;
+  n_ = a.rows();
+  nnz_ = a.nnz();
+  aRowPtr_ = a.rowPtr();
+  aColIdx_.assign(a.colIdx().begin(), a.colIdx().end());
+  analyzeFromValues(a.values().data());
+}
+
+// Full elimination with Markowitz/threshold pivoting (mirrors SparseLU),
+// additionally assigning every touched (row, col) position a workspace slot
+// and recording the slot-level update program for later replay.
+template <class T>
+void SymbolicLU<T>::analyzeFromValues(const T* vals) {
+  analyzed_ = false;
+
+  // Dynamic structure: per-row map col -> workspace slot. Slots [0, nnz_)
+  // are the input CSR positions in order; fill-in appends.
+  std::vector<std::unordered_map<std::size_t, std::uint32_t>> work(n_);
+  std::vector<std::unordered_set<std::size_t>> colRows(n_);
+  w_.assign(nnz_, T{});
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t p = aRowPtr_[r]; p < aRowPtr_[r + 1]; ++p) {
+      const std::size_t c = aColIdx_[p];
+      const auto [it, inserted] =
+          work[r].try_emplace(c, static_cast<std::uint32_t>(p));
+      RFIC_REQUIRE(inserted, "SymbolicLU: duplicate position in CSR");
+      colRows[c].insert(r);
+      w_[p] = vals[p];
+    }
+  }
+
+  std::vector<char> rowActive(n_, 1), colActive(n_, 1);
+  pivRow_.resize(n_);
+  pivCol_.resize(n_);
+  pivVal_.resize(n_);
+  pivSlot_.resize(n_);
+  lPtr_.assign(n_ + 1, 0);
+  uPtr_.assign(n_ + 1, 0);
+  lRow_.clear();
+  uCol_.clear();
+  lVal_.clear();
+  uVal_.clear();
+  lSlot_.clear();
+  uSlot_.clear();
+  updTarget_.clear();
+
+  auto columnMax = [&](std::size_t c) {
+    Real m = 0;
+    for (std::size_t r : colRows[c])
+      m = std::max(m, std::abs(w_[work[r].at(c)]));
+    return m;
+  };
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // --- Pivot selection (same strategy as SparseLU): minimize the
+    // Markowitz product among entries passing the relative threshold.
+    std::size_t bestR = n_, bestC = n_;
+    std::size_t bestMark = std::numeric_limits<std::size_t>::max();
+    Real bestMag = 0;
+
+    if (opts_.preferDiagonal) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (!colActive[j] || !rowActive[j]) continue;
+        const auto it = work[j].find(j);
+        if (it == work[j].end() || w_[it->second] == T{}) continue;
+        const std::size_t mark =
+            (work[j].size() - 1) * (colRows[j].size() - 1);
+        if (mark > bestMark) continue;
+        const Real mag = std::abs(w_[it->second]);
+        if (mark == bestMark && mag <= bestMag) continue;
+        if (mag < opts_.pivotThreshold * columnMax(j)) continue;
+        bestR = bestC = j;
+        bestMark = mark;
+        bestMag = mag;
+      }
+    }
+    if (bestR == n_) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (!colActive[j]) continue;
+        const Real cmax = columnMax(j);
+        if (cmax == 0) continue;
+        for (std::size_t r : colRows[j]) {
+          const T v = w_[work[r].at(j)];
+          const Real mag = std::abs(v);
+          if (mag < opts_.pivotThreshold * cmax) continue;
+          const std::size_t mark =
+              (work[r].size() - 1) * (colRows[j].size() - 1);
+          if (mark < bestMark || (mark == bestMark && mag > bestMag)) {
+            bestR = r;
+            bestC = j;
+            bestMark = mark;
+            bestMag = mag;
+          }
+        }
+      }
+    }
+    if (bestR == n_) failNumerical("SymbolicLU: matrix is singular");
+
+    const std::size_t pr = bestR, pc = bestC;
+    const std::uint32_t pslot = work[pr].at(pc);
+    const T p = w_[pslot];
+    pivRow_[k] = static_cast<std::uint32_t>(pr);
+    pivCol_[k] = static_cast<std::uint32_t>(pc);
+    pivSlot_[k] = pslot;
+    pivVal_[k] = p;
+
+    // Record the U row (pivot entry excluded) and detach the pivot row.
+    for (const auto& [c, slot] : work[pr]) {
+      colRows[c].erase(pr);
+      if (c == pc) continue;
+      uCol_.push_back(static_cast<std::uint32_t>(c));
+      uSlot_.push_back(slot);
+      uVal_.push_back(w_[slot]);
+    }
+    uPtr_[k + 1] = uVal_.size();
+
+    // Eliminate below the pivot, recording L entries and the flattened
+    // (target -= m·source) program. The numeric update runs here too so
+    // later pivot choices see the true partial values.
+    const std::size_t u0 = uPtr_[k], u1 = uPtr_[k + 1];
+    std::vector<std::size_t> below(colRows[pc].begin(), colRows[pc].end());
+    for (std::size_t i : below) {
+      const std::uint32_t numSlot = work[i].at(pc);
+      const T m = w_[numSlot] / p;
+      lRow_.push_back(static_cast<std::uint32_t>(i));
+      lSlot_.push_back(numSlot);
+      lVal_.push_back(m);
+      work[i].erase(pc);
+      for (std::size_t q = u0; q < u1; ++q) {
+        const std::size_t c = uCol_[q];
+        auto [it, inserted] =
+            work[i].try_emplace(c, static_cast<std::uint32_t>(w_.size()));
+        if (inserted) {
+          w_.push_back(T{});
+          colRows[c].insert(i);
+        }
+        w_[it->second] -= m * w_[uSlot_[q]];
+        updTarget_.push_back(it->second);
+      }
+    }
+    lPtr_[k + 1] = lVal_.size();
+    colRows[pc].clear();
+    work[pr].clear();
+    rowActive[pr] = 0;
+    colActive[pc] = 0;
+  }
+
+  analyzed_ = true;
+}
+
+// Pure numeric pass: zero the workspace, scatter the new values, replay the
+// recorded flop sequence. Returns false when the pivots recorded at
+// analysis time are no longer numerically acceptable for these values.
+template <class T>
+bool SymbolicLU<T>::replay(const T* vals, std::size_t nvals) {
+  RFIC_REQUIRE(nvals == nnz_, "SymbolicLU::refactor value count mismatch");
+  w_.assign(w_.size(), T{});
+  Real maxIn = 0;
+  for (std::size_t p = 0; p < nnz_; ++p) {
+    w_[p] = vals[p];
+    maxIn = std::max(maxIn, std::abs(vals[p]));
+  }
+  if (!(maxIn > 0) || !std::isfinite(maxIn)) return false;
+  const Real floor = opts_.pivotFloor * maxIn;
+  const Real cap = opts_.growthLimit * maxIn;
+
+  Real maxU = 0;
+  std::size_t up = 0;  // cursor into updTarget_
+  for (std::size_t k = 0; k < n_; ++k) {
+    const T p = w_[pivSlot_[k]];
+    const Real pm = std::abs(p);
+    if (!(pm > floor)) return false;  // tiny, zero, or NaN pivot
+    pivVal_[k] = p;
+    const std::size_t u0 = uPtr_[k], u1 = uPtr_[k + 1];
+    for (std::size_t q = u0; q < u1; ++q) {
+      const T u = w_[uSlot_[q]];
+      uVal_[q] = u;
+      maxU = std::max(maxU, std::abs(u));
+    }
+    maxU = std::max(maxU, pm);
+    if (!(maxU <= cap)) return false;  // growth or non-finite
+    const std::size_t ulen = u1 - u0;
+    for (std::size_t li = lPtr_[k]; li < lPtr_[k + 1]; ++li) {
+      const T m = w_[lSlot_[li]] / p;
+      lVal_[li] = m;
+      if (m == T{}) {
+        up += ulen;
+        continue;
+      }
+      for (std::size_t q = u0; q < u1; ++q)
+        w_[updTarget_[up++]] -= m * w_[uSlot_[q]];
+    }
+  }
+  return true;
+}
+
+template <class T>
+diag::SolverStatus SymbolicLU<T>::refactor(const std::vector<T>& values) {
+  RFIC_REQUIRE(analyzed_, "SymbolicLU::refactor before factor");
+  if (replay(values.data(), values.size())) return diag::SolverStatus::Converged;
+  // Pivot growth (or a sign/topology change in the values) invalidated the
+  // recorded pivot order — redo the full analysis with fresh pivots.
+  analyzeFromValues(values.data());
+  return diag::SolverStatus::Repivoted;
+}
+
+template <class T>
+diag::SolverStatus SymbolicLU<T>::refactor(const CSR<T>& a) {
+  RFIC_REQUIRE(a.nnz() == nnz_ && a.rows() == n_,
+               "SymbolicLU::refactor pattern mismatch");
+  return refactor(a.values());
+}
+
+template <class T>
+Vec<T> SymbolicLU<T>::solve(const Vec<T>& b) const {
+  RFIC_REQUIRE(analyzed_, "SymbolicLU::solve before factor");
+  RFIC_REQUIRE(b.size() == n_, "SymbolicLU::solve size mismatch");
+  // Forward: replay the elimination on the right-hand side.
+  Vec<T> y = b;
+  Vec<T> z(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const T zk = y[pivRow_[k]];
+    z[k] = zk;
+    if (zk == T{}) continue;
+    for (std::size_t q = lPtr_[k]; q < lPtr_[k + 1]; ++q)
+      y[lRow_[q]] -= lVal_[q] * zk;
+  }
+  // Backward: solve U in elimination order, scatter by the column perm.
+  Vec<T> x(n_);
+  for (std::size_t k = n_; k-- > 0;) {
+    T s = z[k];
+    for (std::size_t q = uPtr_[k]; q < uPtr_[k + 1]; ++q)
+      s -= uVal_[q] * x[uCol_[q]];
+    x[pivCol_[k]] = s / pivVal_[k];
+  }
+  return x;
+}
+
+template class SymbolicLU<Real>;
+template class SymbolicLU<Complex>;
+
+}  // namespace rfic::sparse

@@ -1,0 +1,108 @@
+// Symbolic/numeric split of the sparse LU factorization.
+//
+// SparseLU redoes everything — Markowitz ordering, fill discovery, and the
+// numeric elimination — on every call, which is the right trade for one-shot
+// users (AC sweeps, S-parameters) but wasteful inside Newton loops where the
+// sparsity pattern never changes between iterations. SymbolicLU factors a
+// pattern ONCE with the same pivot strategy as SparseLU, and while doing so
+// records a flat "update program": a workspace slot for every position the
+// elimination ever touches (inputs and fill-in), the pivot/L/U slots per
+// step, and the (target, source) slot pairs of every elimination flop.
+//
+// refactor(values) then replays that program on new numeric values — no
+// hashing, no ordering, no allocation — in time proportional to the flop
+// count of the original factorization. Because fill depends only on the
+// pattern and the pivot order, the replay is bit-for-bit the same arithmetic
+// a fresh factorization with the same pivots would perform.
+//
+// Replay is guarded: a pivot falling below `pivotFloor · max|A|`, element
+// growth beyond `growthLimit · max|A|`, or any non-finite value aborts the
+// replay and triggers a fresh full factorization with new pivots. The
+// caller learns which path ran through the returned diag::SolverStatus
+// (Converged = cheap replay, Repivoted = fallback).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "diag/convergence.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace rfic::sparse {
+
+template <class T>
+class SymbolicLU {
+ public:
+  struct Options {
+    Real pivotThreshold = 1e-3;  ///< relative threshold vs column max (analysis)
+    bool preferDiagonal = true;  ///< MNA matrices nearly always allow it
+    Real pivotFloor = 1e-12;     ///< replay aborts if |pivot| ≤ floor·max|A|
+    Real growthLimit = 1e10;     ///< replay aborts if max|U| > limit·max|A|
+  };
+
+  SymbolicLU() = default;
+  explicit SymbolicLU(const CSR<T>& a, const Options& opts = {});
+
+  /// Full analysis: pivot ordering + fill discovery + numeric values, and
+  /// records the replay program. Throws NumericalError on singularity.
+  void factor(const CSR<T>& a, const Options& opts = {});
+
+  /// Cheap numeric pass on new values over the analyzed pattern. `values`
+  /// must follow the CSR position order of the matrix passed to factor().
+  /// Returns SolverStatus::Converged when the replay succeeded, or
+  /// SolverStatus::Repivoted when pivot growth forced a fresh full
+  /// factorization (with new pivots) from the same values.
+  diag::SolverStatus refactor(const std::vector<T>& values);
+  /// Convenience: same-pattern matrix (only its values are read).
+  diag::SolverStatus refactor(const CSR<T>& a);
+
+  bool analyzed() const { return analyzed_; }
+  std::size_t size() const { return n_; }
+  std::size_t patternNnz() const { return nnz_; }
+  /// Stored factor entries, fill-in included.
+  std::size_t factorNnz() const { return n_ + lVal_.size() + uVal_.size(); }
+  /// Flops replayed per refactor (size of the recorded update program).
+  std::size_t programFlops() const { return updTarget_.size(); }
+
+  Vec<T> solve(const Vec<T>& b) const;
+
+ private:
+  void analyzeFromValues(const T* vals);
+  bool replay(const T* vals, std::size_t nvals);
+
+  Options opts_;
+  bool analyzed_ = false;
+  std::size_t n_ = 0;
+  std::size_t nnz_ = 0;  ///< input pattern positions (= workspace prefix)
+
+  // Input pattern, kept so the repivot fallback can rebuild rows from a
+  // bare value array.
+  std::vector<std::size_t> aRowPtr_;
+  std::vector<std::uint32_t> aColIdx_;
+
+  // Factorization in flat form. Step k owns L entries [lPtr_[k], lPtr_[k+1])
+  // and U entries [uPtr_[k], uPtr_[k+1]); pivRow_/pivCol_ are original
+  // indices, lRow_/uCol_ likewise.
+  std::vector<std::uint32_t> pivRow_, pivCol_;
+  std::vector<T> pivVal_;
+  std::vector<std::size_t> lPtr_, uPtr_;
+  std::vector<std::uint32_t> lRow_, uCol_;
+  std::vector<T> lVal_, uVal_;
+
+  // Replay program. Workspace slot of the pivot / each L numerator / each U
+  // entry, plus the flattened (target -= m·source) slot pairs in execution
+  // order: for step k, for each L entry, one target per U entry of step k.
+  std::vector<std::uint32_t> pivSlot_, lSlot_, uSlot_;
+  std::vector<std::uint32_t> updTarget_;
+
+  std::vector<T> w_;  ///< slot workspace (one entry per touched position)
+};
+
+using RSymbolicLU = SymbolicLU<Real>;
+using CSymbolicLU = SymbolicLU<Complex>;
+
+extern template class SymbolicLU<Real>;
+extern template class SymbolicLU<Complex>;
+
+}  // namespace rfic::sparse

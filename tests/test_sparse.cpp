@@ -8,6 +8,7 @@
 #include "sparse/krylov.hpp"
 #include "sparse/sparse_lu.hpp"
 #include "sparse/sparse_matrix.hpp"
+#include "sparse/symbolic_lu.hpp"
 
 namespace rfic::sparse {
 namespace {
@@ -267,6 +268,99 @@ TEST(CG, SolvesSPDLaplacian) {
   const auto st = conjugateGradient(op, b, x, {1e-12, 2000, 0});
   EXPECT_TRUE(st.converged);
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-6);
+}
+
+TEST(SymbolicLU, RefactorMatchesFreshFactorization) {
+  // The replay is the same arithmetic a fresh factorization with the same
+  // pivot order performs, so solutions agree to roundoff on random patterns.
+  for (const std::uint64_t seed : {200u, 201u, 202u}) {
+    const std::size_t n = 40;
+    const auto t = randomSparse(n, 0.12, seed, 4.0);
+    RCSR a(t);
+    RSymbolicLU lu(a);
+    ASSERT_TRUE(lu.analyzed());
+
+    // New values on the identical pattern: bounded perturbation that keeps
+    // the diagonal dominant, so the recorded pivots stay acceptable.
+    std::mt19937_64 rng(seed + 7);
+    std::uniform_real_distribution<Real> u(0.7, 1.3);
+    RCSR aNew = a;
+    for (auto& v : aNew.values()) v *= u(rng);
+
+    const auto st = lu.refactor(aNew.values());
+    EXPECT_EQ(st, diag::SolverStatus::Converged);
+
+    RSymbolicLU fresh(aNew);
+    const RVec b = randomVec(n, seed + 13);
+    const RVec xr = lu.solve(b);
+    const RVec xf = fresh.solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xr[i], xf[i], 1e-12);
+    // Both are true solutions of aNew x = b.
+    RVec r(n);
+    aNew.multiply(xr, r);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-10);
+  }
+}
+
+TEST(SymbolicLU, PivotGrowthTriggersRepivotFallback) {
+  // Factor with a healthy diagonal, then hand refactor values whose
+  // recorded pivot has collapsed: the replay must abort, refactor from
+  // scratch with new pivots, report Repivoted — and still solve correctly.
+  RTriplets t(3, 3);
+  t.add(0, 0, 4.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 4.0);
+  t.add(1, 2, 1.0);
+  t.add(2, 1, 1.0);
+  t.add(2, 2, 4.0);
+  RCSR a(t);
+  RSymbolicLU lu(a);
+
+  RCSR bad = a;
+  bad.values()[0] = 1e-30;  // a(0,0): below pivotFloor · max|A|
+  const auto st = lu.refactor(bad.values());
+  EXPECT_EQ(st, diag::SolverStatus::Repivoted);
+  EXPECT_TRUE(lu.analyzed());
+
+  const RVec b{1.0, 2.0, 3.0};
+  const RVec x = lu.solve(b);
+  RVec r(3);
+  bad.multiply(x, r);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(r[i], b[i], 1e-10);
+
+  // Healthy values afterwards replay cheaply again on the new pivot order.
+  const auto st2 = lu.refactor(bad.values());
+  EXPECT_EQ(st2, diag::SolverStatus::Converged);
+}
+
+TEST(SymbolicLU, SingularRefactorThrowsAndClearsAnalysis) {
+  // If the repivot fallback itself hits a singular matrix, the factorization
+  // must throw and report !analyzed() so callers route the next attempt to a
+  // full factor() instead of replaying a half-built program.
+  RTriplets t(2, 2);
+  t.add(0, 0, 2.0);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 2.0);
+  RCSR a(t);
+  RSymbolicLU lu(a);
+  ASSERT_TRUE(lu.analyzed());
+
+  const std::vector<Real> singular{1.0, 1.0, 1.0, 1.0};  // rank 1
+  EXPECT_THROW(lu.refactor(singular), NumericalError);
+  EXPECT_FALSE(lu.analyzed());
+
+  // Recovery: a full factor() restores a usable program.
+  lu.factor(a);
+  EXPECT_TRUE(lu.analyzed());
+  const auto st = lu.refactor(a.values());
+  EXPECT_EQ(st, diag::SolverStatus::Converged);
+}
+
+TEST(SymbolicLU, RefactorBeforeFactorThrows) {
+  RSymbolicLU lu;
+  EXPECT_THROW(lu.refactor(std::vector<Real>{1.0}), InvalidArgument);
 }
 
 TEST(Krylov, MatrixFreeOperatorWorks) {
