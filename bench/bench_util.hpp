@@ -81,6 +81,8 @@ class JsonReporter {
     count(prefix + ".factorizations", s.factorizations);
     count(prefix + ".refactorizations", s.refactorizations);
     count(prefix + ".solves", s.solves);
+    count(prefix + ".retries", s.retries);
+    count(prefix + ".fallbacks", s.fallbacks);
     count(prefix + ".eval_ns", static_cast<std::size_t>(s.evalNs));
     count(prefix + ".factor_ns", static_cast<std::size_t>(s.factorNs));
     count(prefix + ".refactor_ns", static_cast<std::size_t>(s.refactorNs));

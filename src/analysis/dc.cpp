@@ -1,6 +1,7 @@
 #include "analysis/dc.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace rfic::analysis {
 
@@ -21,8 +22,12 @@ bool residualConverged(const RVec& r, const RVec& f, const RVec& b,
 }  // namespace
 
 bool dcNewton(circuit::MnaWorkspace& ws, RVec& x, Real sourceScale,
-              Real gshunt, const DCOptions& opts, std::size_t& itersOut) {
+              Real gshunt, const DCOptions& opts, std::size_t& itersOut,
+              diag::SolverStatus* statusOut) {
   const std::size_t n = ws.dim();
+  diag::SolverStatus localStatus = diag::SolverStatus::MaxIterations;
+  diag::SolverStatus& status = statusOut ? *statusOut : localStatus;
+  status = diag::SolverStatus::MaxIterations;
   RVec xPrev = x;
   // The componentwise relative test alone is satisfiable by garbage iterates
   // whose device currents are astronomically large (r ≈ f there); require
@@ -31,6 +36,11 @@ bool dcNewton(circuit::MnaWorkspace& ws, RVec& x, Real sourceScale,
   RVec r(n), rTrue(n), rt(n);
   for (std::size_t it = 0; it < opts.maxIterations; ++it) {
     itersOut = it + 1;
+    if (opts.budget) opts.budget->chargeNewton();
+    if (diag::budgetExceeded(opts.budget)) {
+      status = diag::SolverStatus::BudgetExceeded;
+      return false;
+    }
     // Convergence is judged on the TRUE residual (no junction limiting):
     // the limited evaluation can look perfectly KCL-consistent while the
     // actual iterate is far from a solution.
@@ -41,31 +51,47 @@ bool dcNewton(circuit::MnaWorkspace& ws, RVec& x, Real sourceScale,
       if (residualConverged(rTrue, ws.f(), ws.b(), sourceScale, opts)) {
         const bool updateSettled =
             lastUpdate < opts.tolUpdate * (1.0 + numeric::normInf(x));
-        if (updateSettled || numeric::norm2(rTrue) < opts.tolResidual)
+        if (updateSettled || numeric::norm2(rTrue) < opts.tolResidual) {
+          status = diag::SolverStatus::Converged;
           return true;
+        }
       }
     }
     // The Newton step itself uses the limited evaluation.
     ws.eval(x, 0.0, true, it > 0 ? &xPrev : nullptr);
     for (std::size_t i = 0; i < n; ++i)
       r[i] = ws.f()[i] - sourceScale * ws.b()[i] + gshunt * x[i];
+    if (diag::FaultInjector::global().fire(diag::FaultPoint::NanInResidual))
+      r[0] = std::numeric_limits<Real>::quiet_NaN();
     const Real rnorm = numeric::norm2(r);
+    if (!std::isfinite(rnorm)) {
+      // A NaN/Inf residual at the linearization point means the iterate
+      // left the device models' domain; fail cleanly and let the caller's
+      // continuation ladder restart from a gentler problem.
+      status = diag::SolverStatus::Diverged;
+      return false;
+    }
 
     // J = G + gshunt·I over the cached pattern; after the first iteration
     // this is a numeric refactorization (SolverStatus::Repivoted when the
     // recorded pivots went stale).
     RVec dx;
     try {
+      if (diag::FaultInjector::global().fire(
+              diag::FaultPoint::SingularJacobian))
+        failNumerical("dcNewton: injected singular Jacobian");
       ws.factorJacobian(0.0, 1.0, gshunt);
       dx = ws.solve(r);
     } catch (const NumericalError&) {
+      status = diag::SolverStatus::Breakdown;
       return false;
     }
 
     // Damped update: halve the step until the residual stops blowing up.
     xPrev = x;
     Real alpha = 1.0;
-    for (int damp = 0;; ++damp) {
+    bool accepted = false;
+    for (int damp = 0; damp <= 8; ++damp) {
       RVec trial = x;
       numeric::axpy(-alpha, dx, trial);
       ws.eval(trial, 0.0, false, &xPrev);
@@ -73,22 +99,31 @@ bool dcNewton(circuit::MnaWorkspace& ws, RVec& x, Real sourceScale,
         rt[i] = ws.f()[i] - sourceScale * ws.b()[i] + gshunt * trial[i];
       const Real rtNorm = numeric::norm2(rt);
       // Junction limiting makes the evaluated residual differ from the pure
-      // Newton model, so accept any non-diverging step.
-      if ((std::isfinite(rtNorm) && rtNorm <= 2.0 * rnorm) || damp >= 8) {
+      // Newton model, so accept any non-diverging step — but only a FINITE
+      // one. The damp cap used to force-accept whatever trial was last
+      // computed, which could plant a NaN state that every later iteration
+      // inherits; a non-finite trial at the cap is now a clean failure.
+      if (std::isfinite(rtNorm) && (rtNorm <= 2.0 * rnorm || damp == 8)) {
         x = trial;
         lastUpdate = alpha * numeric::normInf(dx);
+        accepted = true;
         break;
       }
       alpha *= 0.5;
+    }
+    if (!accepted) {
+      status = diag::SolverStatus::Diverged;
+      return false;
     }
   }
   return false;
 }
 
 bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
-              const DCOptions& opts, std::size_t& itersOut) {
+              const DCOptions& opts, std::size_t& itersOut,
+              diag::SolverStatus* statusOut) {
   circuit::MnaWorkspace ws(sys);
-  return dcNewton(ws, x, sourceScale, gshunt, opts, itersOut);
+  return dcNewton(ws, x, sourceScale, gshunt, opts, itersOut, statusOut);
 }
 
 DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
@@ -101,16 +136,29 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
   // carry across Newton restarts and continuation ramps.
   circuit::MnaWorkspace ws(sys);
 
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
+  const auto budgetAbort = [&](const RVec& partial, const char* strategy) {
+    res.x = partial;
+    res.converged = false;
+    res.status = diag::SolverStatus::BudgetExceeded;
+    res.strategy = strategy;
+    res.perf = ws.counters();
+    return res;
+  };
+
   // Strategy 1: plain Newton from zero.
-  if (dcNewton(ws, res.x, 1.0, 0.0, opts, res.iterations)) {
+  if (dcNewton(ws, res.x, 1.0, 0.0, opts, res.iterations, &status)) {
     res.converged = true;
     res.status = diag::SolverStatus::Converged;
     res.strategy = "newton";
     res.perf = ws.counters();
     return res;
   }
+  if (status == diag::SolverStatus::BudgetExceeded)
+    return budgetAbort(res.x, "newton");
 
   // Strategy 2: gmin stepping.
+  ws.noteFallback();
   {
     RVec x(sys.dim(), 0.0);
     bool ok = true;
@@ -120,7 +168,7 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
                          ? 0.0
                          : opts.initialGmin * std::pow(0.1, static_cast<Real>(k));
       std::size_t it = 0;
-      if (!dcNewton(ws, x, 1.0, g, opts, it)) {
+      if (!dcNewton(ws, x, 1.0, g, opts, it, &status)) {
         ok = false;
         break;
       }
@@ -135,9 +183,12 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
       res.perf = ws.counters();
       return res;
     }
+    if (status == diag::SolverStatus::BudgetExceeded)
+      return budgetAbort(x, "gmin");
   }
 
   // Strategy 3: source stepping.
+  ws.noteFallback();
   {
     RVec x(sys.dim(), 0.0);
     bool ok = true;
@@ -146,7 +197,7 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
       const Real scale =
           static_cast<Real>(k) / static_cast<Real>(opts.sourceSteps);
       std::size_t it = 0;
-      if (!dcNewton(ws, x, scale, 0.0, opts, it)) {
+      if (!dcNewton(ws, x, scale, 0.0, opts, it, &status)) {
         ok = false;
         break;
       }
@@ -161,6 +212,8 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
       res.perf = ws.counters();
       return res;
     }
+    if (status == diag::SolverStatus::BudgetExceeded)
+      return budgetAbort(x, "source");
   }
 
   failNumerical("dcOperatingPoint: no convergence with any strategy");

@@ -6,6 +6,7 @@
 #include "circuit/mna.hpp"
 #include "circuit/mna_workspace.hpp"
 #include "diag/convergence.hpp"
+#include "diag/resilience.hpp"
 #include "perf/perf.hpp"
 
 namespace rfic::analysis {
@@ -21,6 +22,10 @@ struct DCOptions {
   std::size_t gminSteps = 10;    ///< decades of gmin continuation
   std::size_t sourceSteps = 10;  ///< source-stepping ramp points
   Real initialGmin = 1e-2;
+  /// Optional cooperative budget: Newton iterations are charged against it
+  /// and the solve returns SolverStatus::BudgetExceeded (instead of
+  /// escalating strategies or throwing) once it trips.
+  diag::RunBudget* budget = nullptr;
 };
 
 struct DCResult {
@@ -33,18 +38,25 @@ struct DCResult {
 };
 
 /// Solve f(x) = b(0). Tries plain Newton, then gmin stepping, then source
-/// stepping. Throws NumericalError if all strategies fail.
+/// stepping. Throws NumericalError if all strategies fail — except under a
+/// tripped RunBudget, which returns the partial result with
+/// SolverStatus::BudgetExceeded instead.
 DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts = {});
 
 /// Newton solve of f(x) = scale·b(0) + gshunt·x-leak starting from x0.
-/// Exposed for the continuation strategies and for tests.
+/// Exposed for the continuation strategies and for tests. `statusOut`
+/// (optional) reports why the loop stopped: Converged, MaxIterations,
+/// Breakdown (singular Jacobian), Diverged (non-finite residual with no
+/// finite damped step), or BudgetExceeded.
 bool dcNewton(const MnaSystem& sys, RVec& x, Real sourceScale, Real gshunt,
-              const DCOptions& opts, std::size_t& itersOut);
+              const DCOptions& opts, std::size_t& itersOut,
+              diag::SolverStatus* statusOut = nullptr);
 
 /// Pattern-cached variant sharing one workspace across calls — the gmin and
 /// source continuation strategies reuse the same factorization pattern for
 /// every ramp point.
 bool dcNewton(circuit::MnaWorkspace& ws, RVec& x, Real sourceScale,
-              Real gshunt, const DCOptions& opts, std::size_t& itersOut);
+              Real gshunt, const DCOptions& opts, std::size_t& itersOut,
+              diag::SolverStatus* statusOut = nullptr);
 
 }  // namespace rfic::analysis

@@ -15,7 +15,7 @@ namespace {
 // very first refactors on the cached pattern instead of refactoring
 // symbolically.
 bool sweepPeriod(circuit::MnaWorkspace& ws, Real t0, Real period,
-                 const RVec& x0, const ShootingOptions& opts,
+                 const RVec& x0, const ShootingOptions& opts, Real innerTol,
                  std::vector<Real>& times, std::vector<RVec>& traj,
                  RMat& sens) {
   const std::size_t n = ws.dim();
@@ -27,7 +27,8 @@ bool sweepPeriod(circuit::MnaWorkspace& ws, Real t0, Real period,
   RVec x = x0, x1;
   for (std::size_t k = 0; k < m; ++k) {
     const Real t = t0 + h * static_cast<Real>(k);
-    if (!integrateStep(ws, opts.method, t, h, x, nullptr, x1, &sens)) {
+    if (!integrateStep(ws, opts.method, t, h, x, nullptr, x1, &sens, 50,
+                       innerTol)) {
       return false;
     }
     x = x1;
@@ -59,36 +60,65 @@ PSSResult shootingPSS(const circuit::MnaSystem& sys, Real period,
   PSSResult res;
   res.period = period;
   res.method = opts.method;
-  res.x0 = guess;
 
+  // Retry ladder: each failed attempt restarts from the original guess
+  // with the inner Newton tolerance tightened 100× — integration error
+  // contaminating the monodromy is the usual reason the outer Newton
+  // breaks down or spins.
   circuit::MnaWorkspace ws(sys);
-  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
-    ++res.newtonIterations;
-    if (!sweepPeriod(ws, 0.0, period, res.x0, opts, res.times,
-                     res.trajectory, res.monodromy)) {
-      res.status = diag::SolverStatus::Breakdown;  // integrator failed
-      return res;
+  Real innerTol = opts.newtonTol;
+  for (std::size_t attempt = 0;; ++attempt) {
+    res.x0 = guess;
+    res.converged = false;
+    res.status = diag::SolverStatus::MaxIterations;
+    for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+      ++res.newtonIterations;
+      if (opts.budget) opts.budget->chargeNewton();
+      if (diag::budgetExceeded(opts.budget)) {
+        res.status = diag::SolverStatus::BudgetExceeded;
+        break;
+      }
+      if (!sweepPeriod(ws, 0.0, period, res.x0, opts, innerTol, res.times,
+                       res.trajectory, res.monodromy)) {
+        res.status = diag::SolverStatus::Breakdown;  // integrator failed
+        break;
+      }
+      RVec g = res.trajectory.back();
+      g -= res.x0;
+      const Real gnorm = numeric::norm2(g);
+      if (!diag::isFinite(gnorm)) {
+        res.status = diag::SolverStatus::Diverged;
+        break;
+      }
+      if (gnorm < opts.tolerance * (1.0 + numeric::norm2(res.x0))) {
+        res.converged = true;
+        res.status = diag::SolverStatus::Converged;
+        return res;
+      }
+      // Solve (M − I)·dx = −g. A singular (M − I) — a +1 Floquet
+      // multiplier, or an injected singular-jacobian fault — is a clean
+      // Breakdown, not an escaping exception.
+      RMat j = res.monodromy;
+      for (std::size_t i = 0; i < n; ++i) j(i, i) -= 1.0;
+      RVec dx;
+      try {
+        if (diag::FaultInjector::global().fire(
+                diag::FaultPoint::SingularJacobian))
+          failNumerical("shootingPSS: injected singular Jacobian");
+        dx = numeric::solveDense(std::move(j), g);
+      } catch (const NumericalError&) {
+        res.status = diag::SolverStatus::Breakdown;
+        break;
+      }
+      res.x0 -= dx;
     }
-    RVec g = res.trajectory.back();
-    g -= res.x0;
-    const Real gnorm = numeric::norm2(g);
-    if (!diag::isFinite(gnorm)) {
-      res.status = diag::SolverStatus::Diverged;
+    if (res.status == diag::SolverStatus::BudgetExceeded ||
+        attempt >= opts.maxRetries)
       return res;
-    }
-    if (gnorm < opts.tolerance * (1.0 + numeric::norm2(res.x0))) {
-      res.converged = true;
-      res.status = diag::SolverStatus::Converged;
-      return res;
-    }
-    // Solve (M − I)·dx = −g.
-    RMat j = res.monodromy;
-    for (std::size_t i = 0; i < n; ++i) j(i, i) -= 1.0;
-    const RVec dx = numeric::solveDense(std::move(j), g);
-    res.x0 -= dx;
+    innerTol *= 0.01;
+    ++res.retries;
+    ws.noteRetry();
   }
-  res.status = diag::SolverStatus::MaxIterations;
-  return res;
 }
 
 PSSResult shootingOscillatorPSS(const circuit::MnaSystem& sys,
@@ -101,59 +131,87 @@ PSSResult shootingOscillatorPSS(const circuit::MnaSystem& sys,
                "shootingOscillatorPSS: bad arguments");
 
   PSSResult res;
-  res.period = periodGuess;
   res.method = opts.method;
-  res.x0 = guess;
-  res.x0[anchorIndex] = anchorValue;
 
   circuit::MnaWorkspace ws(sys);
-  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
-    ++res.newtonIterations;
-    if (!sweepPeriod(ws, 0.0, res.period, res.x0, opts, res.times,
-                     res.trajectory, res.monodromy)) {
-      res.status = diag::SolverStatus::Breakdown;  // integrator failed
-      return res;
-    }
-    RVec g = res.trajectory.back();
-    g -= res.x0;
-    const Real gnorm = numeric::norm2(g);
-    if (!diag::isFinite(gnorm)) {
-      res.status = diag::SolverStatus::Diverged;
-      return res;
-    }
-    if (gnorm < opts.tolerance * (1.0 + numeric::norm2(res.x0))) {
-      res.converged = true;
-      res.status = diag::SolverStatus::Converged;
-      return res;
-    }
+  Real innerTol = opts.newtonTol;
+  for (std::size_t attempt = 0;; ++attempt) {
+    res.period = periodGuess;
+    res.x0 = guess;
+    res.x0[anchorIndex] = anchorValue;
+    res.converged = false;
+    res.status = diag::SolverStatus::MaxIterations;
+    for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+      ++res.newtonIterations;
+      if (opts.budget) opts.budget->chargeNewton();
+      if (diag::budgetExceeded(opts.budget)) {
+        res.status = diag::SolverStatus::BudgetExceeded;
+        break;
+      }
+      if (!sweepPeriod(ws, 0.0, res.period, res.x0, opts, innerTol,
+                       res.times, res.trajectory, res.monodromy)) {
+        res.status = diag::SolverStatus::Breakdown;  // integrator failed
+        break;
+      }
+      RVec g = res.trajectory.back();
+      g -= res.x0;
+      const Real gnorm = numeric::norm2(g);
+      if (!diag::isFinite(gnorm)) {
+        res.status = diag::SolverStatus::Diverged;
+        break;
+      }
+      if (gnorm < opts.tolerance * (1.0 + numeric::norm2(res.x0))) {
+        res.converged = true;
+        res.status = diag::SolverStatus::Converged;
+        return res;
+      }
 
-    // Augmented Newton system:
-    //   [ M − I   ẋ(T) ] [dx]   [ −g ]
-    //   [ e_aᵀ      0  ] [dT] = [  0 ]
-    const RVec xdotT =
-        stateDerivative(sys, res.trajectory.back(), res.period);
-    RMat j(n + 1, n + 1);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t k = 0; k < n; ++k) j(i, k) = res.monodromy(i, k);
-      j(i, i) -= 1.0;
-      j(i, n) = xdotT[i];
-    }
-    j(n, anchorIndex) = 1.0;
-    RVec rhs(n + 1);
-    for (std::size_t i = 0; i < n; ++i) rhs[i] = g[i];
-    rhs[n] = res.x0[anchorIndex] - anchorValue;
-    const RVec d = numeric::solveDense(std::move(j), rhs);
+      // Augmented Newton system:
+      //   [ M − I   ẋ(T) ] [dx]   [ −g ]
+      //   [ e_aᵀ      0  ] [dT] = [  0 ]
+      RVec d;
+      try {
+        if (diag::FaultInjector::global().fire(
+                diag::FaultPoint::SingularJacobian))
+          failNumerical("shootingOscillatorPSS: injected singular Jacobian");
+        const RVec xdotT =
+            stateDerivative(sys, res.trajectory.back(), res.period);
+        RMat j(n + 1, n + 1);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t k = 0; k < n; ++k) j(i, k) = res.monodromy(i, k);
+          j(i, i) -= 1.0;
+          j(i, n) = xdotT[i];
+        }
+        j(n, anchorIndex) = 1.0;
+        RVec rhs(n + 1);
+        for (std::size_t i = 0; i < n; ++i) rhs[i] = g[i];
+        rhs[n] = res.x0[anchorIndex] - anchorValue;
+        d = numeric::solveDense(std::move(j), rhs);
+      } catch (const NumericalError&) {
+        res.status = diag::SolverStatus::Breakdown;
+        break;
+      }
 
-    // Damped update guards against period sign flips far from the orbit.
-    Real alpha = 1.0;
-    if (std::abs(d[n]) > 0.3 * res.period)
-      alpha = 0.3 * res.period / std::abs(d[n]);
-    for (std::size_t i = 0; i < n; ++i) res.x0[i] -= alpha * d[i];
-    res.period -= alpha * d[n];
-    RFIC_REQUIRE(res.period > 0, "shootingOscillatorPSS: period collapsed");
+      // Damped update guards against period sign flips far from the orbit.
+      Real alpha = 1.0;
+      if (std::abs(d[n]) > 0.3 * res.period)
+        alpha = 0.3 * res.period / std::abs(d[n]);
+      for (std::size_t i = 0; i < n; ++i) res.x0[i] -= alpha * d[i];
+      res.period -= alpha * d[n];
+      if (!(res.period > 0)) {
+        // A collapsed period means the ladder should restart rather than
+        // the process aborting.
+        res.status = diag::SolverStatus::Diverged;
+        break;
+      }
+    }
+    if (res.status == diag::SolverStatus::BudgetExceeded ||
+        attempt >= opts.maxRetries)
+      return res;
+    innerTol *= 0.01;
+    ++res.retries;
+    ws.noteRetry();
   }
-  res.status = diag::SolverStatus::MaxIterations;
-  return res;
 }
 
 Real estimatePeriod(const TransientResult& tran, std::size_t index,

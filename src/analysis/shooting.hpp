@@ -15,6 +15,7 @@
 #include "analysis/transient.hpp"
 #include "circuit/mna.hpp"
 #include "diag/convergence.hpp"
+#include "diag/resilience.hpp"
 #include "numeric/dense.hpp"
 
 namespace rfic::analysis {
@@ -26,6 +27,15 @@ struct ShootingOptions {
   std::size_t stepsPerPeriod = 400;
   std::size_t maxIterations = 50;
   Real tolerance = 1e-9;  ///< on ‖Φ(x0) − x0‖
+  Real newtonTol = 1e-9;  ///< inner per-step Newton tolerance
+  /// Retry ladder depth: a failed outer Newton (breakdown, divergence, or
+  /// iteration cap) is re-attempted this many times from the original
+  /// guess with newtonTol tightened 100× per rung — integration error
+  /// contaminating the monodromy is the usual culprit.
+  std::size_t maxRetries = 1;
+  /// Optional cooperative budget (outer Newton iterations are charged; a
+  /// trip returns SolverStatus::BudgetExceeded and suppresses retries).
+  diag::RunBudget* budget = nullptr;
   /// Backward Euler by default: trapezoidal integration propagates the
   /// sensitivity of *algebraic* MNA unknowns (source branches, resistive
   /// nodes) with a factor −1 per step, so after an even step count the
@@ -45,7 +55,8 @@ struct PSSResult {
   std::vector<Real> times;       ///< stepsPerPeriod+1 sample instants
   std::vector<RVec> trajectory;  ///< states at `times`
   RMat monodromy;                ///< ∂Φ_T/∂x0 at the solution
-  std::size_t newtonIterations = 0;
+  std::size_t newtonIterations = 0;  ///< total across all attempts
+  std::size_t retries = 0;           ///< tightened-tolerance re-attempts
 };
 
 /// PSS of a periodically driven circuit with known period.

@@ -1,8 +1,10 @@
 #include "analysis/transient.hpp"
 
 #include "diag/contracts.hpp"
+#include "diag/resilience.hpp"
 
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <random>
 
@@ -64,6 +66,19 @@ void assembleResidual(IntegrationMethod method, Real h, bool haveGearHist,
   }
 }
 
+// A non-finite residual entry fails the step immediately: letting a NaN
+// ride through the linear solve would poison x1 and every later iterate.
+// (Max-based norms can mask a leading NaN — std::max(0, NaN) keeps 0 — so
+// the entries are scanned directly.) The nan-in-residual fault point
+// poisons one entry to exercise exactly this detection.
+bool residualFinite(RVec& r) {
+  if (diag::FaultInjector::global().fire(diag::FaultPoint::NanInResidual))
+    r[0] = std::numeric_limits<Real>::quiet_NaN();
+  for (std::size_t i = 0; i < r.size(); ++i)
+    if (!std::isfinite(r[i])) return false;
+  return true;
+}
+
 }  // namespace
 
 bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
@@ -100,6 +115,7 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
     Real jacQ = 0, jacG = 0;
     assembleResidual(method, h, haveGearHist, e1.q, e1.f, e1.b, e0.q, e0.f,
                      e0.b, ePrev.q, r, jacQ, jacG);
+    if (!residualFinite(r)) return false;
     const Real rnorm = numeric::normInf(r);
     // Residual is in charge units; scale tolerance by h to make it a
     // current tolerance.
@@ -120,6 +136,9 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
     for (const auto& en : e1.C.entries()) j.add(en.row, en.col, jacQ * en.value);
     for (const auto& en : e1.G.entries()) j.add(en.row, en.col, jacG * en.value);
     try {
+      if (diag::FaultInjector::global().fire(
+              diag::FaultPoint::SingularJacobian))
+        failNumerical("integrateStep: injected singular Jacobian");
       sparse::RSparseLU lu(j);
       const RVec dx = lu.solve(r);
       xIter = x1;
@@ -207,6 +226,7 @@ bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
     Real jacQ = 0, jacG = 0;
     assembleResidual(method, h, haveGearHist, ws.q(), ws.f(), ws.b(), q0, f0,
                      b0, qPrev, r, jacQ, jacG);
+    if (!residualFinite(r)) return false;
     const Real rnorm = numeric::normInf(r);
     if (rnorm < tol * std::max(h, 1e-30)) {
       converged = true;
@@ -219,6 +239,9 @@ bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
     confirmPending = false;
 
     try {
+      if (diag::FaultInjector::global().fire(
+              diag::FaultPoint::SingularJacobian))
+        failNumerical("integrateStep: injected singular Jacobian");
       // First call factors symbolically; later iterations (and steps)
       // replay the recorded elimination on the new values.
       ws.factorJacobian(jacQ, jacG);
@@ -281,6 +304,7 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
   std::optional<circuit::MnaWorkspace> ws;
   if (opts.patternCache) ws.emplace(sys);
 
+  const std::size_t n = x0.size();
   Real t = opts.tstart;
   Real h = opts.dt;
   RVec x = x0;
@@ -291,8 +315,36 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
   // Local truncation error applies to *dynamic* unknowns only: algebraic
   // components (source branch currents, purely resistive nodes) may jump
   // with the excitation and must not drive step rejection.
-  std::vector<char> dynamicMask(x0.size(), 0);
-  if (opts.adaptive) {
+  std::vector<char> dynamicMask(n, 0);
+
+  if (opts.resume) {
+    RFIC_REQUIRE(!opts.checkpointPath.empty(),
+                 "runTransient: resume requested without a checkpoint path");
+    diag::TransientCheckpoint ck;
+    if (!diag::loadCheckpoint(opts.checkpointPath, ck))
+      failInvalid("runTransient: cannot load checkpoint '" +
+                  opts.checkpointPath + "'");
+    RFIC_REQUIRE(ck.x.size() == n && ck.dynamicMask.size() == n &&
+                     (!ck.havePrev || ck.xPrev.size() == n),
+                 "runTransient: checkpoint dimension mismatch");
+    t = ck.t;
+    h = ck.h;
+    hPrev = ck.hPrev;
+    havePrev = ck.havePrev;
+    for (std::size_t i = 0; i < n; ++i) x[i] = ck.x[i];
+    if (havePrev) {
+      xPrev = RVec(n);
+      for (std::size_t i = 0; i < n; ++i) xPrev[i] = ck.xPrev[i];
+    }
+    // The mask is restored, not re-derived: deriving it at the resume
+    // state could classify rows differently and change step control,
+    // breaking bit-identity with the uninterrupted run.
+    for (std::size_t i = 0; i < n; ++i)
+      dynamicMask[i] = static_cast<char>(ck.dynamicMask[i]);
+    res.steps = ck.steps;
+    res.newtonIterations = ck.newtonIterations;
+    res.retries = ck.retries;
+  } else if (opts.adaptive) {
     if (ws) {
       ws->eval(x0, opts.tstart, true);
       const auto& rp = ws->pattern().rowPtr();
@@ -308,13 +360,57 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
     }
   }
 
+  const auto noteRetry = [&] {
+    ++res.retries;
+    if (ws)
+      ws->noteRetry();
+    else
+      perf::global().addRetry();
+  };
+  const auto saveCk = [&] {
+    if (opts.checkpointPath.empty()) return;
+    diag::TransientCheckpoint ck;
+    ck.steps = res.steps;
+    ck.newtonIterations = res.newtonIterations;
+    ck.retries = res.retries;
+    ck.t = t;
+    ck.h = h;
+    ck.hPrev = hPrev;
+    ck.havePrev = havePrev;
+    ck.x.resize(n);
+    for (std::size_t i = 0; i < n; ++i) ck.x[i] = x[i];
+    if (havePrev) {
+      ck.xPrev.resize(n);
+      for (std::size_t i = 0; i < n; ++i) ck.xPrev[i] = xPrev[i];
+    }
+    ck.dynamicMask.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      ck.dynamicMask[i] = static_cast<unsigned char>(dynamicMask[i]);
+    // A failed save must never kill the run it protects; keep stepping.
+    diag::saveCheckpoint(opts.checkpointPath, ck);
+  };
+
   res.time.push_back(t);
   res.x.push_back(x);
 
+  perf::Timer sinceSave;
   while (t < opts.tstop - 1e-12 * opts.tstop) {
+    if (diag::budgetExceeded(opts.budget)) {
+      saveCk();
+      res.status = diag::SolverStatus::BudgetExceeded;
+      if (ws) res.perf = ws->counters();
+      return res;  // res.ok stays false; trajectory so far is valid
+    }
+    if (!opts.checkpointPath.empty() && opts.checkpointInterval > 0 &&
+        sinceSave.ns() >= static_cast<std::uint64_t>(
+                              opts.checkpointInterval * 1e9)) {
+      saveCk();
+      sinceSave = perf::Timer();
+    }
     h = std::min(h, opts.tstop - t);
     RVec x1;
-    const bool ok =
+    const std::size_t newtonBefore = res.newtonIterations;
+    bool ok =
         ws ? integrateStep(*ws, opts.method, t, h, x,
                            havePrev ? &xPrev : nullptr, x1, nullptr,
                            opts.maxNewton, opts.newtonTol,
@@ -323,12 +419,28 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
                            havePrev ? &xPrev : nullptr, x1, nullptr,
                            opts.maxNewton, opts.newtonTol,
                            &res.newtonIterations);
+    if (opts.budget)
+      opts.budget->chargeNewton(res.newtonIterations - newtonBefore);
+    // A converged Newton solve can still hand back a non-finite state
+    // (overflow inside a device model on the last update); treat it as a
+    // failed step so the dt cut below retries from clean history. This
+    // applies in non-adaptive mode too — a fixed-dt run recovers by
+    // temporarily shortening the step rather than marching NaNs to tstop.
+    if (ok) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (!std::isfinite(x1[i])) {
+          ok = false;
+          break;
+        }
+    }
     if (!ok) {
       h *= 0.5;
       if (h < dtMin) {
+        res.status = diag::SolverStatus::StepLimit;
         if (ws) res.perf = ws->counters();
         return res;  // res.ok stays false
       }
+      noteRetry();
       continue;
     }
 
@@ -350,7 +462,10 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
         h = std::min(opts.dt, 1.6 * h);
       }
     }
-    if (!accept) continue;
+    if (!accept) {
+      noteRetry();
+      continue;
+    }
 
     xPrev = x;
     hPrev = h;
@@ -369,6 +484,7 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
   }
   if (ws) res.perf = ws->counters();
   res.ok = true;
+  res.status = diag::SolverStatus::Converged;
   return res;
 }
 
@@ -390,6 +506,11 @@ TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
 
   RVec q0, r(n);
   while (t < opts.tstop - 1e-12 * opts.tstop) {
+    if (diag::budgetExceeded(opts.budget)) {
+      res.status = diag::SolverStatus::BudgetExceeded;
+      res.perf = ws.counters();
+      return res;
+    }
     // Sample device noise at the current operating point (cyclostationary
     // modulation happens automatically through the x-dependence).
     const auto sources = sys.noiseSources(x);
@@ -411,6 +532,7 @@ TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
     bool converged = false;
     for (std::size_t it = 0; it < opts.maxNewton; ++it) {
       ++res.newtonIterations;
+      if (opts.budget) opts.budget->chargeNewton();
       ws.eval(x1, t + h, true, it > 0 ? &xIter : nullptr);
       const auto& q1 = ws.q();
       const auto& f1 = ws.f();
@@ -431,6 +553,7 @@ TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
       }
     }
     if (!converged) {
+      res.status = diag::SolverStatus::MaxIterations;
       res.perf = ws.counters();
       return res;
     }
@@ -448,6 +571,7 @@ TransientResult runNoisyTransient(const MnaSystem& sys, const RVec& x0,
   }
   res.perf = ws.counters();
   res.ok = true;
+  res.status = diag::SolverStatus::Converged;
   return res;
 }
 

@@ -11,10 +11,13 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "circuit/mna.hpp"
 #include "circuit/mna_workspace.hpp"
+#include "diag/convergence.hpp"
+#include "diag/resilience.hpp"
 #include "perf/perf.hpp"
 
 namespace rfic::analysis {
@@ -41,14 +44,32 @@ struct TransientOptions {
   /// symbolic/numeric LU split). Off = the original rebuild-everything
   /// path, kept for A/B benchmarking.
   bool patternCache = true;
+  /// Optional cooperative budget, polled at every step boundary and charged
+  /// with the Newton iterations of each attempt. On trip the run saves a
+  /// checkpoint (if checkpointPath is set) and returns the partial
+  /// trajectory with SolverStatus::BudgetExceeded.
+  diag::RunBudget* budget = nullptr;
+  /// Checkpoint file ("" = checkpointing off). Written atomically on budget
+  /// expiry and, when checkpointInterval > 0, every that-many wall seconds.
+  std::string checkpointPath;
+  Real checkpointInterval = 0.0;  ///< wall seconds between periodic saves
+  /// Load checkpointPath before stepping and continue from its state
+  /// (bit-identically: the checkpoint carries the full stepping recurrence
+  /// input). Throws InvalidArgument if the file is missing or malformed.
+  bool resume = false;
 };
 
 struct TransientResult {
   std::vector<Real> time;
   std::vector<RVec> x;
   bool ok = false;
+  /// Why the sweep ended: Converged (reached tstop), StepLimit (dt cut
+  /// below dtMin with the step still failing), BudgetExceeded, or
+  /// MaxIterations (noisy path's Newton loop exhausted).
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
   std::size_t steps = 0;
   std::size_t newtonIterations = 0;
+  std::size_t retries = 0;  ///< failed/rejected step attempts (dt cuts, LTE)
   perf::Snapshot perf;  ///< pipeline counters (pattern-cached path only)
 };
 

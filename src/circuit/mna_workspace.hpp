@@ -78,6 +78,18 @@ class MnaWorkspace {
   /// This workspace's pipeline counters (also mirrored into perf::global()).
   perf::Snapshot counters() const { return counters_.snapshot(); }
 
+  /// Resilience-layer bookkeeping: engines count retry attempts (dt cuts,
+  /// Newton re-runs) and strategy escalations (continuation ladder rungs)
+  /// here so they show up in result snapshots and `rficsim --stats`.
+  void noteRetry() {
+    counters_.addRetry();
+    perf::global().addRetry();
+  }
+  void noteFallback() {
+    counters_.addFallback();
+    perf::global().addFallback();
+  }
+
  private:
   void ensurePattern(const RVec& x, Real t1, Real t2, const RVec* xPrev);
   void growPattern();

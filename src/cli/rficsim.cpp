@@ -10,15 +10,23 @@
 //   .hb <f1> <h1> [<f2> <h2>]    harmonic balance, 1 or 2 tones
 //   .print <node> [<node>...]    selects output nodes (default: all)
 //
-// Usage: rficsim [--fe-trap] [--stats] <netlist-file>   (or stdin with "-")
+// Usage: rficsim [--fe-trap] [--stats] [--timeout <sec>]
+//                [--checkpoint <file>] [--resume] [--inject-fault <spec>]
+//                <netlist-file>   (or stdin with "-")
 // --fe-trap arms floating-point exception trapping (SIGFPE at the first
 // invalid operation) for debugging NaN propagation.
 // --stats prints the pipeline performance counters (device evaluations,
-// symbolic factorizations vs. numeric refactorizations, solves, and time
-// per stage) to stderr after all analyses finish.
+// symbolic factorizations vs. numeric refactorizations, solves, retries/
+// fallbacks, and time per stage) to stderr after all analyses finish.
+// --timeout arms a wall-clock RunBudget threaded through every analysis;
+// on expiry the run stops with partial results and exit code 4.
+// --checkpoint and --resume serialize and restore transient integrator state
+// (see diag/resilience.hpp); --inject-fault arms a fault point
+// ("name" or "name:count", same spec as RFIC_INJECT_FAULT).
 #include <cmath>
 #include <memory>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,6 +40,7 @@
 #include "circuit/netlist.hpp"
 #include "circuit/sources.hpp"
 #include "diag/fe_trap.hpp"
+#include "diag/resilience.hpp"
 #include "hb/harmonic_balance.hpp"
 #include "hb/spectrum.hpp"
 #include "perf/perf.hpp"
@@ -52,7 +61,14 @@ struct Job {
   std::vector<std::string> tokens;
 };
 
-int runFile(const std::string& text) {
+// Resilience settings shared by every analysis card in the run.
+struct CliResilience {
+  diag::RunBudget* budget = nullptr;  ///< non-null with --timeout
+  std::string checkpointPath;         ///< --checkpoint
+  bool resume = false;                ///< --resume
+};
+
+int runFile(const std::string& text, const CliResilience& rz) {
   circuit::Circuit ckt;
   circuit::parseNetlist(text, ckt);
   analysis::MnaSystem sys(ckt);
@@ -94,7 +110,14 @@ int runFile(const std::string& text) {
                         static_cast<std::size_t>(ckt.findNode(name)));
   }
 
-  const auto dc = analysis::dcOperatingPoint(sys);
+  analysis::DCOptions dco;
+  dco.budget = rz.budget;
+  const auto dc = analysis::dcOperatingPoint(sys, dco);
+  if (dc.status == diag::SolverStatus::BudgetExceeded) {
+    std::fprintf(stderr, "budget exceeded during .op (%s)\n",
+                 rz.budget ? rz.budget->reason() : "");
+    return 4;
+  }
 
   for (const auto& job : jobs) {
     const auto& t = job.tokens;
@@ -107,9 +130,15 @@ int runFile(const std::string& text) {
       analysis::TransientOptions to;
       to.dt = circuit::parseSpiceNumber(t[1]);
       to.tstop = circuit::parseSpiceNumber(t[2]);
+      to.budget = rz.budget;
+      to.checkpointPath = rz.checkpointPath;
+      if (!rz.checkpointPath.empty()) to.checkpointInterval = 30.0;
+      to.resume = rz.resume;
       const auto tr = analysis::runTransient(sys, dc.x, to);
-      std::printf("* .tran dt=%g tstop=%g ok=%d steps=%zu\n", to.dt, to.tstop,
-                  tr.ok ? 1 : 0, tr.steps);
+      std::printf("* .tran dt=%g tstop=%g ok=%d status=%s steps=%zu "
+                  "retries=%zu\n",
+                  to.dt, to.tstop, tr.ok ? 1 : 0, diag::toString(tr.status),
+                  tr.steps, tr.retries);
       std::printf("%-16s", "time");
       for (const auto& [name, idx] : outs) std::printf(" %-14s", name.c_str());
       std::printf("\n");
@@ -119,6 +148,13 @@ int runFile(const std::string& text) {
         for (const auto& [name, idx] : outs)
           std::printf(" %-14.6e", tr.x[k][idx]);
         std::printf("\n");
+      }
+      if (tr.status == diag::SolverStatus::BudgetExceeded) {
+        std::fprintf(stderr, "budget exceeded during .tran (%s)%s\n",
+                     rz.budget ? rz.budget->reason() : "",
+                     rz.checkpointPath.empty() ? ""
+                                               : "; checkpoint saved");
+        return 4;
       }
     } else if (t[0] == ".ac" && t.size() >= 5) {
       const auto pts = static_cast<std::size_t>(
@@ -182,11 +218,19 @@ int runFile(const std::string& text) {
                              circuit::parseSpiceNumber(t[4]))});
       hb::HBOptions ho;
       ho.continuationSteps = 3;
+      ho.budget = rz.budget;
       hb::HarmonicBalance eng(sys, tones, ho);
       const auto sol = eng.solve(dc.x);
-      std::printf("* .hb converged=%d unknowns=%zu newton=%zu gmres=%zu\n",
-                  sol.converged ? 1 : 0, sol.realUnknowns,
-                  sol.newtonIterations, sol.gmresIterations);
+      std::printf("* .hb converged=%d status=%s strategy=%s unknowns=%zu "
+                  "newton=%zu gmres=%zu retries=%zu\n",
+                  sol.converged ? 1 : 0, diag::toString(sol.status),
+                  sol.strategy.c_str(), sol.realUnknowns,
+                  sol.newtonIterations, sol.gmresIterations, sol.retries);
+      if (sol.status == diag::SolverStatus::BudgetExceeded) {
+        std::fprintf(stderr, "budget exceeded during .hb (%s)\n",
+                     rz.budget ? rz.budget->reason() : "");
+        return 4;
+      }
       if (!sol.converged) return 3;
       for (const auto& [name, idx] : outs) {
         std::printf("spectrum of %s:\n", name.c_str());
@@ -215,12 +259,44 @@ int main(int argc, char** argv) {
   // numerics-contract layer.
   std::unique_ptr<diag::ScopedFeTrap> feTrap;
   bool stats = false;
+  diag::RunBudget budget;
+  CliResilience rz;
+  // Flags taking a value consume argv[2] as well.
+  const auto takeValue = [&argc, &argv](const std::string& flag) {
+    if (argc < 3) {
+      std::fprintf(stderr, "%s requires a value\n", flag.c_str());
+      std::exit(1);
+    }
+    const std::string v = argv[2];
+    --argc;
+    ++argv;
+    return v;
+  };
   while (argc >= 2 && argv[1][0] == '-' && argv[1][1] == '-') {
     const std::string flag = argv[1];
     if (flag == "--fe-trap") {
       feTrap = std::make_unique<diag::ScopedFeTrap>();
     } else if (flag == "--stats") {
       stats = true;
+    } else if (flag == "--timeout") {
+      const double sec = std::atof(takeValue(flag).c_str());
+      if (!(sec > 0)) {
+        std::fprintf(stderr, "--timeout: positive seconds required\n");
+        return 1;
+      }
+      budget.setWallLimit(sec);
+      rz.budget = &budget;
+    } else if (flag == "--checkpoint") {
+      rz.checkpointPath = takeValue(flag);
+    } else if (flag == "--resume") {
+      rz.resume = true;
+    } else if (flag == "--inject-fault") {
+      try {
+        diag::FaultInjector::global().arm(takeValue(flag));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--inject-fault: %s\n", e.what());
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 1;
@@ -230,7 +306,13 @@ int main(int argc, char** argv) {
   }
   if (argc != 2) {
     std::fprintf(stderr,
-                 "usage: rficsim [--fe-trap] [--stats] <netlist-file | ->\n");
+                 "usage: rficsim [--fe-trap] [--stats] [--timeout <sec>] "
+                 "[--checkpoint <file>] [--resume] [--inject-fault <spec>] "
+                 "<netlist-file | ->\n");
+    return 1;
+  }
+  if (rz.resume && rz.checkpointPath.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint <file>\n");
     return 1;
   }
   std::string text;
@@ -249,7 +331,7 @@ int main(int argc, char** argv) {
     text = buf.str();
   }
   try {
-    const int rc = runFile(text);
+    const int rc = runFile(text, rz);
     if (stats) {
       const std::string report = perf::format(perf::global().snapshot());
       std::fprintf(stderr, "%s", report.c_str());

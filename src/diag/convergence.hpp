@@ -22,6 +22,10 @@ enum class SolverStatus {
   Diverged,       ///< residual became non-finite (NaN/Inf)
   Repivoted,      ///< pattern-reusing refactorization hit excessive pivot
                   ///< growth and fell back to a fresh full factorization
+  BudgetExceeded, ///< cooperative RunBudget (wall-clock deadline or global
+                  ///< iteration cap) tripped; partial results returned
+  StepLimit,      ///< step control collapsed (dt cut below dtMin with the
+                  ///< Newton solve still failing)
 };
 
 /// Stable human-readable name for logs and error messages.
@@ -34,6 +38,8 @@ inline const char* toString(SolverStatus s) {
     case SolverStatus::Stagnated: return "stagnated";
     case SolverStatus::Diverged: return "diverged";
     case SolverStatus::Repivoted: return "repivoted";
+    case SolverStatus::BudgetExceeded: return "budget-exceeded";
+    case SolverStatus::StepLimit: return "step-limit";
   }
   return "unknown";
 }

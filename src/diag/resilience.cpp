@@ -1,0 +1,335 @@
+#include "diag/resilience.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rfic::diag {
+
+// ------------------------------------------------------------- RunBudget
+
+bool RunBudget::exceeded() const {
+  int why = tripped_.load(std::memory_order_relaxed);
+  if (why == 0) {
+    if (haveDeadline_ && Clock::now() >= deadline_) {
+      trip(1);
+    } else if (newtonLimit_ != 0 &&
+               newtonUsed_.load(std::memory_order_relaxed) >= newtonLimit_) {
+      trip(2);
+    } else if (krylovLimit_ != 0 &&
+               krylovUsed_.load(std::memory_order_relaxed) >= krylovLimit_) {
+      trip(3);
+    }
+    why = tripped_.load(std::memory_order_relaxed);
+  }
+  return why != 0;
+}
+
+const char* RunBudget::reason() const {
+  switch (tripped_.load(std::memory_order_relaxed)) {
+    case 1: return "wall-clock";
+    case 2: return "newton-iterations";
+    case 3: return "krylov-iterations";
+    case 4: return "injected";
+    default: return "";
+  }
+}
+
+bool budgetExceeded(const RunBudget* b) {
+  if (FaultInjector::global().fire(FaultPoint::BudgetExpiry)) {
+    if (b) b->trip(4);
+    return true;
+  }
+  return b != nullptr && b->exceeded();
+}
+
+// --------------------------------------------------------- FaultInjector
+
+const char* toString(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::NanInResidual: return "nan-in-residual";
+    case FaultPoint::SingularJacobian: return "singular-jacobian";
+    case FaultPoint::KrylovStall: return "krylov-stall";
+    case FaultPoint::FactorRepivot: return "factor-repivot";
+    case FaultPoint::BudgetExpiry: return "budget-expiry";
+    case FaultPoint::kCount: break;
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector instance;
+  static const bool envParsed = [] {
+    if (const char* env = std::getenv("RFIC_INJECT_FAULT")) {
+      const std::string specs(env);
+      std::size_t start = 0;
+      while (start <= specs.size()) {
+        const std::size_t comma = specs.find(',', start);
+        const std::string one =
+            specs.substr(start, comma == std::string::npos ? std::string::npos
+                                                           : comma - start);
+        if (!one.empty()) instance.arm(one);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+    return true;
+  }();
+  (void)envParsed;
+  return instance;
+}
+
+void FaultInjector::arm(FaultPoint p, std::uint64_t count) {
+  const int i = static_cast<int>(p);
+  RFIC_REQUIRE(i >= 0 && i < kPoints, "FaultInjector::arm: bad point");
+  const std::uint64_t before =
+      remaining_[i].exchange(count, std::memory_order_relaxed);
+  if (before == 0 && count != 0)
+    armedPoints_.fetch_add(1, std::memory_order_relaxed);
+  else if (before != 0 && count == 0)
+    armedPoints_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm(const std::string& spec) {
+  std::string name = spec;
+  std::uint64_t count = 1;
+  if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    const std::string num = spec.substr(colon + 1);
+    char* end = nullptr;
+    count = std::strtoull(num.c_str(), &end, 10);
+    RFIC_REQUIRE(end != nullptr && *end == '\0' && !num.empty(),
+                 "FaultInjector: malformed count in spec '" + spec + "'");
+  }
+  for (int i = 0; i < kPoints; ++i) {
+    const auto p = static_cast<FaultPoint>(i);
+    if (name == toString(p)) {
+      arm(p, count);
+      return;
+    }
+  }
+  failInvalid("FaultInjector: unknown fault point '" + name +
+              "' (expected nan-in-residual, singular-jacobian, krylov-stall, "
+              "factor-repivot, or budget-expiry)");
+}
+
+void FaultInjector::reset() {
+  for (int i = 0; i < kPoints; ++i) {
+    if (remaining_[i].exchange(0, std::memory_order_relaxed) != 0)
+      armedPoints_.fetch_sub(1, std::memory_order_relaxed);
+    fired_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::fire(FaultPoint p) {
+  if (armedPoints_.load(std::memory_order_relaxed) == 0) return false;
+  const int i = static_cast<int>(p);
+  std::uint64_t cur = remaining_[i].load(std::memory_order_relaxed);
+  while (cur != 0) {
+    if (remaining_[i].compare_exchange_weak(cur, cur - 1,
+                                            std::memory_order_relaxed)) {
+      if (cur == 1) armedPoints_.fetch_sub(1, std::memory_order_relaxed);
+      fired_[i].fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- Checkpoints
+
+namespace {
+
+// On-disk layout: magic, version, kind, then kind-specific payload. All
+// floating-point state is written as raw IEEE-754 bytes so a resumed run
+// starts from the bit-exact values of the interrupted one.
+constexpr char kMagic[8] = {'R', 'F', 'I', 'C', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kKindTransient = 1;
+constexpr std::uint32_t kKindJitter = 2;
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+  template <class T>
+  void pod(const T& v) {
+    if (ok_ && std::fwrite(&v, sizeof(T), 1, f_) != 1) ok_ = false;
+  }
+  void doubles(const Real* p, std::size_t n) {
+    if (ok_ && n != 0 && std::fwrite(p, sizeof(Real), n, f_) != n)
+      ok_ = false;
+  }
+  void bytes(const unsigned char* p, std::size_t n) {
+    if (ok_ && n != 0 && std::fwrite(p, 1, n, f_) != n) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+  template <class T>
+  void pod(T& v) {
+    if (ok_ && std::fread(&v, sizeof(T), 1, f_) != 1) ok_ = false;
+  }
+  void doubles(Real* p, std::size_t n) {
+    if (ok_ && n != 0 && std::fread(p, sizeof(Real), n, f_) != n) ok_ = false;
+  }
+  void bytes(unsigned char* p, std::size_t n) {
+    if (ok_ && n != 0 && std::fread(p, 1, n, f_) != n) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+// Sanity cap on deserialized vector lengths: rejects corrupt headers
+// before they turn into multi-GB allocations.
+constexpr std::uint64_t kMaxLen = std::uint64_t(1) << 32;
+
+bool openAndCheckHeader(std::FILE* f, std::uint32_t wantKind) {
+  char magic[8];
+  std::uint32_t version = 0, kind = 0;
+  if (std::fread(magic, 1, 8, f) != 8) return false;
+  if (std::memcmp(magic, kMagic, 8) != 0) return false;
+  Reader r(f);
+  r.pod(version);
+  r.pod(kind);
+  return r.ok() && version == kVersion && kind == wantKind;
+}
+
+template <class WritePayload>
+bool atomicWrite(const std::string& path, std::uint32_t kind,
+                 WritePayload&& payload) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  Writer w(f);
+  w.bytes(reinterpret_cast<const unsigned char*>(kMagic), 8);
+  w.pod(kVersion);
+  w.pod(kind);
+  payload(w);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!w.ok() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool saveCheckpoint(const std::string& path, const TransientCheckpoint& ck) {
+  return atomicWrite(path, kKindTransient, [&](Writer& w) {
+    w.pod(ck.steps);
+    w.pod(ck.newtonIterations);
+    w.pod(ck.retries);
+    w.pod(ck.t);
+    w.pod(ck.h);
+    w.pod(ck.hPrev);
+    w.pod(static_cast<std::uint8_t>(ck.havePrev ? 1 : 0));
+    w.pod(static_cast<std::uint64_t>(ck.x.size()));
+    w.doubles(ck.x.data(), ck.x.size());
+    w.pod(static_cast<std::uint64_t>(ck.xPrev.size()));
+    w.doubles(ck.xPrev.data(), ck.xPrev.size());
+    w.pod(static_cast<std::uint64_t>(ck.dynamicMask.size()));
+    w.bytes(ck.dynamicMask.data(), ck.dynamicMask.size());
+  });
+}
+
+bool loadCheckpoint(const std::string& path, TransientCheckpoint& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  TransientCheckpoint ck;
+  bool ok = openAndCheckHeader(f, kKindTransient);
+  if (ok) {
+    Reader r(f);
+    std::uint8_t havePrev = 0;
+    std::uint64_t nx = 0, nxp = 0, nm = 0;
+    r.pod(ck.steps);
+    r.pod(ck.newtonIterations);
+    r.pod(ck.retries);
+    r.pod(ck.t);
+    r.pod(ck.h);
+    r.pod(ck.hPrev);
+    r.pod(havePrev);
+    r.pod(nx);
+    ok = r.ok() && nx < kMaxLen;
+    if (ok) {
+      ck.x.resize(nx);
+      r.doubles(ck.x.data(), nx);
+      r.pod(nxp);
+      ok = r.ok() && nxp < kMaxLen;
+    }
+    if (ok) {
+      ck.xPrev.resize(nxp);
+      r.doubles(ck.xPrev.data(), nxp);
+      r.pod(nm);
+      ok = r.ok() && nm < kMaxLen;
+    }
+    if (ok) {
+      ck.dynamicMask.resize(nm);
+      r.bytes(ck.dynamicMask.data(), nm);
+      ck.havePrev = havePrev != 0;
+      ok = r.ok();
+    }
+  }
+  std::fclose(f);
+  if (ok) out = std::move(ck);
+  return ok;
+}
+
+bool saveCheckpoint(const std::string& path, const JitterCheckpoint& ck) {
+  return atomicWrite(path, kKindJitter, [&](Writer& w) {
+    w.pod(ck.totalPaths);
+    w.pod(static_cast<std::uint64_t>(ck.pathCrossings.size()));
+    for (const auto& cr : ck.pathCrossings) {
+      w.pod(static_cast<std::uint64_t>(cr.size()));
+      w.doubles(cr.data(), cr.size());
+    }
+  });
+}
+
+bool loadCheckpoint(const std::string& path, JitterCheckpoint& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  JitterCheckpoint ck;
+  bool ok = openAndCheckHeader(f, kKindJitter);
+  if (ok) {
+    Reader r(f);
+    std::uint64_t npaths = 0;
+    r.pod(ck.totalPaths);
+    r.pod(npaths);
+    ok = r.ok() && npaths < kMaxLen;
+    if (ok) {
+      ck.pathCrossings.resize(npaths);
+      for (auto& cr : ck.pathCrossings) {
+        std::uint64_t n = 0;
+        r.pod(n);
+        if (!r.ok() || n >= kMaxLen) {
+          ok = false;
+          break;
+        }
+        cr.resize(n);
+        r.doubles(cr.data(), n);
+      }
+      ok = ok && r.ok();
+    }
+  }
+  std::fclose(f);
+  if (ok) out = std::move(ck);
+  return ok;
+}
+
+}  // namespace rfic::diag

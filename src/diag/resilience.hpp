@@ -1,0 +1,207 @@
+// Solver resilience layer: run budgets, fault injection, and checkpoints.
+//
+// Every analysis engine in this library is an iterative process that can
+// fail — Newton divergence, Krylov stagnation, a singular Jacobian, a NaN
+// escaping a device model — and the production posture (ROADMAP north star)
+// is that such failures end in a structured diag::SolverStatus, never a
+// crash, a hang, or a silently wrong answer. Three cooperative mechanisms
+// back that posture:
+//
+//  * RunBudget — a shared wall-clock deadline plus global Newton/Krylov
+//    iteration caps. Engines charge iterations against the budget and poll
+//    `budgetExceeded(...)` at step granularity; when the budget trips they
+//    return SolverStatus::BudgetExceeded with whatever partial result they
+//    hold instead of running open-loop. One RunBudget may be threaded
+//    through a whole analysis chain (DC → transient → HB), and the counters
+//    are atomics so parallel paths (jitter Monte-Carlo) can share it.
+//
+//  * FaultInjector — named injection points compiled into the solvers
+//    (nan-in-residual, singular-jacobian, krylov-stall, factor-repivot,
+//    budget-expiry), armed via RFIC_INJECT_FAULT or `rficsim
+//    --inject-fault`. When disarmed the per-site cost is one relaxed atomic
+//    load. The fault-injection test matrix arms each point against each
+//    engine and asserts structured recovery or clean failure.
+//
+//  * Checkpoints — transient and jitter-MC runs can serialize their full
+//    integrator state to a file (atomically: tmp + rename) on an interval
+//    or when the budget expires, and resume bit-identically: the
+//    checkpoint stores every input of the stepping recurrence (state,
+//    history, step sizes, the LTE dynamic mask), so the resumed arithmetic
+//    is the same sequence the uninterrupted run would have performed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "diag/convergence.hpp"
+
+namespace rfic::diag {
+
+// ------------------------------------------------------------- RunBudget
+
+/// Cooperative wall-clock / iteration budget shared across solvers.
+/// Engines charge work and poll exceeded(); once tripped it stays tripped
+/// (sticky), so a deep inner loop and its caller agree on the verdict.
+class RunBudget {
+ public:
+  RunBudget() = default;
+
+  /// Arm a wall-clock deadline `seconds` from now (<= 0 disarms).
+  void setWallLimit(Real seconds) {
+    if (seconds > 0) {
+      deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<Real>(seconds));
+      haveDeadline_ = true;
+    } else {
+      haveDeadline_ = false;
+    }
+  }
+  /// Cap the total Newton iterations charged (0 disarms).
+  void setNewtonLimit(std::uint64_t maxIterations) {
+    newtonLimit_ = maxIterations;
+  }
+  /// Cap the total Krylov iterations charged (0 disarms).
+  void setKrylovLimit(std::uint64_t maxIterations) {
+    krylovLimit_ = maxIterations;
+  }
+
+  void chargeNewton(std::uint64_t n = 1) {
+    newtonUsed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void chargeKrylov(std::uint64_t n = 1) {
+    krylovUsed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t newtonUsed() const {
+    return newtonUsed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t krylovUsed() const {
+    return krylovUsed_.load(std::memory_order_relaxed);
+  }
+
+  /// True once any limit has been hit; sticky. Safe to call concurrently.
+  bool exceeded() const;
+
+  /// Which limit tripped: "wall-clock", "newton-iterations",
+  /// "krylov-iterations", "injected", or "" while within budget.
+  const char* reason() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  friend bool budgetExceeded(const RunBudget* b);
+  void trip(int why) const {
+    int expected = 0;
+    tripped_.compare_exchange_strong(expected, why,
+                                     std::memory_order_relaxed);
+  }
+
+  bool haveDeadline_ = false;
+  Clock::time_point deadline_{};
+  std::uint64_t newtonLimit_ = 0;
+  std::uint64_t krylovLimit_ = 0;
+  std::atomic<std::uint64_t> newtonUsed_{0};
+  std::atomic<std::uint64_t> krylovUsed_{0};
+  mutable std::atomic<int> tripped_{0};  // 0 ok, 1 wall, 2 newton, 3 krylov,
+                                         // 4 injected (budget-expiry fault)
+};
+
+/// The one budget poll every engine uses: true when the (optional) budget
+/// has tripped, or when the `budget-expiry` fault point fires. Engines must
+/// treat `true` as "stop now and return SolverStatus::BudgetExceeded with
+/// partial results".
+bool budgetExceeded(const RunBudget* b);
+
+// --------------------------------------------------------- FaultInjector
+
+/// Injection points compiled into the solvers. Keep toString()/parse in
+/// resilience.cpp in sync when adding a point.
+enum class FaultPoint : int {
+  NanInResidual = 0,  ///< poison one assembled residual with a NaN
+  SingularJacobian,   ///< make one Jacobian factorization fail as singular
+  KrylovStall,        ///< force one GMRES/BiCGSTAB call to report Stagnated
+  FactorRepivot,      ///< force one numeric refactorization down the
+                      ///< repivot (fresh-factorization) fallback
+  BudgetExpiry,       ///< make one budgetExceeded() poll return true
+  kCount,
+};
+
+/// Stable CLI/env name of a fault point ("nan-in-residual", ...).
+const char* toString(FaultPoint p);
+
+/// Process-global fault injector. Disarmed it costs one relaxed atomic
+/// load per site; armed, each point carries a countdown of injections.
+class FaultInjector {
+ public:
+  /// The instance every solver consults. First access parses
+  /// RFIC_INJECT_FAULT ("point[:count][,point[:count]...]") if set.
+  static FaultInjector& global();
+
+  /// Arm `p` to fire `count` times (count == 0 disarms the point).
+  void arm(FaultPoint p, std::uint64_t count = 1);
+  /// Arm from a CLI/env spec "name" or "name:count". Throws
+  /// InvalidArgument on an unknown name or malformed count.
+  void arm(const std::string& spec);
+  /// Disarm every point and zero the fired counters.
+  void reset();
+
+  /// Consume one charge of `p`: true exactly `count` times after arm().
+  bool fire(FaultPoint p);
+  /// How many times `p` actually fired since the last reset().
+  std::uint64_t firedCount(FaultPoint p) const {
+    return fired_[static_cast<int>(p)].load(std::memory_order_relaxed);
+  }
+  bool anyArmed() const {
+    return armedPoints_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  static constexpr int kPoints = static_cast<int>(FaultPoint::kCount);
+  std::atomic<std::uint64_t> remaining_[kPoints]{};
+  std::atomic<std::uint64_t> fired_[kPoints]{};
+  std::atomic<int> armedPoints_{0};  ///< # points with charges remaining
+};
+
+// ----------------------------------------------------------- Checkpoints
+
+/// Complete transient integrator state: everything the stepping recurrence
+/// reads, so a resumed run replays bit-identical arithmetic.
+struct TransientCheckpoint {
+  std::uint64_t steps = 0;
+  std::uint64_t newtonIterations = 0;
+  std::uint64_t retries = 0;
+  Real t = 0;      ///< current time
+  Real h = 0;      ///< next step size to attempt
+  Real hPrev = 0;  ///< last accepted step (Gear-2 / LTE history)
+  bool havePrev = false;
+  std::vector<Real> x;      ///< state at t
+  std::vector<Real> xPrev;  ///< state one accepted step back (if havePrev)
+  /// LTE dynamic-unknown mask captured at the original start point; resume
+  /// reuses it instead of re-deriving (the re-derivation at the resume
+  /// state could differ and break bit-identity of step control).
+  std::vector<unsigned char> dynamicMask;
+};
+
+/// Jitter-MC ensemble progress: crossing times of every completed path.
+struct JitterCheckpoint {
+  std::uint64_t totalPaths = 0;
+  /// pathCrossings[p] empty ⇔ path p not finished yet.
+  std::vector<std::vector<Real>> pathCrossings;
+};
+
+/// Serialize to `path` atomically (write `path.tmp`, then rename). Returns
+/// false on I/O failure — callers log and continue; a checkpoint failure
+/// must never kill the run it is protecting.
+bool saveCheckpoint(const std::string& path, const TransientCheckpoint& ck);
+bool saveCheckpoint(const std::string& path, const JitterCheckpoint& ck);
+
+/// Load from `path`. Returns false (and leaves `out` untouched) if the
+/// file is missing, truncated, or not a checkpoint of the expected kind.
+bool loadCheckpoint(const std::string& path, TransientCheckpoint& out);
+bool loadCheckpoint(const std::string& path, JitterCheckpoint& out);
+
+}  // namespace rfic::diag

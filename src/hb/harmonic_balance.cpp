@@ -1,6 +1,7 @@
 #include "hb/harmonic_balance.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "circuit/mna_workspace.hpp"
 #include "diag/contracts.hpp"
@@ -168,6 +169,71 @@ struct ResidualData {
 HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
   RFIC_REQUIRE(dcOp.size() == n_, "HB::solve: DC operating point size mismatch");
 
+  // Resilience ladder. Rung 1 runs the caller's options as-is. Rung 2
+  // re-attempts with a (deeper) source-amplitude ramp — the classic cure
+  // for Newton divergence at full drive. Rung 3 escalates the linear
+  // solver: exact dense Jacobian for small systems (the strongest
+  // "preconditioner" there is), tightened longer-restart GMRES for large
+  // ones. A tripped budget stops the ladder immediately; counters and
+  // iteration totals accumulate across rungs.
+  const auto fold = [](HBSolution& total, HBSolution&& next,
+                       const char* strategy) {
+    const std::size_t newton = total.newtonIterations + next.newtonIterations;
+    const std::size_t gm = total.gmresIterations + next.gmresIterations;
+    perf::Snapshot perf = total.perf;
+    perf += next.perf;
+    const std::size_t retries = total.retries + 1;
+    total = std::move(next);
+    total.newtonIterations = newton;
+    total.gmresIterations = gm;
+    total.perf = perf;
+    total.retries = retries;
+    total.strategy = strategy;
+  };
+  const auto escalate = [] {
+    perf::global().addRetry();
+    perf::global().addFallback();
+  };
+
+  HBSolution sol = solveAttempt(dcOp, opts_);
+  sol.strategy = "base";
+  if (sol.converged || sol.status == diag::SolverStatus::BudgetExceeded ||
+      opts_.maxRetries < 1)
+    return sol;
+
+  HBOptions rampOpts = opts_;
+  rampOpts.continuationSteps = std::max<std::size_t>(
+      4, 4 * std::max<std::size_t>(1, opts_.continuationSteps));
+  escalate();
+  fold(sol, solveAttempt(dcOp, rampOpts), "source-ramp");
+  sol.perf.retries += 1;
+  sol.perf.fallbacks += 1;
+  if (sol.converged || sol.status == diag::SolverStatus::BudgetExceeded ||
+      opts_.maxRetries < 2)
+    return sol;
+
+  HBOptions escOpts = rampOpts;
+  const char* strategy;
+  if (!escOpts.useDirectSolver &&
+      numRealUnknowns() <= opts_.directFallbackMaxUnknowns) {
+    escOpts.useDirectSolver = true;
+    strategy = "direct";
+  } else {
+    escOpts.gmres.tolerance *= 1e-2;
+    escOpts.gmres.maxIterations *= 4;
+    escOpts.gmres.restart =
+        std::min(numRealUnknowns(), 2 * escOpts.gmres.restart);
+    strategy = "gmres-tight";
+  }
+  escalate();
+  fold(sol, solveAttempt(dcOp, escOpts), strategy);
+  sol.perf.retries += 1;
+  sol.perf.fallbacks += 1;
+  return sol;
+}
+
+HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
+                                         const HBOptions& opts) const {
   HBSolution sol;
   sol.indices = indices_;
   sol.freqs.resize(indices_.size());
@@ -264,13 +330,26 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
   // update() is a parallel numeric refactorization of the harmonic blocks.
   HBBlockPreconditioner prec(*this);
 
-  const std::size_t ramp = std::max<std::size_t>(1, opts_.continuationSteps);
+  sparse::IterativeOptions gmresOpts = opts.gmres;
+  gmresOpts.budget = opts.budget;
+
+  const std::size_t ramp = std::max<std::size_t>(1, opts.continuationSteps);
   for (std::size_t stage = 1; stage <= ramp; ++stage) {
     const Real lambda = static_cast<Real>(stage) / static_cast<Real>(ramp);
     bool stageConverged = false;
-    for (std::size_t it = 0; it < opts_.maxNewton; ++it) {
+    for (std::size_t it = 0; it < opts.maxNewton; ++it) {
       ++sol.newtonIterations;
+      if (opts.budget) opts.budget->chargeNewton();
+      if (diag::budgetExceeded(opts.budget)) {
+        sol.status = diag::SolverStatus::BudgetExceeded;
+        sol.coeffs = coeffs;
+        sol.perf = ws.counters();
+        sol.perf += prec.counters();
+        return sol;
+      }
       residual(coeffs, lambda, r, &gS, &cS, &gAvg, &cAvg);
+      if (diag::FaultInjector::global().fire(diag::FaultPoint::NanInResidual))
+        r[0] = std::numeric_limits<Real>::quiet_NaN();
       RVec bPack;
       packReal(bSpec, bPack);
       const Real scale = 1e-12 + numeric::norm2(bPack);
@@ -282,34 +361,55 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
         sol.perf += prec.counters();
         return sol;
       }
-      if (rnorm < opts_.tolerance * scale) {
+      if (rnorm < opts.tolerance * scale) {
         stageConverged = true;
         break;
       }
 
       const HBOperator jac(*this, ws.pattern(), gS, cS);
       RVec dx(n_ * nc_);
-      if (opts_.useDirectSolver) {
-        // Probe the operator column by column — exact dense Jacobian.
-        const std::size_t nr = n_ * nc_;
-        numeric::RMat jd(nr, nr);
-        RVec e(nr), col(nr);
-        for (std::size_t cidx = 0; cidx < nr; ++cidx) {
-          e.setZero();
-          e[cidx] = 1.0;
-          jac.apply(e, col);
-          for (std::size_t rr = 0; rr < nr; ++rr) jd(rr, cidx) = col[rr];
+      try {
+        if (diag::FaultInjector::global().fire(
+                diag::FaultPoint::SingularJacobian))
+          failNumerical("HB::solve: injected singular Jacobian");
+        if (opts.useDirectSolver) {
+          // Probe the operator column by column — exact dense Jacobian.
+          const std::size_t nr = n_ * nc_;
+          numeric::RMat jd(nr, nr);
+          RVec e(nr), col(nr);
+          for (std::size_t cidx = 0; cidx < nr; ++cidx) {
+            e.setZero();
+            e[cidx] = 1.0;
+            jac.apply(e, col);
+            for (std::size_t rr = 0; rr < nr; ++rr) jd(rr, cidx) = col[rr];
+          }
+          dx = numeric::solveDense(std::move(jd), r);
+        } else {
+          prec.update(gAvg, cAvg);
+          dx.setZero();
+          const auto stat = sparse::gmres(jac, r, dx, &prec, gmresOpts);
+          sol.gmresIterations += stat.iterations;
+          if (stat.status == diag::SolverStatus::BudgetExceeded) {
+            sol.status = diag::SolverStatus::BudgetExceeded;
+            sol.coeffs = coeffs;
+            sol.perf = ws.counters();
+            sol.perf += prec.counters();
+            return sol;
+          }
+          if (!stat.converged && stat.residualNorm > 0.5 * rnorm) {
+            // Preconditioned GMRES stalled (status MaxIterations or
+            // Stagnated, including an injected krylov-stall) — fall back
+            // to a damped update with whatever direction was produced.
+          }
         }
-        dx = numeric::solveDense(std::move(jd), r);
-      } else {
-        prec.update(gAvg, cAvg);
-        dx.setZero();
-        const auto stat = sparse::gmres(jac, r, dx, &prec, opts_.gmres);
-        sol.gmresIterations += stat.iterations;
-        if (!stat.converged && stat.residualNorm > 0.5 * rnorm) {
-          // Preconditioned GMRES stalled — fall back to a damped update with
-          // whatever direction was produced.
-        }
+      } catch (const NumericalError&) {
+        // Singular Jacobian (possibly injected): classify and hand the
+        // failure to the ladder in solve() instead of unwinding further.
+        sol.status = diag::SolverStatus::Breakdown;
+        sol.coeffs = coeffs;
+        sol.perf = ws.counters();
+        sol.perf += prec.counters();
+        return sol;
       }
 
       // Damped update on the packed spectrum.

@@ -19,8 +19,11 @@
 #include <array>
 #include <vector>
 
+#include <string>
+
 #include "circuit/mna.hpp"
 #include "diag/convergence.hpp"
+#include "diag/resilience.hpp"
 #include "numeric/dense.hpp"
 #include "perf/perf.hpp"
 #include "sparse/krylov.hpp"
@@ -45,6 +48,16 @@ struct HBOptions {
   bool useDirectSolver = false; ///< dense Jacobian via probing (ablation)
   sparse::IterativeOptions gmres{1e-10, 600, 80};
   std::size_t continuationSteps = 1;  ///< ramp of non-DC source amplitude
+  /// Retry-ladder depth beyond the base attempt. A failed Newton solve is
+  /// re-attempted first with a (deeper) source-amplitude ramp, then with
+  /// the linear solver escalated — exact dense Jacobian for systems up to
+  /// directFallbackMaxUnknowns real unknowns, tightened GMRES above that.
+  /// 0 disables the ladder (single attempt, pre-ladder behaviour).
+  std::size_t maxRetries = 2;
+  std::size_t directFallbackMaxUnknowns = 2048;
+  /// Optional cooperative budget: Newton and GMRES iterations are charged;
+  /// a trip returns SolverStatus::BudgetExceeded and suppresses retries.
+  diag::RunBudget* budget = nullptr;
 };
 
 /// Converged HB spectrum plus solver statistics.
@@ -54,6 +67,10 @@ struct HBSolution {
   std::size_t newtonIterations = 0;
   std::size_t gmresIterations = 0;  ///< cumulative inner iterations
   std::size_t realUnknowns = 0;     ///< size of the Newton system
+  /// Which ladder rung produced this solution: "base", "source-ramp",
+  /// "direct", or "gmres-tight".
+  std::string strategy;
+  std::size_t retries = 0;          ///< ladder rungs consumed after the base
   perf::Snapshot perf;              ///< pipeline counters for the solve
 
   std::vector<std::array<int, 2>> indices;  ///< retained (k1, k2), canonical
@@ -78,6 +95,10 @@ class HarmonicBalance {
                   HBOptions opts = {});
 
   /// Solve starting from the DC operating point (pass dcOperatingPoint().x).
+  /// Runs the resilience ladder: base options, then a deeper source ramp,
+  /// then linear-solver escalation (see HBOptions::maxRetries). The rung
+  /// that produced the returned solution is recorded in
+  /// HBSolution::strategy; counters accumulate across rungs.
   HBSolution solve(const RVec& dcOperatingPoint) const;
 
   /// Number of real unknowns of the Newton system (for the cost benches).
@@ -90,6 +111,10 @@ class HarmonicBalance {
  private:
   friend class HBOperator;
   friend class HBBlockPreconditioner;
+
+  /// One Newton solve with explicit options — the ladder rungs of solve().
+  HBSolution solveAttempt(const RVec& dcOperatingPoint,
+                          const HBOptions& opts) const;
 
   // Grid bookkeeping.
   std::size_t dims() const { return tones_.size(); }

@@ -120,6 +120,8 @@ EnvelopeResult runEnvelope(const MnaSystem& sys, Real fastFreq,
   // Initial condition: fast steady state with slow sources frozen at t1=0.
   FastPeriodicResult step = solveEnvelopeStep(
       sys, 0.0, fastFreq, opts.fastSteps, 0.0, nullptr, dcOp, opts.inner);
+  res.status = step.status;
+  res.retries += step.retries;
   if (!step.converged) return res;
   res.slowTimes.push_back(0.0);
   res.waveforms.push_back(step.waveform);
@@ -129,11 +131,14 @@ EnvelopeResult runEnvelope(const MnaSystem& sys, Real fastFreq,
     step = solveEnvelopeStep(sys, t1, fastFreq, opts.fastSteps, h1,
                              &res.waveforms.back(), step.waveform[0],
                              opts.inner);
+    res.status = step.status;
+    res.retries += step.retries;
     if (!step.converged) return res;
     res.slowTimes.push_back(t1);
     res.waveforms.push_back(step.waveform);
   }
   res.converged = true;
+  res.status = diag::SolverStatus::Converged;
   return res;
 }
 

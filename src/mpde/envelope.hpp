@@ -26,6 +26,12 @@ struct EnvelopeOptions {
 
 struct EnvelopeResult {
   bool converged = false;
+  /// Status of the last inner fast-periodic solve (Converged when the full
+  /// envelope march succeeded; Breakdown/MaxIterations/BudgetExceeded
+  /// identify why the march stopped early — the partial envelope up to the
+  /// failing slow step is retained).
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
+  std::size_t retries = 0;  ///< inner tightened-tolerance re-attempts, summed
   Real fastPeriod = 0;
   std::vector<Real> slowTimes;  ///< slowSteps+1 instants
   /// One periodic fast waveform per slow instant; waveform[i][j] is the

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "numeric/lu.hpp"
+#include "perf/perf.hpp"
 
 namespace rfic::mpde {
 
@@ -67,36 +68,67 @@ FastPeriodicResult solveFastPeriodic(const FastSystem& sys, const RVec& guess,
   RFIC_REQUIRE(guess.size() == n, "solveFastPeriodic: guess size mismatch");
   const std::size_t m = sys.samples();
 
+  // Retry ladder: failed attempts restart from the original guess with the
+  // inner BE step tolerance tightened 100× per rung (inner integration
+  // error contaminating the monodromy is the usual failure mode).
   FastPeriodicResult res;
-  RVec y0 = guess;
-  for (std::size_t it = 0; it < opts.maxIterations; ++it) {
-    ++res.newtonIterations;
-    res.monodromy = RMat::identity(n);
-    res.waveform.assign(1, y0);
-    RVec y = y0, y1;
-    bool ok = true;
-    for (std::size_t j = 0; j < m; ++j) {
-      if (!beStep(sys, j, y, y1, &res.monodromy, opts)) {
-        ok = false;
+  FastPeriodicOptions attemptOpts = opts;
+  for (std::size_t attempt = 0;; ++attempt) {
+    res.converged = false;
+    res.status = diag::SolverStatus::MaxIterations;
+    RVec y0 = guess;
+    for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+      ++res.newtonIterations;
+      if (opts.budget) opts.budget->chargeNewton();
+      if (diag::budgetExceeded(opts.budget)) {
+        res.status = diag::SolverStatus::BudgetExceeded;
+        return res;
+      }
+      res.monodromy = RMat::identity(n);
+      res.waveform.assign(1, y0);
+      RVec y = y0, y1;
+      bool ok = true;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (!beStep(sys, j, y, y1, &res.monodromy, attemptOpts)) {
+          ok = false;
+          break;
+        }
+        y = y1;
+        res.waveform.push_back(y);
+      }
+      if (!ok) {
+        res.status = diag::SolverStatus::Breakdown;
         break;
       }
-      y = y1;
-      res.waveform.push_back(y);
-    }
-    if (!ok) return res;
 
-    RVec g = res.waveform.back();
-    g -= y0;
-    if (numeric::norm2(g) < opts.tolerance * (1.0 + numeric::norm2(y0))) {
-      res.converged = true;
-      return res;
+      RVec g = res.waveform.back();
+      g -= y0;
+      if (numeric::norm2(g) < opts.tolerance * (1.0 + numeric::norm2(y0))) {
+        res.converged = true;
+        res.status = diag::SolverStatus::Converged;
+        return res;
+      }
+      RMat jac = res.monodromy;
+      for (std::size_t i = 0; i < n; ++i) jac(i, i) -= 1.0;
+      RVec dy;
+      try {
+        if (diag::FaultInjector::global().fire(
+                diag::FaultPoint::SingularJacobian))
+          failNumerical("solveFastPeriodic: injected singular Jacobian");
+        dy = numeric::solveDense(std::move(jac), g);
+      } catch (const NumericalError&) {
+        res.status = diag::SolverStatus::Breakdown;
+        break;
+      }
+      y0 -= dy;
     }
-    RMat jac = res.monodromy;
-    for (std::size_t i = 0; i < n; ++i) jac(i, i) -= 1.0;
-    const RVec dy = numeric::solveDense(std::move(jac), g);
-    y0 -= dy;
+    if (res.status == diag::SolverStatus::BudgetExceeded ||
+        attempt >= opts.maxRetries)
+      return res;
+    attemptOpts.stepTolerance *= 0.01;
+    ++res.retries;
+    perf::global().addRetry();
   }
-  return res;
 }
 
 RMat spectralDifferentiation(std::size_t m, Real period) {

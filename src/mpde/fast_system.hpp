@@ -12,6 +12,8 @@
 
 #include <vector>
 
+#include "diag/convergence.hpp"
+#include "diag/resilience.hpp"
 #include "numeric/dense.hpp"
 
 namespace rfic::mpde {
@@ -44,12 +46,22 @@ struct FastPeriodicOptions {
   Real tolerance = 1e-9;
   std::size_t maxNewtonPerStep = 40;
   Real stepTolerance = 1e-10;
+  /// Retry ladder depth: a failed shooting solve is re-attempted from the
+  /// original guess with stepTolerance tightened 100× per rung.
+  std::size_t maxRetries = 1;
+  /// Optional cooperative budget (outer iterations charged; a trip returns
+  /// SolverStatus::BudgetExceeded and suppresses retries).
+  diag::RunBudget* budget = nullptr;
 };
 
 struct FastPeriodicResult {
   bool converged = false;
+  /// Converged, Breakdown (inner BE step or singular shooting Jacobian),
+  /// MaxIterations, or BudgetExceeded.
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
   std::vector<RVec> waveform;  ///< m2+1 states, waveform[0] == waveform[m2]
   std::size_t newtonIterations = 0;  ///< outer (shooting) iterations
+  std::size_t retries = 0;           ///< tightened-tolerance re-attempts
   RMat monodromy;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "circuit/mna_workspace.hpp"
 #include "diag/contracts.hpp"
@@ -48,8 +49,6 @@ MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
 
   // Flat unknown layout: point p = i·m2 + j holds block [p·n, p·n+n).
   numeric::RVec x(nu);
-  for (std::size_t p = 0; p < np; ++p)
-    for (std::size_t u = 0; u < n; ++u) x[p * n + u] = dcOp[u];
 
   // Every grid point stamps the same circuit, so all share the workspace
   // pattern: one per-point (f, q, b) snapshot plus G/C value arrays.
@@ -75,8 +74,24 @@ MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
   std::vector<char> cActive;
   std::vector<std::uint32_t> cSlots;
 
+  // Retry ladder (iterative path): failed attempts restart from the DC
+  // point with the GMRES tolerance tightened 100× and the iteration cap
+  // doubled per rung. The LU path retries as a plain restart.
+  Real gmresTol = 1e-8;
+  std::size_t gmresMaxIter = 2000;
+  for (std::size_t attempt = 0;; ++attempt) {
+  res.converged = false;
+  res.status = diag::SolverStatus::MaxIterations;
+  for (std::size_t p = 0; p < np; ++p)
+    for (std::size_t u = 0; u < n; ++u) x[p * n + u] = dcOp[u];
+
   for (std::size_t it = 0; it < opts.maxNewton; ++it) {
     ++res.newtonIterations;
+    if (opts.budget) opts.budget->chargeNewton();
+    if (diag::budgetExceeded(opts.budget)) {
+      res.status = diag::SolverStatus::BudgetExceeded;
+      break;
+    }
 
     // Evaluate every grid point; restart the sweep if a conditional stamp
     // grows the shared pattern mid-flight.
@@ -122,9 +137,17 @@ MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
         }
       }
     }
-    if (numeric::norm2(r) <
+    if (diag::FaultInjector::global().fire(diag::FaultPoint::NanInResidual))
+      r[0] = std::numeric_limits<Real>::quiet_NaN();
+    const Real rnorm = numeric::norm2(r);  // sum of squares propagates NaN
+    if (!std::isfinite(rnorm)) {
+      res.status = diag::SolverStatus::Diverged;
+      break;
+    }
+    if (rnorm <
         opts.tolerance * (1.0 + bScale) * std::sqrt(static_cast<Real>(nu))) {
       res.converged = true;
+      res.status = diag::SolverStatus::Converged;
       break;
     }
 
@@ -233,39 +256,65 @@ MFDTDResult runMFDTD(const MnaSystem& sys, Real slowFreq, Real fastFreq,
       sparse::CSROperator<Real> op(a);
       sparse::JacobiPreconditioner<Real> prec(a);
       sparse::IterativeOptions io;
-      io.tolerance = 1e-8;
-      io.maxIterations = 2000;
+      io.tolerance = gmresTol;
+      io.maxIterations = gmresMaxIter;
       io.restart = 100;
+      io.budget = opts.budget;
       const auto st = sparse::gmres(op, r, dx, &prec, io);
-      if (!st.converged)
-        failNumerical("runMFDTD: GMRES failed on the grid Jacobian");
-    } else {
-      const perf::Timer timer;
-      if (!glu.analyzed()) {
-        sparse::RCSR a = gpat;
-        a.values() = gvals;
-        glu.factor(a);
-        ++res.perf.factorizations;
-        res.perf.factorNs += timer.ns();
-        perf::global().addFactorization(timer.ns());
-      } else if (glu.refactor(gvals) == diag::SolverStatus::Converged) {
-        ++res.perf.refactorizations;
-        res.perf.refactorNs += timer.ns();
-        perf::global().addRefactorization(timer.ns());
-      } else {  // repivoted: a full factorization ran under the hood
-        ++res.perf.factorizations;
-        res.perf.factorNs += timer.ns();
-        perf::global().addFactorization(timer.ns());
+      if (st.status == diag::SolverStatus::BudgetExceeded) {
+        res.status = diag::SolverStatus::BudgetExceeded;
+        break;
       }
-      res.jacobianNnz = glu.factorNnz();
-      const perf::Timer solveTimer;
-      dx = glu.solve(r);
-      ++res.perf.solves;
-      res.perf.solveNs += solveTimer.ns();
-      perf::global().addSolve(solveTimer.ns());
+      if (!st.converged) {
+        // A stalled inner solve is a structured, retryable failure — not a
+        // process abort.
+        res.status = diag::SolverStatus::Stagnated;
+        break;
+      }
+    } else {
+      try {
+        if (diag::FaultInjector::global().fire(
+                diag::FaultPoint::SingularJacobian))
+          failNumerical("runMFDTD: injected singular Jacobian");
+        const perf::Timer timer;
+        if (!glu.analyzed()) {
+          sparse::RCSR a = gpat;
+          a.values() = gvals;
+          glu.factor(a);
+          ++res.perf.factorizations;
+          res.perf.factorNs += timer.ns();
+          perf::global().addFactorization(timer.ns());
+        } else if (glu.refactor(gvals) == diag::SolverStatus::Converged) {
+          ++res.perf.refactorizations;
+          res.perf.refactorNs += timer.ns();
+          perf::global().addRefactorization(timer.ns());
+        } else {  // repivoted: a full factorization ran under the hood
+          ++res.perf.factorizations;
+          res.perf.factorNs += timer.ns();
+          perf::global().addFactorization(timer.ns());
+        }
+        res.jacobianNnz = glu.factorNnz();
+        const perf::Timer solveTimer;
+        dx = glu.solve(r);
+        ++res.perf.solves;
+        res.perf.solveNs += solveTimer.ns();
+        perf::global().addSolve(solveTimer.ns());
+      } catch (const NumericalError&) {
+        res.status = diag::SolverStatus::Breakdown;
+        break;
+      }
     }
     x -= dx;
   }
+
+  if (res.converged || res.status == diag::SolverStatus::BudgetExceeded ||
+      attempt >= opts.maxRetries)
+    break;
+  gmresTol *= 0.01;
+  gmresMaxIter *= 2;
+  ++res.retries;
+  ws.noteRetry();
+  }  // attempt ladder
 
   for (std::size_t i = 0; i < m1; ++i)
     for (std::size_t j = 0; j < m2; ++j)

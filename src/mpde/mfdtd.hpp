@@ -10,6 +10,8 @@
 #pragma once
 
 #include "circuit/mna.hpp"
+#include "diag/convergence.hpp"
+#include "diag/resilience.hpp"
 #include "mpde/bivariate.hpp"
 #include "perf/perf.hpp"
 
@@ -23,12 +25,25 @@ struct MFDTDOptions {
   std::size_t maxNewton = 60;
   Real tolerance = 1e-9;
   bool useIterativeSolver = false;  ///< GMRES + Jacobi instead of sparse LU
+  /// Retry ladder depth: a failed Newton run is re-attempted from the DC
+  /// point with the inner GMRES tolerance tightened 100× and its iteration
+  /// cap doubled per rung (iterative path; the sparse-LU path has no inner
+  /// tolerance and retries are a plain restart).
+  std::size_t maxRetries = 1;
+  /// Optional cooperative budget (Newton + GMRES iterations charged; a trip
+  /// returns SolverStatus::BudgetExceeded with the partial grid and
+  /// suppresses retries).
+  diag::RunBudget* budget = nullptr;
 };
 
 struct MFDTDResult {
   bool converged = false;
+  /// Converged, MaxIterations, Stagnated (inner GMRES failed), Breakdown
+  /// (singular grid Jacobian), or BudgetExceeded.
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
   BivariateGrid grid;
   std::size_t newtonIterations = 0;
+  std::size_t retries = 0;      ///< tightened-tolerance re-attempts
   std::size_t jacobianNnz = 0;  ///< assembled sparse Jacobian size
   perf::Snapshot perf;          ///< pipeline counters for the solve
 };

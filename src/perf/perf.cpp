@@ -18,13 +18,17 @@ std::string format(const Snapshot& s) {
                 "evals            %10llu  (%10.3f ms)\n"
                 "factorizations   %10llu  (%10.3f ms)\n"
                 "refactorizations %10llu  (%10.3f ms)\n"
-                "solves           %10llu  (%10.3f ms)\n",
+                "solves           %10llu  (%10.3f ms)\n"
+                "retries          %10llu\n"
+                "fallbacks        %10llu\n",
                 static_cast<unsigned long long>(s.evals), ms(s.evalNs),
                 static_cast<unsigned long long>(s.factorizations),
                 ms(s.factorNs),
                 static_cast<unsigned long long>(s.refactorizations),
                 ms(s.refactorNs),
-                static_cast<unsigned long long>(s.solves), ms(s.solveNs));
+                static_cast<unsigned long long>(s.solves), ms(s.solveNs),
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.fallbacks));
   return buf;
 }
 

@@ -28,6 +28,10 @@ struct Snapshot {
   std::uint64_t factorizations = 0;    ///< full symbolic+numeric factorizations
   std::uint64_t refactorizations = 0;  ///< pattern-reusing numeric passes
   std::uint64_t solves = 0;            ///< triangular solves
+  std::uint64_t retries = 0;           ///< resilience-layer retry attempts
+                                       ///< (dt cuts, ladder stages, re-runs)
+  std::uint64_t fallbacks = 0;         ///< strategy escalations (different
+                                       ///< solver/preconditioner/ladder rung)
   std::uint64_t evalNs = 0;
   std::uint64_t factorNs = 0;
   std::uint64_t refactorNs = 0;
@@ -38,6 +42,8 @@ struct Snapshot {
     factorizations += o.factorizations;
     refactorizations += o.refactorizations;
     solves += o.solves;
+    retries += o.retries;
+    fallbacks += o.fallbacks;
     evalNs += o.evalNs;
     factorNs += o.factorNs;
     refactorNs += o.refactorNs;
@@ -54,6 +60,8 @@ class Counters {
   void addFactorization(std::uint64_t ns) { bump(factor_, factorNs_, ns); }
   void addRefactorization(std::uint64_t ns) { bump(refactor_, refactorNs_, ns); }
   void addSolve(std::uint64_t ns) { bump(solves_, solveNs_, ns); }
+  void addRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void addFallback() { fallbacks_.fetch_add(1, std::memory_order_relaxed); }
 
   Snapshot snapshot() const {
     Snapshot s;
@@ -61,6 +69,8 @@ class Counters {
     s.factorizations = factor_.load(std::memory_order_relaxed);
     s.refactorizations = refactor_.load(std::memory_order_relaxed);
     s.solves = solves_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
     s.evalNs = evalNs_.load(std::memory_order_relaxed);
     s.factorNs = factorNs_.load(std::memory_order_relaxed);
     s.refactorNs = refactorNs_.load(std::memory_order_relaxed);
@@ -69,8 +79,9 @@ class Counters {
   }
 
   void reset() {
-    for (auto* a : {&evals_, &factor_, &refactor_, &solves_, &evalNs_,
-                    &factorNs_, &refactorNs_, &solveNs_})
+    for (auto* a : {&evals_, &factor_, &refactor_, &solves_, &retries_,
+                    &fallbacks_, &evalNs_, &factorNs_, &refactorNs_,
+                    &solveNs_})
       a->store(0, std::memory_order_relaxed);
   }
 
@@ -82,6 +93,7 @@ class Counters {
   }
 
   std::atomic<std::uint64_t> evals_{0}, factor_{0}, refactor_{0}, solves_{0};
+  std::atomic<std::uint64_t> retries_{0}, fallbacks_{0};
   std::atomic<std::uint64_t> evalNs_{0}, factorNs_{0}, refactorNs_{0},
       solveNs_{0};
 };

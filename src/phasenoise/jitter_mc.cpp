@@ -40,12 +40,29 @@ JitterMCResult monteCarloJitter(const MnaSystem& sys, const PSSResult& pss,
   to.tstop = pss.period * static_cast<Real>(opts.cycles);
   to.dt = pss.period / static_cast<Real>(opts.stepsPerCycle);
   to.noiseScale = opts.noiseScale;
+  to.budget = opts.budget;
 
   // Sample paths are independent: run them on the process thread pool into
   // per-path slots, then compact serially. Each path keeps its seed
-  // (opts.seed + 7919·p), so the ensemble is identical to the serial run.
+  // (opts.seed + 7919·p), so the ensemble is identical to the serial run —
+  // which is also what makes path-granular checkpoint/resume bit-identical:
+  // a restored path's crossings are exactly what re-running it would give.
   std::vector<std::vector<Real>> pathCrossings(opts.paths);
+  if (opts.resume && !opts.checkpointPath.empty()) {
+    diag::JitterCheckpoint ck;
+    if (diag::loadCheckpoint(opts.checkpointPath, ck) &&
+        ck.totalPaths == opts.paths &&
+        ck.pathCrossings.size() == opts.paths) {
+      for (std::size_t p = 0; p < opts.paths; ++p) {
+        if (ck.pathCrossings[p].empty()) continue;
+        pathCrossings[p] = std::move(ck.pathCrossings[p]);
+        ++res.resumedPaths;
+      }
+    }
+  }
   perf::ThreadPool::global().parallelFor(opts.paths, [&](std::size_t p) {
+    if (!pathCrossings[p].empty()) return;  // restored from checkpoint
+    if (diag::budgetExceeded(opts.budget)) return;
     const auto tr = analysis::runNoisyTransient(sys, pss.x0, to,
                                                 opts.seed + 7919 * p);
     if (!tr.ok) return;
@@ -53,6 +70,14 @@ JitterMCResult monteCarloJitter(const MnaSystem& sys, const PSSResult& pss,
     if (cr.size() < 4) return;
     pathCrossings[p] = std::move(cr);
   });
+  const bool tripped = opts.budget != nullptr && opts.budget->exceeded();
+  if (!opts.checkpointPath.empty()) {
+    diag::JitterCheckpoint ck;
+    ck.totalPaths = opts.paths;
+    ck.pathCrossings = pathCrossings;
+    // A checkpoint write failure must not kill the run it protects.
+    (void)diag::saveCheckpoint(opts.checkpointPath, ck);
+  }
   std::vector<std::vector<Real>> crossings;
   crossings.reserve(opts.paths);
   std::size_t minCount = SIZE_MAX;
@@ -62,6 +87,10 @@ JitterMCResult monteCarloJitter(const MnaSystem& sys, const PSSResult& pss,
     crossings.push_back(std::move(cr));
   }
   res.usedPaths = crossings.size();
+  res.status = tripped ? diag::SolverStatus::BudgetExceeded
+                       : diag::SolverStatus::Converged;
+  if (tripped && (res.usedPaths < 8 || minCount == SIZE_MAX))
+    return res;  // partial ensemble, not enough paths for statistics
   RFIC_REQUIRE(res.usedPaths >= 8 && minCount != SIZE_MAX,
                "monteCarloJitter: too few successful paths");
 

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analysis/shooting.hpp"
 #include "circuit/mna.hpp"
+#include "diag/resilience.hpp"
 
 namespace rfic::phasenoise {
 
@@ -25,14 +27,29 @@ struct JitterMCOptions {
   std::size_t stepsPerCycle = 400; ///< BE steps per period
   Real noiseScale = 1.0;           ///< multiplies every device PSD
   std::uint64_t seed = 12345;
+  /// Optional cooperative budget shared by all paths. A trip stops
+  /// launching/continuing paths; completed paths are kept (and
+  /// checkpointed), and the result carries SolverStatus::BudgetExceeded.
+  diag::RunBudget* budget = nullptr;
+  /// When non-empty, finished-path crossing times are checkpointed here
+  /// after the ensemble sweep (and on budget expiry). With `resume`,
+  /// previously completed paths are loaded and skipped; every path is
+  /// seeded as opts.seed + 7919·p, so the resumed ensemble is bit-identical
+  /// to an uninterrupted run.
+  std::string checkpointPath;
+  bool resume = false;
 };
 
 struct JitterMCResult {
+  /// Converged, or BudgetExceeded (partial ensemble; statistics are only
+  /// filled when ≥ 8 paths finished).
+  diag::SolverStatus status = diag::SolverStatus::NotRun;
   std::vector<Real> cycleIndex;     ///< k = 1..K with enough surviving paths
   std::vector<Real> crossingVar;    ///< var over paths of the k-th crossing
   Real slopePerCycle = 0;           ///< least-squares slope of var(k) [s²]
   Real theoreticalSlope = 0;        ///< c·T from the PPV analysis [s²]
   std::size_t usedPaths = 0;
+  std::size_t resumedPaths = 0;     ///< paths restored from a checkpoint
 };
 
 /// Run the ensemble and compare against cTheory·T (pass the c obtained from

@@ -24,6 +24,22 @@ void applyOrCopy(const LinearOperator<T>* prec, const Vec<T>& x, Vec<T>& y) {
   }
 }
 
+std::size_t stagnationWindowOf(const IterativeOptions& opts) {
+  if (opts.stagnationWindow != 0) return opts.stagnationWindow;
+  return std::max<std::size_t>(50, opts.maxIterations / 10);
+}
+
+// Shared entry hook: the krylov-stall fault point makes the next solver
+// call report Stagnated without touching x, exercising every caller's
+// stall-recovery path deterministically.
+bool injectStall(IterativeResult& res) {
+  if (diag::FaultInjector::global().fire(diag::FaultPoint::KrylovStall)) {
+    res.status = SolverStatus::Stagnated;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 template <class T>
@@ -37,6 +53,7 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
   const Real bnorm = numeric::norm2(b);
   diag::checkFinite(bnorm, "gmres: rhs norm");
   IterativeResult res;
+  if (injectStall(res)) return res;
   if (diag::exactlyZero(bnorm)) {
     x.setZero();
     res.converged = true;
@@ -87,6 +104,11 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
 
     std::size_t j = 0;
     for (; j < m && totalIt < opts.maxIterations; ++j, ++totalIt) {
+      if (opts.budget) opts.budget->chargeKrylov();
+      if (diag::budgetExceeded(opts.budget)) {
+        res.status = SolverStatus::BudgetExceeded;
+        return res;  // x holds the last restart's partial iterate
+      }
       // w = A M^{-1} v_j
       applyOrCopy(rightPrec, v[j], tmp);
       a.apply(tmp, w);
@@ -180,6 +202,7 @@ IterativeResult bicgstab(const LinearOperator<T>& a, const Vec<T>& b,
   if (x.size() != n) x = Vec<T>(n);
 
   IterativeResult res;
+  if (injectStall(res)) return res;
   const Real bnorm = numeric::norm2(b);
   diag::checkFinite(bnorm, "bicgstab: rhs norm");
   if (diag::exactlyZero(bnorm)) {
@@ -198,7 +221,19 @@ IterativeResult bicgstab(const LinearOperator<T>& a, const Vec<T>& b,
   p.setZero();
   vv.setZero();
 
+  // Stagnation detector: the short BiCGSTAB recurrence has no restart
+  // boundary to compare against, so track the best residual seen and bail
+  // once `window` consecutive iterations fail to improve it.
+  const std::size_t window = stagnationWindowOf(opts);
+  Real bestRes = numeric::norm2(r);
+  std::size_t sinceImprovement = 0;
+
   for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    if (opts.budget) opts.budget->chargeKrylov();
+    if (diag::budgetExceeded(opts.budget)) {
+      res.status = SolverStatus::BudgetExceeded;
+      return res;  // x holds the partial iterate
+    }
     const T rhoNew = numeric::dot(rhat, r);
     if (std::abs(rhoNew) < 1e-300) {
       res.status = SolverStatus::Breakdown;  // rho ≈ 0: Lanczos breakdown
@@ -258,6 +293,13 @@ IterativeResult bicgstab(const LinearOperator<T>& a, const Vec<T>& b,
       res.status = SolverStatus::Breakdown;  // omega ≈ 0: stabiliser stalled
       return res;
     }
+    if (res.residualNorm < bestRes) {
+      bestRes = res.residualNorm;
+      sinceImprovement = 0;
+    } else if (++sinceImprovement >= window) {
+      res.status = SolverStatus::Stagnated;
+      return res;
+    }
   }
   res.status = SolverStatus::MaxIterations;
   return res;
@@ -271,6 +313,7 @@ IterativeResult conjugateGradient(const LinearOperator<Real>& a,
   if (x.size() != n) x = Vec<Real>(n);
 
   IterativeResult res;
+  if (injectStall(res)) return res;
   const Real bnorm = numeric::norm2(b);
   diag::checkFinite(bnorm, "cg: rhs norm");
   if (diag::exactlyZero(bnorm)) {
@@ -286,7 +329,15 @@ IterativeResult conjugateGradient(const LinearOperator<Real>& a,
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
   p = r;
   Real rs = numeric::dot(r, r);
+  const std::size_t window = stagnationWindowOf(opts);
+  Real bestRes = std::sqrt(rs);
+  std::size_t sinceImprovement = 0;
   for (std::size_t it = 0; it < opts.maxIterations; ++it) {
+    if (opts.budget) opts.budget->chargeKrylov();
+    if (diag::budgetExceeded(opts.budget)) {
+      res.status = SolverStatus::BudgetExceeded;
+      return res;
+    }
     a.apply(p, ap);
     const Real pap = numeric::dot(p, ap);
     if (std::abs(pap) < 1e-300) {
@@ -306,6 +357,13 @@ IterativeResult conjugateGradient(const LinearOperator<Real>& a,
     if (res.residualNorm <= target) {
       res.converged = true;
       res.status = SolverStatus::Converged;
+      return res;
+    }
+    if (res.residualNorm < bestRes) {
+      bestRes = res.residualNorm;
+      sinceImprovement = 0;
+    } else if (++sinceImprovement >= window) {
+      res.status = SolverStatus::Stagnated;
       return res;
     }
     p *= rsNew / rs;

@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "diag/convergence.hpp"
+#include "diag/resilience.hpp"
 #include "numeric/dense.hpp"
 #include "sparse/sparse_matrix.hpp"
 
@@ -72,6 +73,17 @@ struct IterativeOptions {
   Real tolerance = 1e-10;      ///< relative residual target ‖r‖/‖b‖
   std::size_t maxIterations = 500;
   std::size_t restart = 60;    ///< GMRES restart length
+  /// BiCGSTAB/CG stagnation window: iterations without any best-residual
+  /// improvement before the solver reports SolverStatus::Stagnated instead
+  /// of burning the rest of the iteration cap. 0 = auto,
+  /// max(50, maxIterations/10). (GMRES detects stagnation per restart
+  /// cycle: a cycle with no residual reduction means the reachable Krylov
+  /// space is exhausted.)
+  std::size_t stagnationWindow = 0;
+  /// Optional cooperative budget: every iteration is charged, and the
+  /// solver returns SolverStatus::BudgetExceeded with the current partial
+  /// iterate when the budget trips.
+  diag::RunBudget* budget = nullptr;
 };
 
 /// Restarted GMRES(m) with optional right preconditioner M⁻¹ (pass nullptr

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "diag/resilience.hpp"
+
 namespace rfic::sparse {
 
 template <class T>
@@ -214,7 +216,12 @@ bool SymbolicLU<T>::replay(const T* vals, std::size_t nvals) {
 template <class T>
 diag::SolverStatus SymbolicLU<T>::refactor(const std::vector<T>& values) {
   RFIC_REQUIRE(analyzed_, "SymbolicLU::refactor before factor");
-  if (replay(values.data(), values.size())) return diag::SolverStatus::Converged;
+  // factor-repivot fault point: pretend the replayed pivots went bad so the
+  // fresh-analysis fallback below runs (and callers see Repivoted).
+  const bool forceRepivot =
+      diag::FaultInjector::global().fire(diag::FaultPoint::FactorRepivot);
+  if (!forceRepivot && replay(values.data(), values.size()))
+    return diag::SolverStatus::Converged;
   // Pivot growth (or a sign/topology change in the values) invalidated the
   // recorded pivot order — redo the full analysis with fresh pivots.
   analyzeFromValues(values.data());
