@@ -174,5 +174,10 @@ int main() {
   rep.metric("image_dbc", hb::toDb(image, carrierAmp));
   rep.metric("lo_spur_dbc", spurTrueDbc);
   rep.metric("lo_spur_est_dbc", spurEstDbc);
+
+  const auto g = perf::global().snapshot();
+  rep.count("global.fft_count", g.fftCount);
+  rep.count("global.plan_cache_hits", g.planCacheHits);
+  rep.count("global.plan_cache_misses", g.planCacheMisses);
   return 0;
 }

@@ -83,10 +83,14 @@ class JsonReporter {
     count(prefix + ".solves", s.solves);
     count(prefix + ".retries", s.retries);
     count(prefix + ".fallbacks", s.fallbacks);
+    count(prefix + ".fft_count", s.fftCount);
+    count(prefix + ".plan_cache_hits", s.planCacheHits);
+    count(prefix + ".plan_cache_misses", s.planCacheMisses);
     count(prefix + ".eval_ns", static_cast<std::size_t>(s.evalNs));
     count(prefix + ".factor_ns", static_cast<std::size_t>(s.factorNs));
     count(prefix + ".refactor_ns", static_cast<std::size_t>(s.refactorNs));
     count(prefix + ".solve_ns", static_cast<std::size_t>(s.solveNs));
+    count(prefix + ".fft_ns", static_cast<std::size_t>(s.fftNs));
   }
 
   void write() {

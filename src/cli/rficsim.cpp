@@ -10,14 +10,17 @@
 //   .hb <f1> <h1> [<f2> <h2>]    harmonic balance, 1 or 2 tones
 //   .print <node> [<node>...]    selects output nodes (default: all)
 //
-// Usage: rficsim [--fe-trap] [--stats] [--timeout <sec>]
+// Usage: rficsim [--fe-trap] [--stats] [--threads <n>] [--timeout <sec>]
 //                [--checkpoint <file>] [--resume] [--inject-fault <spec>]
 //                <netlist-file>   (or stdin with "-")
 // --fe-trap arms floating-point exception trapping (SIGFPE at the first
 // invalid operation) for debugging NaN propagation.
 // --stats prints the pipeline performance counters (device evaluations,
 // symbolic factorizations vs. numeric refactorizations, solves, retries/
-// fallbacks, and time per stage) to stderr after all analyses finish.
+// fallbacks, FFTs and plan-cache hits, and time per stage) to stderr after
+// all analyses finish.
+// --threads pins the worker-pool size for the parallel HB/FFT paths
+// (equivalent to RFIC_THREADS=<n>; 1 disables worker threads entirely).
 // --timeout arms a wall-clock RunBudget threaded through every analysis;
 // on expiry the run stops with partial results and exit code 4.
 // --checkpoint and --resume serialize and restore transient integrator state
@@ -44,6 +47,7 @@
 #include "hb/harmonic_balance.hpp"
 #include "hb/spectrum.hpp"
 #include "perf/perf.hpp"
+#include "perf/thread_pool.hpp"
 
 namespace {
 
@@ -278,6 +282,13 @@ int main(int argc, char** argv) {
       feTrap = std::make_unique<diag::ScopedFeTrap>();
     } else if (flag == "--stats") {
       stats = true;
+    } else if (flag == "--threads") {
+      const long n = std::atol(takeValue(flag).c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--threads: positive count required\n");
+        return 1;
+      }
+      perf::ThreadPool::setGlobalThreads(static_cast<std::size_t>(n));
     } else if (flag == "--timeout") {
       const double sec = std::atof(takeValue(flag).c_str());
       if (!(sec > 0)) {
@@ -306,7 +317,8 @@ int main(int argc, char** argv) {
   }
   if (argc != 2) {
     std::fprintf(stderr,
-                 "usage: rficsim [--fe-trap] [--stats] [--timeout <sec>] "
+                 "usage: rficsim [--fe-trap] [--stats] [--threads <n>] "
+                 "[--timeout <sec>] "
                  "[--checkpoint <file>] [--resume] [--inject-fault <spec>] "
                  "<netlist-file | ->\n");
     return 1;

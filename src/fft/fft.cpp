@@ -1,82 +1,16 @@
 #include "fft/fft.hpp"
 
-#include <cmath>
-
 #include "diag/contracts.hpp"
+#include "fft/plan.hpp"
 
 namespace rfic::fft {
 
-namespace {
-
-// Iterative radix-2 Cooley-Tukey; x.size() must be a power of two.
-void fftPow2(std::vector<Complex>& x, bool inverse) {
-  const std::size_t n = x.size();
-  if (n <= 1) return;
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const Real ang = (inverse ? 1.0 : -1.0) * kTwoPi / static_cast<Real>(len);
-    const Complex wlen(std::cos(ang), std::sin(ang));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = x[i + k];
-        const Complex v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-// Bluestein chirp-z transform: arbitrary-length DFT via a power-of-two
-// convolution.
-void fftBluestein(std::vector<Complex>& x, bool inverse) {
-  const std::size_t n = x.size();
-  const Real sign = inverse ? 1.0 : -1.0;
-  // Chirp: w[k] = exp(sign * i*pi*k^2/n). k^2 mod 2n avoids precision loss
-  // for large k.
-  std::vector<Complex> w(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t k2 = (k * k) % (2 * n);
-    const Real ang = sign * kPi * static_cast<Real>(k2) / static_cast<Real>(n);
-    w[k] = Complex(std::cos(ang), std::sin(ang));
-  }
-  const std::size_t m = nextPowerOfTwo(2 * n - 1);
-  std::vector<Complex> a(m), b(m);
-  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * w[k];
-  for (std::size_t k = 0; k < n; ++k) {
-    b[k] = std::conj(w[k]);
-    if (k != 0) b[m - k] = std::conj(w[k]);
-  }
-  fftPow2(a, false);
-  fftPow2(b, false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fftPow2(a, true);
-  const Real invm = 1.0 / static_cast<Real>(m);
-  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * w[k] * invm;
-}
-
-void transform(std::vector<Complex>& x, bool inverse) {
-  if (x.size() <= 1) return;
-  if (isPowerOfTwo(x.size())) {
-    fftPow2(x, inverse);
-  } else {
-    fftBluestein(x, inverse);
-  }
-  if (inverse) {
-    const Real inv = 1.0 / static_cast<Real>(x.size());
-    for (auto& v : x) v *= inv;
-  }
-}
-
-}  // namespace
+// The free functions are convenience shims over the planned engine: every
+// call routes through PlanCache::global(), so twiddle tables, bit-reversal
+// permutations, and Bluestein kernels are computed once per length
+// process-wide. Hot loops that cannot afford per-call vectors (HB/MPDE
+// inner paths) hold their plans and buffers directly; these entry points
+// exist for setup code, tests, and one-shot analyses.
 
 bool isPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
@@ -88,11 +22,16 @@ std::size_t nextPowerOfTwo(std::size_t n) {
 
 void fft(std::vector<Complex>& x) {
   RFIC_CHECK_FINITE(x, "fft: input");
-  transform(x, false);
+  if (x.size() <= 1) return;
+  const auto plan = PlanCache::global().get(x.size());
+  transformColumns(*plan, x.data(), 1, false);
 }
+
 void ifft(std::vector<Complex>& x) {
   RFIC_CHECK_FINITE(x, "ifft: input");
-  transform(x, true);
+  if (x.size() <= 1) return;
+  const auto plan = PlanCache::global().get(x.size());
+  transformColumns(*plan, x.data(), 1, true);
 }
 
 std::vector<Complex> rfft(const std::vector<Real>& x) {
@@ -119,40 +58,20 @@ std::vector<Real> irfft(const std::vector<Complex>& half, std::size_t n) {
 
 void fft2(std::vector<Complex>& x, std::size_t rows, std::size_t cols) {
   RFIC_REQUIRE(x.size() == rows * cols, "fft2 size mismatch");
-  std::vector<Complex> tmp;
-  // Rows.
-  for (std::size_t r = 0; r < rows; ++r) {
-    tmp.assign(x.begin() + static_cast<std::ptrdiff_t>(r * cols),
-               x.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols));
-    fft(tmp);
-    std::copy(tmp.begin(), tmp.end(),
-              x.begin() + static_cast<std::ptrdiff_t>(r * cols));
-  }
-  // Columns.
-  tmp.resize(rows);
-  for (std::size_t c = 0; c < cols; ++c) {
-    for (std::size_t r = 0; r < rows; ++r) tmp[r] = x[r * cols + c];
-    fft(tmp);
-    for (std::size_t r = 0; r < rows; ++r) x[r * cols + c] = tmp[r];
-  }
+  if (x.empty()) return;
+  auto& cache = PlanCache::global();
+  const auto rowPlan = cache.get(cols);
+  const auto colPlan = cache.get(rows);
+  transformGrid2D(*rowPlan, *colPlan, x.data(), rows, cols, false);
 }
 
 void ifft2(std::vector<Complex>& x, std::size_t rows, std::size_t cols) {
   RFIC_REQUIRE(x.size() == rows * cols, "ifft2 size mismatch");
-  std::vector<Complex> tmp;
-  for (std::size_t r = 0; r < rows; ++r) {
-    tmp.assign(x.begin() + static_cast<std::ptrdiff_t>(r * cols),
-               x.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols));
-    ifft(tmp);
-    std::copy(tmp.begin(), tmp.end(),
-              x.begin() + static_cast<std::ptrdiff_t>(r * cols));
-  }
-  tmp.resize(rows);
-  for (std::size_t c = 0; c < cols; ++c) {
-    for (std::size_t r = 0; r < rows; ++r) tmp[r] = x[r * cols + c];
-    ifft(tmp);
-    for (std::size_t r = 0; r < rows; ++r) x[r * cols + c] = tmp[r];
-  }
+  if (x.empty()) return;
+  auto& cache = PlanCache::global();
+  const auto rowPlan = cache.get(cols);
+  const auto colPlan = cache.get(rows);
+  transformGrid2D(*rowPlan, *colPlan, x.data(), rows, cols, true);
 }
 
 }  // namespace rfic::fft

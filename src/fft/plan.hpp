@@ -1,0 +1,118 @@
+// Planned FFTs: precompute once, replay with zero allocation.
+//
+// The matrix-implicit HB/MPDE inner path (Section 2.1) spends its life
+// moving waveforms between time and frequency; what makes that path run at
+// hardware speed is never recomputing what the transform length alone
+// determines. A Plan owns everything a length-n DFT needs — the bit-
+// reversal permutation and per-stage twiddle tables for the radix-2 path,
+// and for arbitrary lengths the Bluestein chirp together with its forward-
+// transformed convolution kernel — so executing a transform is pure data
+// movement and butterflies. Plans are immutable after construction and
+// shared through a process-wide, thread-safe PlanCache (the same
+// "precompute once, replay cheaply" discipline the sparse layer applies
+// with SymbolicLU).
+//
+// Execution never allocates: the radix-2 path is in-place, and the
+// Bluestein path writes through caller scratch (scratchSize() complex
+// slots). transformColumns()/transformGrid2D() are the batched entry
+// points the hot loops use — they run columns on the process ThreadPool
+// above a grain threshold, reuse per-thread scratch, and feed the
+// fftCount/fftNs/planCache perf counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common.hpp"
+
+namespace rfic::perf {
+class Counters;
+}  // namespace rfic::perf
+
+namespace rfic::fft {
+
+/// Immutable execution plan for length-n DFTs (forward and inverse).
+class Plan {
+ public:
+  explicit Plan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  /// True when n is not a power of two and execution runs the Bluestein
+  /// chirp-z convolution.
+  bool usesBluestein() const { return sub_ != nullptr; }
+  /// Complex scratch slots execute() needs (0 for the in-place radix-2
+  /// path; the Bluestein convolution length otherwise).
+  std::size_t scratchSize() const { return sub_ ? sub_->n_ : 0; }
+
+  /// In-place forward DFT of x[0..n). `scratch` must point at
+  /// scratchSize() slots (may be null when that is 0). No allocation.
+  void forward(Complex* x, Complex* scratch) const { execute(x, scratch, false); }
+  /// In-place inverse DFT with the 1/n normalization.
+  void inverse(Complex* x, Complex* scratch) const { execute(x, scratch, true); }
+
+ private:
+  void execute(Complex* x, Complex* scratch, bool inverse) const;
+  void executePow2(Complex* x, bool inverse) const;
+  void executeBluestein(Complex* x, Complex* scratch, bool inverse) const;
+
+  std::size_t n_ = 0;
+  // Radix-2 machinery (n_ a power of two; also the engine under the
+  // Bluestein convolution of a parent plan).
+  std::vector<std::uint32_t> bitrev_;
+  // Per-stage twiddles packed consecutively: stage `len` (2, 4, …, n) owns
+  // the len/2 factors exp(∓2πi·k/len) at offset len/2 − 1.
+  std::vector<Complex> twFwd_, twInv_;
+  // Bluestein machinery (n_ arbitrary): chirp w[k] = exp(-iπk²/n) and the
+  // forward transforms of the padded conjugate/plain chirp — the
+  // convolution kernels of the forward/inverse transform respectively.
+  std::unique_ptr<const Plan> sub_;  ///< radix-2 plan of the padded length
+  std::vector<Complex> chirp_;
+  std::vector<Complex> kernelFwd_, kernelInv_;
+};
+
+/// Process-wide, thread-safe plan cache keyed by transform length. Plans
+/// are built on first use and shared (they are immutable); hit/miss
+/// counters flow into perf::global() and the --stats / bench JSON outputs.
+class PlanCache {
+ public:
+  static PlanCache& global();
+
+  /// The plan for length n, building and caching it on first request.
+  std::shared_ptr<const Plan> get(std::size_t n);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  /// Drop every cached plan (tests; outstanding shared_ptrs stay valid).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::size_t, std::shared_ptr<const Plan>> plans_;
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+/// Transform `count` signals, each contiguous of length plan.size(), laid
+/// out back to back at `data` (the columns of a column-major matrix).
+/// Runs on perf::ThreadPool::global() when the batch is large enough to
+/// amortize dispatch, reuses per-thread scratch, and performs no steady-
+/// state allocation. Inverse transforms include the 1/n normalization.
+/// Counters (fftCount, fftNs) are bumped on perf::global() and, when
+/// given, on `extra` — analyses pass their local pipeline counters so the
+/// spectral cost lands in their result snapshots.
+void transformColumns(const Plan& plan, Complex* data, std::size_t count,
+                      bool inverse, perf::Counters* extra = nullptr);
+
+/// 2-D in-place DFT of a rows×cols row-major grid: `rowPlan` must have
+/// length cols, `colPlan` length rows. Rows transform contiguously;
+/// columns gather/scatter through per-thread scratch. Length-1 axes are
+/// skipped. Same counter and normalization conventions as
+/// transformColumns.
+void transformGrid2D(const Plan& rowPlan, const Plan& colPlan, Complex* x,
+                     std::size_t rows, std::size_t cols, bool inverse,
+                     perf::Counters* extra = nullptr);
+
+}  // namespace rfic::fft

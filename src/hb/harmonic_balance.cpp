@@ -6,8 +6,10 @@
 #include "circuit/mna_workspace.hpp"
 #include "diag/contracts.hpp"
 #include "fft/fft.hpp"
+#include "fft/plan.hpp"
 #include "hb/hb_jacobian.hpp"
 #include "numeric/lu.hpp"
+#include "perf/thread_pool.hpp"
 
 namespace rfic::hb {
 
@@ -68,6 +70,12 @@ HarmonicBalance::HarmonicBalance(const MnaSystem& sys, std::vector<Tone> tones,
       for (int k1 = -ih1; k1 <= ih1; ++k1) indices_.push_back({k1, k2});
   }
   nc_ = 1 + 2 * (indices_.size() - 1);
+
+  // Fetch the spectral plans once: every transform this engine ever runs
+  // replays these tables. rowPlan_ covers the m2 (tone-2) axis, colPlan_
+  // the m1 (tone-1) axis of the bivariate grid.
+  rowPlan_ = fft::PlanCache::global().get(m2_);
+  colPlan_ = fft::PlanCache::global().get(m1_);
 }
 
 Real HarmonicBalance::omega(std::size_t idx) const {
@@ -93,11 +101,15 @@ void HarmonicBalance::spectrumToTime(const CMat& coeffs, RMat& samples) const {
   RFIC_CHECK_DIMS(coeffs.cols(), indices_.size(),
                   "HB::spectrumToTime coeffs cols");
   RFIC_CHECK_FINITE(coeffs, "HB::spectrumToTime coeffs");
-  samples = RMat(n_, msamp_);
-  std::vector<Complex> grid(msamp_);
+  work_.need(samples, n_, msamp_);
+  work_.need(work_.grid, n_ * msamp_);
   const Real scale = static_cast<Real>(msamp_);
-  for (std::size_t u = 0; u < n_; ++u) {
-    std::fill(grid.begin(), grid.end(), Complex{});
+  // Each unknown owns a disjoint grid slice, so the per-unknown
+  // scatter/transform/gather pipeline fans out across the pool; the grid2D
+  // call below detects the nesting and runs its own sweep inline.
+  perf::ThreadPool::global().parallelFor(n_, [&](std::size_t u) {
+    Complex* grid = work_.grid.data() + u * msamp_;
+    std::fill(grid, grid + msamp_, Complex{});
     for (std::size_t j = 0; j < indices_.size(); ++j) {
       const int k1 = indices_[j][0], k2 = indices_[j][1];
       const std::size_t a = static_cast<std::size_t>((k1 % static_cast<int>(m1_) + static_cast<int>(m1_))) % m1_;
@@ -109,28 +121,31 @@ void HarmonicBalance::spectrumToTime(const CMat& coeffs, RMat& samples) const {
         grid[am * m2_ + bm] += std::conj(coeffs(u, j)) * scale;
       }
     }
-    fft::ifft2(grid, m1_, m2_);
+    fft::transformGrid2D(*rowPlan_, *colPlan_, grid, m1_, m2_, true,
+                         &fftCounters_);
     for (std::size_t s = 0; s < msamp_; ++s) samples(u, s) = grid[s].real();
-  }
+  });
 }
 
 void HarmonicBalance::timeToSpectrum(const RMat& samples, CMat& coeffs) const {
   RFIC_CHECK_DIMS(samples.rows(), n_, "HB::timeToSpectrum samples rows");
   RFIC_CHECK_DIMS(samples.cols(), msamp_, "HB::timeToSpectrum samples cols");
   RFIC_CHECK_FINITE(samples, "HB::timeToSpectrum samples");
-  coeffs = CMat(n_, indices_.size());
-  std::vector<Complex> grid(msamp_);
+  work_.need(coeffs, n_, indices_.size());
+  work_.need(work_.grid, n_ * msamp_);
   const Real inv = 1.0 / static_cast<Real>(msamp_);
-  for (std::size_t u = 0; u < n_; ++u) {
+  perf::ThreadPool::global().parallelFor(n_, [&](std::size_t u) {
+    Complex* grid = work_.grid.data() + u * msamp_;
     for (std::size_t s = 0; s < msamp_; ++s) grid[s] = samples(u, s);
-    fft::fft2(grid, m1_, m2_);
+    fft::transformGrid2D(*rowPlan_, *colPlan_, grid, m1_, m2_, false,
+                         &fftCounters_);
     for (std::size_t j = 0; j < indices_.size(); ++j) {
       const int k1 = indices_[j][0], k2 = indices_[j][1];
       const std::size_t a = static_cast<std::size_t>((k1 % static_cast<int>(m1_) + static_cast<int>(m1_))) % m1_;
       const std::size_t b = static_cast<std::size_t>((k2 % static_cast<int>(m2_) + static_cast<int>(m2_))) % m2_;
       coeffs(u, j) = grid[a * m2_ + b] * inv;
     }
-  }
+  });
 }
 
 void HarmonicBalance::packReal(const CMat& coeffs, RVec& v) const {
@@ -147,7 +162,7 @@ void HarmonicBalance::packReal(const CMat& coeffs, RVec& v) const {
 
 void HarmonicBalance::unpackReal(const RVec& v, CMat& coeffs) const {
   RFIC_REQUIRE(v.size() == n_ * nc_, "HB::unpackReal size mismatch");
-  coeffs = CMat(n_, indices_.size());
+  work_.need(coeffs, n_, indices_.size());
   for (std::size_t u = 0; u < n_; ++u) {
     const Real* base = v.data() + u * nc_;
     coeffs(u, 0) = Complex(base[0], 0.0);
@@ -155,16 +170,6 @@ void HarmonicBalance::unpackReal(const RVec& v, CMat& coeffs) const {
       coeffs(u, j) = Complex(base[1 + 2 * (j - 1)], base[2 + 2 * (j - 1)]);
   }
 }
-
-namespace {
-
-// Shared per-iteration workspace for the residual evaluation.
-struct ResidualData {
-  CMat fSpec, qSpec, bSpec;
-  RMat samples;
-};
-
-}  // namespace
 
 HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
   RFIC_REQUIRE(dcOp.size() == n_, "HB::solve: DC operating point size mismatch");
@@ -243,29 +248,47 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
   sol.f1_ = tones_[0].freq;
   sol.f2_ = dims() == 2 ? tones_[1].freq : 0.0;
 
+  // Spectral counters restart per attempt so the ladder's fold() can
+  // accumulate per-rung snapshots without double counting.
+  fftCounters_.reset();
+
   // Initial spectrum: DC slots carry the operating point.
   CMat coeffs(n_, indices_.size());
   for (std::size_t u = 0; u < n_; ++u) coeffs(u, 0) = dcOp[u];
 
-  RMat samples;
-  CMat fSpec, qSpec, bSpec;
   // One workspace for the whole solve: every sample stamps into the same
   // cached pattern, so the per-sample Jacobians are plain value arrays.
   circuit::MnaWorkspace ws(sys_);
 
+  // Hot-loop buffers live in the engine workspace: they grow to their
+  // high-water mark on the first solve and are then reused — steady-state
+  // Newton iterations (and repeat solves) perform no heap allocation.
+  RMat& samples = work_.samp;
+  RMat& fS = work_.fSamp;
+  RMat& qS = work_.qSamp;
+  RMat& bS = work_.bSamp;
+  CMat& fSpec = work_.fSpec;
+  CMat& qSpec = work_.qSpec;
+  CMat& bSpec = work_.bSpec;
+  CMat& rc = work_.resSpec;
+  CMat& trial = work_.trialSpec;
+  RVec xs(n_);
+  RVec r, bPack, xPack, xNew, dx, dxp;
+  std::vector<Real> gAvgVals, cAvgVals;
+
   // Evaluate the packed HB residual at `coeffs`; when gOut/cOut are given
   // also collect the per-sample Jacobian values (over ws.pattern()) and
   // their time averages.
-  auto residual = [&](const CMat& x, Real lambda, RVec& r,
+  auto residual = [&](const CMat& x, Real lambda, RVec& rOut,
                       std::vector<std::vector<Real>>* gOut,
                       std::vector<std::vector<Real>>* cOut,
                       sparse::RTriplets* gAvg, sparse::RTriplets* cAvg) {
     spectrumToTime(x, samples);
-    RMat fS(n_, msamp_), qS(n_, msamp_), bS(n_, msamp_);
-    RVec xs(n_);
+    work_.need(fS, n_, msamp_);
+    work_.need(qS, n_, msamp_);
+    work_.need(bS, n_, msamp_);
     const bool wantMat = gOut != nullptr;
     const Real avgW = 1.0 / static_cast<Real>(msamp_);
-    std::vector<Real> gAvgVals, cAvgVals;
     for (bool done = false; !done;) {
       // The pattern can grow mid-sweep (conditional device stamps); value
       // arrays copied before a growth are stale, so restart the sweep.
@@ -312,23 +335,31 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
     timeToSpectrum(fS, fSpec);
     timeToSpectrum(qS, qSpec);
     timeToSpectrum(bS, bSpec);
-    CMat rc(n_, indices_.size());
+    work_.need(rc, n_, indices_.size());
     for (std::size_t j = 0; j < indices_.size(); ++j) {
       const Complex jw(0.0, omega(j));
       const Real lam = (j == 0) ? 1.0 : lambda;
       for (std::size_t u = 0; u < n_; ++u)
         rc(u, j) = fSpec(u, j) + jw * qSpec(u, j) - lam * bSpec(u, j);
     }
-    packReal(rc, r);
+    packReal(rc, rOut);
   };
 
   // Drive level for the convergence scale.
-  RVec r;
   std::vector<std::vector<Real>> gS(msamp_), cS(msamp_);
   sparse::RTriplets gAvg(n_, n_), cAvg(n_, n_);
   // Persistent preconditioner: after the first Newton iteration every
   // update() is a parallel numeric refactorization of the harmonic blocks.
   HBBlockPreconditioner prec(*this);
+
+  // Final counter merge: pipeline counters from the MNA workspace, block
+  // factorization/solve counters from the preconditioner, and the
+  // spectral-transform counters of this attempt.
+  const auto finishPerf = [&](HBSolution& s) {
+    s.perf = ws.counters();
+    s.perf += prec.counters();
+    s.perf += fftCounters_.snapshot();
+  };
 
   sparse::IterativeOptions gmresOpts = opts.gmres;
   gmresOpts.budget = opts.budget;
@@ -343,22 +374,19 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
       if (diag::budgetExceeded(opts.budget)) {
         sol.status = diag::SolverStatus::BudgetExceeded;
         sol.coeffs = coeffs;
-        sol.perf = ws.counters();
-        sol.perf += prec.counters();
+        finishPerf(sol);
         return sol;
       }
       residual(coeffs, lambda, r, &gS, &cS, &gAvg, &cAvg);
       if (diag::FaultInjector::global().fire(diag::FaultPoint::NanInResidual))
         r[0] = std::numeric_limits<Real>::quiet_NaN();
-      RVec bPack;
       packReal(bSpec, bPack);
       const Real scale = 1e-12 + numeric::norm2(bPack);
       const Real rnorm = numeric::norm2(r);
       if (!diag::isFinite(rnorm)) {
         sol.status = diag::SolverStatus::Diverged;
         sol.coeffs = coeffs;
-        sol.perf = ws.counters();
-        sol.perf += prec.counters();
+        finishPerf(sol);
         return sol;
       }
       if (rnorm < opts.tolerance * scale) {
@@ -367,7 +395,7 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
       }
 
       const HBOperator jac(*this, ws.pattern(), gS, cS);
-      RVec dx(n_ * nc_);
+      dx.resize(n_ * nc_);
       try {
         if (diag::FaultInjector::global().fire(
                 diag::FaultPoint::SingularJacobian))
@@ -387,13 +415,13 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
         } else {
           prec.update(gAvg, cAvg);
           dx.setZero();
-          const auto stat = sparse::gmres(jac, r, dx, &prec, gmresOpts);
+          const auto stat =
+              sparse::gmres(jac, r, dx, &prec, gmresOpts, &work_.gmres);
           sol.gmresIterations += stat.iterations;
           if (stat.status == diag::SolverStatus::BudgetExceeded) {
             sol.status = diag::SolverStatus::BudgetExceeded;
             sol.coeffs = coeffs;
-            sol.perf = ws.counters();
-            sol.perf += prec.counters();
+            finishPerf(sol);
             return sol;
           }
           if (!stat.converged && stat.residualNorm > 0.5 * rnorm) {
@@ -407,19 +435,15 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
         // failure to the ladder in solve() instead of unwinding further.
         sol.status = diag::SolverStatus::Breakdown;
         sol.coeffs = coeffs;
-        sol.perf = ws.counters();
-        sol.perf += prec.counters();
+        finishPerf(sol);
         return sol;
       }
 
       // Damped update on the packed spectrum.
-      RVec dxp;
-      CMat trial;
       Real alpha = 1.0;
-      RVec xPack;
       packReal(coeffs, xPack);
       for (int damp = 0; damp < 6; ++damp) {
-        RVec xNew = xPack;
+        xNew = xPack;
         numeric::axpy(-alpha, dx, xNew);
         unpackReal(xNew, trial);
         residual(trial, lambda, dxp, nullptr, nullptr, nullptr, nullptr);
@@ -433,8 +457,7 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
     if (!stageConverged && stage == ramp) {
       sol.status = diag::SolverStatus::MaxIterations;
       sol.coeffs = coeffs;
-      sol.perf = ws.counters();
-      sol.perf += prec.counters();
+      finishPerf(sol);
       return sol;  // converged flag stays false
     }
   }
@@ -442,8 +465,7 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
   sol.converged = true;
   sol.status = diag::SolverStatus::Converged;
   sol.coeffs = coeffs;
-  sol.perf = ws.counters();
-  sol.perf += prec.counters();
+  finishPerf(sol);
   return sol;
 }
 

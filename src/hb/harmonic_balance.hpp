@@ -17,6 +17,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <string>
@@ -27,6 +29,10 @@
 #include "numeric/dense.hpp"
 #include "perf/perf.hpp"
 #include "sparse/krylov.hpp"
+
+namespace rfic::fft {
+class Plan;
+}  // namespace rfic::fft
 
 namespace rfic::hb {
 
@@ -108,6 +114,14 @@ class HarmonicBalance {
     return indices_;
   }
 
+  /// Workspace buffer-growth events since construction. Every hot-loop
+  /// buffer (spectral grids, Jacobian/preconditioner scratch, GMRES state)
+  /// grows to its high-water mark during the first Newton iteration and is
+  /// reused verbatim afterwards, so this counter going flat across repeated
+  /// operator applications is the zero-allocation steady-state contract —
+  /// and what the tests assert, without allocator hooks.
+  std::uint64_t workspaceGrowth() const { return work_.grows; }
+
  private:
   friend class HBOperator;
   friend class HBBlockPreconditioner;
@@ -136,6 +150,60 @@ class HarmonicBalance {
   std::size_t nc_ = 0;     // real coefficients per unknown
   std::size_t m1_ = 1, m2_ = 1, msamp_ = 1;
   std::vector<std::array<int, 2>> indices_;  // canonical retained set
+
+  // Spectral plans, fetched once from the process-wide fft::PlanCache at
+  // construction: colPlan_ transforms the m1 (tone-1) axis, rowPlan_ the
+  // m2 (tone-2) axis of the bivariate grid.
+  std::shared_ptr<const fft::Plan> rowPlan_, colPlan_;
+
+  /// Every buffer the matrix-implicit inner path touches, owned by the
+  /// engine so it survives across Newton iterations and GMRES calls.
+  /// Buffers grow to their high-water mark once (counted in `grows`) and
+  /// are then reused without touching the allocator. Mutable because the
+  /// transforms and operator applications are logically const; a
+  /// consequence is that one engine instance must not run concurrent
+  /// solve() calls.
+  struct HBWorkspace {
+    numeric::CVec grid;                  ///< batched n×(m1·m2) spectral grids
+    numeric::CMat ySpec, gSpec, cSpec;   ///< HBOperator::apply spectra
+    numeric::CMat rSpec;                 ///< HBOperator::apply result
+    numeric::RMat ySamp, gy, cy;         ///< HBOperator::apply time samples
+    numeric::CMat pcSpec, pzSpec;        ///< preconditioner rhs/solution
+    numeric::RMat samp, fSamp, qSamp, bSamp;  ///< residual time samples
+    numeric::CMat fSpec, qSpec, bSpec;   ///< residual spectra
+    numeric::CMat resSpec, trialSpec;    ///< residual combine / damped trial
+    sparse::GmresWorkspace<Real> gmres;  ///< Krylov basis + small solves
+    std::uint64_t grows = 0;             ///< growth events (steady state: 0)
+
+    void need(numeric::CVec& v, std::size_t n) {
+      if (v.size() < n) {
+        v.resize(n);
+        ++grows;
+      }
+    }
+    void need(numeric::RVec& v, std::size_t n) {
+      if (v.size() < n) {
+        v.resize(n);
+        ++grows;
+      }
+    }
+    void need(numeric::CMat& m, std::size_t r, std::size_t c) {
+      if (m.rows() != r || m.cols() != c) {
+        m.resize(r, c);
+        ++grows;
+      }
+    }
+    void need(numeric::RMat& m, std::size_t r, std::size_t c) {
+      if (m.rows() != r || m.cols() != c) {
+        m.resize(r, c);
+        ++grows;
+      }
+    }
+  };
+  mutable HBWorkspace work_;
+  /// Spectral-transform counters for the current solve; merged into
+  /// HBSolution::perf so a result reports the FFT cost of producing it.
+  mutable perf::Counters fftCounters_;
 };
 
 }  // namespace rfic::hb

@@ -22,31 +22,41 @@ std::size_t HBOperator::dim() const { return eng_.n_ * eng_.nc_; }
 
 void HBOperator::apply(const RVec& y, RVec& out) const {
   // J·y = Γ G(t) Γ⁻¹ y + Ω Γ C(t) Γ⁻¹ y, evaluated sample by sample.
-  CMat ySpec;
-  eng_.unpackReal(y, ySpec);
-  numeric::RMat ySamp;
-  eng_.spectrumToTime(ySpec, ySamp);
+  // Every buffer lives in the engine workspace and every transform replays
+  // a cached plan, so a steady-state application is allocation-free — this
+  // is the inner loop of every GMRES iteration.
+  auto& W = eng_.work_;
+  eng_.unpackReal(y, W.ySpec);
+  eng_.spectrumToTime(W.ySpec, W.ySamp);
 
   const std::size_t n = eng_.n_, ms = eng_.msamp_;
-  numeric::RMat gy(n, ms), cy(n, ms);
-  RVec xs(n), tmp(n);
-  for (std::size_t s = 0; s < ms; ++s) {
-    for (std::size_t u = 0; u < n; ++u) xs[u] = ySamp(u, s);
-    pat_.multiplyWith(g_[s], xs, tmp);
-    for (std::size_t u = 0; u < n; ++u) gy(u, s) = tmp[u];
-    pat_.multiplyWith(c_[s], xs, tmp);
-    for (std::size_t u = 0; u < n; ++u) cy(u, s) = tmp[u];
-  }
-  CMat gSpec, cSpec;
-  eng_.timeToSpectrum(gy, gSpec);
-  eng_.timeToSpectrum(cy, cSpec);
-  CMat r(n, eng_.indices_.size());
+  W.need(W.gy, n, ms);
+  W.need(W.cy, n, ms);
+  // The per-sample G/C multiplies are independent; fan out over the pool
+  // with per-thread gather/scatter scratch. The grain keeps dispatch
+  // overhead negligible for small sample counts.
+  perf::ThreadPool::global().parallelFor(
+      ms,
+      [&](std::size_t s) {
+        thread_local RVec xs, tmp;
+        xs.resize(n);
+        tmp.resize(n);
+        for (std::size_t u = 0; u < n; ++u) xs[u] = W.ySamp(u, s);
+        pat_.multiplyWith(g_[s], xs, tmp);
+        for (std::size_t u = 0; u < n; ++u) W.gy(u, s) = tmp[u];
+        pat_.multiplyWith(c_[s], xs, tmp);
+        for (std::size_t u = 0; u < n; ++u) W.cy(u, s) = tmp[u];
+      },
+      /*grain=*/64);
+  eng_.timeToSpectrum(W.gy, W.gSpec);
+  eng_.timeToSpectrum(W.cy, W.cSpec);
+  W.need(W.rSpec, n, eng_.indices_.size());
   for (std::size_t j = 0; j < eng_.indices_.size(); ++j) {
     const Complex jw(0.0, eng_.omega(j));
     for (std::size_t u = 0; u < n; ++u)
-      r(u, j) = gSpec(u, j) + jw * cSpec(u, j);
+      W.rSpec(u, j) = W.gSpec(u, j) + jw * W.cSpec(u, j);
   }
-  eng_.packReal(r, out);
+  eng_.packReal(W.rSpec, out);
 }
 
 HBBlockPreconditioner::HBBlockPreconditioner(const HarmonicBalance& engine)
@@ -82,13 +92,17 @@ void HBBlockPreconditioner::update(const sparse::RTriplets& gAvg,
     blocks_.assign(eng_.indices_.size(), sparse::CSymbolicLU());
     havePattern_ = true;
   }
+  if (blockVals_.size() != blocks_.size()) blockVals_.resize(blocks_.size());
 
   const std::size_t nnz = packed_.nnz();
   const auto& pv = packed_.values();
   auto& pool = perf::ThreadPool::global();
   pool.parallelFor(blocks_.size(), [&](std::size_t j) {
     const Real w = eng_.omega(j);
-    std::vector<Complex> vals(nnz);
+    // Persistent per-block value array: after the first Newton iteration
+    // this is a plain overwrite, not an allocation.
+    std::vector<Complex>& vals = blockVals_[j];
+    vals.resize(nnz);
     for (std::size_t p = 0; p < nnz; ++p)
       vals[p] = Complex(pv[p].real(), w * pv[p].imag());
     const perf::Timer timer;
@@ -103,7 +117,7 @@ void HBBlockPreconditioner::update(const sparse::RTriplets& gAvg,
       }
     } else {
       sparse::CCSR block = packed_;
-      block.values() = std::move(vals);
+      block.values() = vals;
       blocks_[j].factor(block);
       counters_.addFactorization(timer.ns());
       perf::global().addFactorization(timer.ns());
@@ -114,22 +128,27 @@ void HBBlockPreconditioner::update(const sparse::RTriplets& gAvg,
 std::size_t HBBlockPreconditioner::dim() const { return eng_.n_ * eng_.nc_; }
 
 void HBBlockPreconditioner::apply(const RVec& r, RVec& z) const {
-  CMat rSpec;
-  eng_.unpackReal(r, rSpec);
+  auto& W = eng_.work_;
+  eng_.unpackReal(r, W.pcSpec);
   const std::size_t n = eng_.n_;
-  CMat zSpec(n, eng_.indices_.size());
-  numeric::CVec rhs(n);
+  const std::size_t nidx = eng_.indices_.size();
+  W.need(W.pzSpec, n, nidx);
   const perf::Timer timer;
-  for (std::size_t j = 0; j < eng_.indices_.size(); ++j) {
-    for (std::size_t u = 0; u < n; ++u) rhs[u] = rSpec(u, j);
-    const numeric::CVec sol = blocks_[j].solve(rhs);
-    for (std::size_t u = 0; u < n; ++u) zSpec(u, j) = sol[u];
-  }
+  // One independent (Ḡ + jω_κ C̄) solve per harmonic; each writes its own
+  // pzSpec column. Per-thread scratch makes steady-state applications
+  // allocation-free.
+  perf::ThreadPool::global().parallelFor(nidx, [&](std::size_t j) {
+    thread_local numeric::CVec rhs, sol, scratchY, scratchZ;
+    rhs.resize(n);
+    for (std::size_t u = 0; u < n; ++u) rhs[u] = W.pcSpec(u, j);
+    blocks_[j].solve(rhs, sol, scratchY, scratchZ);
+    for (std::size_t u = 0; u < n; ++u) W.pzSpec(u, j) = sol[u];
+  });
   counters_.addSolve(timer.ns());
   perf::global().addSolve(timer.ns());
   // The DC block solve may produce a residual imaginary part from packing
   // round trips; packReal drops it, which is exactly the projection we want.
-  eng_.packReal(zSpec, z);
+  eng_.packReal(W.pzSpec, z);
 }
 
 }  // namespace rfic::hb

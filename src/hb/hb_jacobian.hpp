@@ -82,6 +82,9 @@ class HBBlockPreconditioner final : public sparse::LinearOperator<Real> {
   sparse::CCSR packed_;
   bool havePattern_ = false;
   std::vector<sparse::CSymbolicLU> blocks_;
+  /// Persistent per-block value arrays: update() overwrites them in place,
+  /// so refactorization sweeps after the first allocate nothing.
+  std::vector<std::vector<Complex>> blockVals_;
 };
 
 }  // namespace rfic::hb

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "fft/fft.hpp"
+#include "fft/plan.hpp"
 
 namespace rfic::hb {
 
@@ -46,7 +46,12 @@ TransientSpectrum transientSpectrum(const std::vector<Real>& samples,
   RFIC_REQUIRE(samples.size() >= 8, "transientSpectrum: too few samples");
   RFIC_REQUIRE(sampleRate > 0, "transientSpectrum: bad sample rate");
   const std::size_t n = samples.size();
-  std::vector<Real> w(n);
+  // Window and transform through the cached plan — transient records have
+  // arbitrary (usually non-power-of-two) lengths, so this is a Bluestein
+  // plan whose chirp/kernel survive for every later record of equal length.
+  const auto plan = fft::PlanCache::global().get(n);
+  std::vector<Complex> w(n);
+  std::vector<Complex> scratch(plan->scratchSize());
   // Hann window; coherent gain 0.5 compensated below.
   for (std::size_t i = 0; i < n; ++i) {
     const Real win =
@@ -54,14 +59,15 @@ TransientSpectrum transientSpectrum(const std::vector<Real>& samples,
                               static_cast<Real>(n)));
     w[i] = samples[i] * win;
   }
-  auto half = fft::rfft(w);
+  plan->forward(w.data(), scratch.data());
+  const std::size_t half = n / 2 + 1;
   TransientSpectrum sp;
-  sp.freq.resize(half.size());
-  sp.amplitude.resize(half.size());
+  sp.freq.resize(half);
+  sp.amplitude.resize(half);
   const Real scale = 2.0 / (0.5 * static_cast<Real>(n));  // window gain 0.5
-  for (std::size_t k = 0; k < half.size(); ++k) {
+  for (std::size_t k = 0; k < half; ++k) {
     sp.freq[k] = sampleRate * static_cast<Real>(k) / static_cast<Real>(n);
-    sp.amplitude[k] = std::abs(half[k]) * scale;
+    sp.amplitude[k] = std::abs(w[k]) * scale;
   }
   if (!sp.amplitude.empty()) sp.amplitude[0] *= 0.5;  // DC not doubled
   return sp;

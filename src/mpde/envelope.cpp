@@ -1,8 +1,10 @@
 #include "mpde/envelope.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "circuit/mna_workspace.hpp"
+#include "fft/plan.hpp"
 
 namespace rfic::mpde {
 
@@ -92,17 +94,28 @@ FastPeriodicResult solveEnvelopeStep(
 
 std::vector<Complex> EnvelopeResult::harmonicEnvelope(std::size_t u,
                                                                int k) const {
+  // One planned FFT per slow sample (replacing the former per-harmonic
+  // direct DFT loop): the full fast spectrum costs O(m2 log m2) through the
+  // cached plan, and the requested bin is picked out afterwards. The fast
+  // grid length is the same at every slow step, so the plan and buffers are
+  // fetched once and reused across the sweep.
   std::vector<Complex> out;
   out.reserve(waveforms.size());
+  std::vector<Complex> sig, scratch;
+  std::shared_ptr<const fft::Plan> plan;
   for (const auto& wf : waveforms) {
+    RFIC_REQUIRE(wf.size() >= 2, "harmonicEnvelope: empty fast waveform");
     const std::size_t m2 = wf.size() - 1;  // wrap point excluded
-    Complex s = 0;
-    for (std::size_t j = 0; j < m2; ++j) {
-      const Real ang = -kTwoPi * static_cast<Real>(k) * static_cast<Real>(j) /
-                       static_cast<Real>(m2);
-      s += wf[j][u] * Complex(std::cos(ang), std::sin(ang));
+    if (!plan || plan->size() != m2) {
+      plan = fft::PlanCache::global().get(m2);
+      sig.resize(m2);
+      scratch.resize(plan->scratchSize());
     }
-    out.push_back(s / static_cast<Real>(m2));
+    for (std::size_t j = 0; j < m2; ++j) sig[j] = wf[j][u];
+    plan->forward(sig.data(), scratch.data());
+    const int im2 = static_cast<int>(m2);
+    const std::size_t bin = static_cast<std::size_t>(((k % im2) + im2) % im2);
+    out.push_back(sig[bin] / static_cast<Real>(m2));
   }
   return out;
 }

@@ -129,6 +129,15 @@ class Mat {
   std::size_t cols() const { return cols_; }
   void setZero() { std::fill(d_.begin(), d_.end(), T{}); }
 
+  /// Reshape to rows×cols, reusing the existing storage when it is large
+  /// enough (element values are unspecified afterwards — this is a buffer
+  /// primitive for workspace reuse, not a content-preserving reshape).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    d_.resize(rows * cols);
+  }
+
   T& operator()(std::size_t i, std::size_t j) { return d_[i * cols_ + j]; }
   const T& operator()(std::size_t i, std::size_t j) const {
     return d_[i * cols_ + j];

@@ -10,7 +10,7 @@ Counters& global() {
 }
 
 std::string format(const Snapshot& s) {
-  char buf[512];
+  char buf[768];
   const auto ms = [](std::uint64_t ns) {
     return static_cast<double>(ns) * 1e-6;
   };
@@ -19,6 +19,8 @@ std::string format(const Snapshot& s) {
                 "factorizations   %10llu  (%10.3f ms)\n"
                 "refactorizations %10llu  (%10.3f ms)\n"
                 "solves           %10llu  (%10.3f ms)\n"
+                "ffts             %10llu  (%10.3f ms)\n"
+                "plan cache       %10llu hits / %llu misses\n"
                 "retries          %10llu\n"
                 "fallbacks        %10llu\n",
                 static_cast<unsigned long long>(s.evals), ms(s.evalNs),
@@ -27,6 +29,9 @@ std::string format(const Snapshot& s) {
                 static_cast<unsigned long long>(s.refactorizations),
                 ms(s.refactorNs),
                 static_cast<unsigned long long>(s.solves), ms(s.solveNs),
+                static_cast<unsigned long long>(s.fftCount), ms(s.fftNs),
+                static_cast<unsigned long long>(s.planCacheHits),
+                static_cast<unsigned long long>(s.planCacheMisses),
                 static_cast<unsigned long long>(s.retries),
                 static_cast<unsigned long long>(s.fallbacks));
   return buf;

@@ -32,10 +32,14 @@ struct Snapshot {
                                        ///< (dt cuts, ladder stages, re-runs)
   std::uint64_t fallbacks = 0;         ///< strategy escalations (different
                                        ///< solver/preconditioner/ladder rung)
+  std::uint64_t fftCount = 0;          ///< 1-D transforms executed (planned)
+  std::uint64_t planCacheHits = 0;     ///< fft::PlanCache lookups served
+  std::uint64_t planCacheMisses = 0;   ///< fft::PlanCache plan builds
   std::uint64_t evalNs = 0;
   std::uint64_t factorNs = 0;
   std::uint64_t refactorNs = 0;
   std::uint64_t solveNs = 0;
+  std::uint64_t fftNs = 0;             ///< wall time inside batched transforms
 
   Snapshot& operator+=(const Snapshot& o) {
     evals += o.evals;
@@ -44,10 +48,14 @@ struct Snapshot {
     solves += o.solves;
     retries += o.retries;
     fallbacks += o.fallbacks;
+    fftCount += o.fftCount;
+    planCacheHits += o.planCacheHits;
+    planCacheMisses += o.planCacheMisses;
     evalNs += o.evalNs;
     factorNs += o.factorNs;
     refactorNs += o.refactorNs;
     solveNs += o.solveNs;
+    fftNs += o.fftNs;
     return *this;
   }
 };
@@ -62,6 +70,16 @@ class Counters {
   void addSolve(std::uint64_t ns) { bump(solves_, solveNs_, ns); }
   void addRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
   void addFallback() { fallbacks_.fetch_add(1, std::memory_order_relaxed); }
+  /// One bump per *batch* of 1-D transforms: the hot loops time whole
+  /// column sweeps, not individual butterflies.
+  void addFfts(std::uint64_t count, std::uint64_t ns) {
+    ffts_.fetch_add(count, std::memory_order_relaxed);
+    fftNs_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void addPlanCacheHit() { planHits_.fetch_add(1, std::memory_order_relaxed); }
+  void addPlanCacheMiss() {
+    planMisses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   Snapshot snapshot() const {
     Snapshot s;
@@ -71,17 +89,21 @@ class Counters {
     s.solves = solves_.load(std::memory_order_relaxed);
     s.retries = retries_.load(std::memory_order_relaxed);
     s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+    s.fftCount = ffts_.load(std::memory_order_relaxed);
+    s.planCacheHits = planHits_.load(std::memory_order_relaxed);
+    s.planCacheMisses = planMisses_.load(std::memory_order_relaxed);
     s.evalNs = evalNs_.load(std::memory_order_relaxed);
     s.factorNs = factorNs_.load(std::memory_order_relaxed);
     s.refactorNs = refactorNs_.load(std::memory_order_relaxed);
     s.solveNs = solveNs_.load(std::memory_order_relaxed);
+    s.fftNs = fftNs_.load(std::memory_order_relaxed);
     return s;
   }
 
   void reset() {
     for (auto* a : {&evals_, &factor_, &refactor_, &solves_, &retries_,
-                    &fallbacks_, &evalNs_, &factorNs_, &refactorNs_,
-                    &solveNs_})
+                    &fallbacks_, &ffts_, &planHits_, &planMisses_, &evalNs_,
+                    &factorNs_, &refactorNs_, &solveNs_, &fftNs_})
       a->store(0, std::memory_order_relaxed);
   }
 
@@ -94,8 +116,9 @@ class Counters {
 
   std::atomic<std::uint64_t> evals_{0}, factor_{0}, refactor_{0}, solves_{0};
   std::atomic<std::uint64_t> retries_{0}, fallbacks_{0};
+  std::atomic<std::uint64_t> ffts_{0}, planHits_{0}, planMisses_{0};
   std::atomic<std::uint64_t> evalNs_{0}, factorNs_{0}, refactorNs_{0},
-      solveNs_{0};
+      solveNs_{0}, fftNs_{0};
 };
 
 /// Process-wide counters: every MnaWorkspace contributes here in addition

@@ -1,8 +1,11 @@
 #include "perf/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+
+#include "common.hpp"
 
 namespace rfic::perf {
 
@@ -12,7 +15,14 @@ namespace {
 // the pool it is itself draining.
 thread_local bool tlInPool = false;
 
+// setGlobalThreads() override; 0 = none. The created flag makes a late
+// override a visible error instead of a silent no-op.
+std::atomic<std::size_t> gThreadsOverride{0};
+std::atomic<bool> gGlobalCreated{false};
+
 std::size_t defaultThreads() {
+  if (const std::size_t o = gThreadsOverride.load(std::memory_order_relaxed))
+    return o;
   if (const char* env = std::getenv("RFIC_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v > 0) return static_cast<std::size_t>(v);
@@ -24,18 +34,24 @@ std::size_t defaultThreads() {
 
 struct ThreadPool::Batch {
   std::size_t n = 0;
+  std::size_t grain = 1;
   const std::function<void(std::size_t)>* fn = nullptr;
-  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> next{0};  // next chunk index (not element index)
   std::exception_ptr error;          // first exception, guarded by errMu
   std::mutex errMu;
 
+  std::size_t chunks() const { return (n + grain - 1) / grain; }
+
   void run() {
     tlInPool = true;
+    const std::size_t nChunks = chunks();
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nChunks) break;
+      const std::size_t lo = c * grain;
+      const std::size_t hi = std::min(n, lo + grain);
       try {
-        (*fn)(i);
+        for (std::size_t i = lo; i < hi; ++i) (*fn)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(errMu);
         if (!error) error = std::current_exception();
@@ -77,24 +93,28 @@ void ThreadPool::workerLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --busy_;
-      if (busy_ == 0 && b->next.load(std::memory_order_relaxed) >= b->n)
+      if (busy_ == 0 && b->next.load(std::memory_order_relaxed) >= b->chunks())
         doneCv_.notify_all();
     }
   }
 }
 
 void ThreadPool::parallelFor(std::size_t n,
-                             const std::function<void(std::size_t)>& fn) {
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t grain) {
   if (n == 0) return;
-  // Serial fast paths: trivially small batches, no workers, or a nested
-  // call from inside a worker thread.
-  if (n == 1 || workers_.empty() || tlInPool) {
+  if (grain == 0) grain = 1;
+  // Serial fast paths: batches at or below the grain (the dispatch
+  // overhead would dominate), no workers, or a nested call from inside a
+  // worker thread.
+  if (n <= grain || workers_.empty() || tlInPool) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
   Batch b;
   b.n = n;
+  b.grain = grain;
   b.fn = &fn;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -113,8 +133,17 @@ void ThreadPool::parallelFor(std::size_t n,
 }
 
 ThreadPool& ThreadPool::global() {
+  gGlobalCreated.store(true, std::memory_order_relaxed);
   static ThreadPool pool;
   return pool;
+}
+
+void ThreadPool::setGlobalThreads(std::size_t threads) {
+  RFIC_REQUIRE(threads > 0, "setGlobalThreads: positive thread count");
+  RFIC_REQUIRE(!gGlobalCreated.load(std::memory_order_relaxed),
+               "setGlobalThreads: global pool already created — install the "
+               "override at startup");
+  gThreadsOverride.store(threads, std::memory_order_relaxed);
 }
 
 }  // namespace rfic::perf

@@ -1,18 +1,26 @@
 // Fixed-size thread pool for the embarrassingly parallel hot loops:
-// HB block-diagonal preconditioner assembly, jitter Monte-Carlo sample
-// paths, and MoM panel-matrix fill.
+// spectral column transforms, HB Jacobian sample sweeps, HB block-
+// preconditioner assembly/solves, jitter Monte-Carlo sample paths, and MoM
+// panel-matrix fill.
 //
 // Design constraints:
-//  - Workers are created once and persist; parallelFor hands out chunk
-//    indices through a single atomic counter, and the calling thread
-//    participates, so small trip counts cost no synchronization beyond
-//    one mutex round-trip.
+//  - Workers are created once and persist; parallelFor hands out chunks of
+//    `grain` consecutive indices through a single atomic counter, and the
+//    calling thread participates, so small trip counts cost no
+//    synchronization beyond one mutex round-trip.
+//  - Trip counts at or below the grain run inline on the caller — tiny
+//    loops never pay the wake-up/dispatch overhead.
 //  - A parallelFor issued from inside a worker (nested parallelism) runs
 //    inline serially — no deadlock, no oversubscription.
 //  - The first exception thrown by any chunk is captured and rethrown on
 //    the calling thread.
 //  - Memory ordering is conservative (acquire/release via mutex +
 //    condition_variable); validated under RFIC_SANITIZE=thread.
+//
+// Pool size: the process-wide pool reads RFIC_THREADS (positive integer)
+// and falls back to the hardware concurrency. setGlobalThreads() — wired to
+// `rficsim --threads N` — overrides both, and must run before the first
+// global() use.
 #pragma once
 
 #include <condition_variable>
@@ -39,10 +47,21 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n). Blocks until all iterations finish.
   /// fn must be safe to invoke concurrently from multiple threads.
-  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// `grain` is the dispatch granularity: n <= grain runs inline on the
+  /// calling thread (no wake-up), and workers claim `grain` consecutive
+  /// indices per atomic round-trip — size it so one chunk amortizes the
+  /// dispatch cost (~1 µs) against the per-index work.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   std::size_t grain = 1);
 
-  /// Process-wide pool, sized from RFIC_THREADS (default: hardware).
+  /// Process-wide pool, sized from setGlobalThreads() > RFIC_THREADS >
+  /// hardware concurrency, in that precedence order.
   static ThreadPool& global();
+
+  /// Pin the size of the process-wide pool (rficsim --threads N). Throws
+  /// InvalidArgument if the global pool has already been created — the
+  /// override must be installed at startup, before any parallel work.
+  static void setGlobalThreads(std::size_t threads);
 
  private:
   struct Batch;

@@ -45,7 +45,7 @@ bool injectStall(IterativeResult& res) {
 template <class T>
 IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
                       const LinearOperator<T>* rightPrec,
-                      const IterativeOptions& opts) {
+                      const IterativeOptions& opts, GmresWorkspace<T>* ws) {
   const std::size_t n = a.dim();
   RFIC_REQUIRE(b.size() == n, "gmres: rhs size mismatch");
   if (x.size() != n) x = Vec<T>(n);
@@ -63,18 +63,35 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
   const Real target = opts.tolerance * bnorm;
 
   const std::size_t m = std::max<std::size_t>(1, opts.restart);
-  std::vector<Vec<T>> v;  // Arnoldi basis
-  numeric::Mat<T> h(m + 1, m);
-  std::vector<T> cs(m), sn(m), g(m + 1);
-  Vec<T> w(n), tmp(n);
+  // All state lives in the (possibly caller-owned) workspace; every buffer
+  // grows to its high-water mark once and is then reused, so repeated
+  // calls with a persistent workspace never touch the allocator.
+  GmresWorkspace<T> transient;
+  GmresWorkspace<T>& W = ws ? *ws : transient;
+  if (W.v.size() < m + 1) W.v.resize(m + 1);
+  W.h.resize(m + 1, m);
+  W.cs.resize(m);
+  W.sn.resize(m);
+  W.g.resize(m + 1);
+  W.w.resize(n);
+  W.tmp.resize(n);
+  W.r.resize(n);
+  W.du.resize(n);
+  std::vector<Vec<T>>& v = W.v;  // Arnoldi basis
+  numeric::Mat<T>& h = W.h;
+  std::vector<T>& cs = W.cs;
+  std::vector<T>& sn = W.sn;
+  std::vector<T>& g = W.g;
+  Vec<T>& w = W.w;
+  Vec<T>& tmp = W.tmp;
+  Vec<T>& r = W.r;
 
   std::size_t totalIt = 0;
   Real lastRestartResidual = -1;  // true residual at the previous restart
   while (totalIt < opts.maxIterations) {
     // r = b - A x  (A applied to the true x; preconditioning is right-sided)
     a.apply(x, w);
-    Vec<T> r = b;
-    r -= w;
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - w[i];
     Real beta = numeric::norm2(r);
     res.residualNorm = beta;
     if (!diag::isFinite(beta)) {
@@ -96,8 +113,11 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
     }
     lastRestartResidual = beta;
 
-    v.assign(1, r);
-    v[0] *= T(1.0 / beta);
+    v[0].resize(n);
+    {
+      const T inv = T(1.0 / beta);
+      for (std::size_t i = 0; i < n; ++i) v[0][i] = r[i] * inv;
+    }
     std::fill(g.begin(), g.end(), T{});
     g[0] = beta;
     h.setZero();
@@ -122,9 +142,10 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
       RFIC_CHECK_FINITE(wnorm, "gmres: Arnoldi vector norm");
       h(j + 1, j) = wnorm;
       if (wnorm > 0) {
-        Vec<T> vj1 = w;
-        vj1 *= T(1.0 / wnorm);
-        v.push_back(std::move(vj1));
+        Vec<T>& vj1 = v[j + 1];
+        vj1.resize(n);
+        const T inv = T(1.0 / wnorm);
+        for (std::size_t i = 0; i < n; ++i) vj1[i] = w[i] * inv;
       }
       // Apply accumulated Givens rotations to the new column.
       for (std::size_t i = 0; i < j; ++i) {
@@ -158,13 +179,15 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
     // Solve the small triangular system and update x. A zero diagonal in
     // the projected triangular factor means the Krylov space hit a
     // singular direction; skip that component rather than dividing by it.
-    std::vector<T> y(j);
+    W.y.resize(j);
+    std::vector<T>& y = W.y;
     for (std::size_t i = j; i-- > 0;) {
       T s = g[i];
       for (std::size_t k = i + 1; k < j; ++k) s -= h(i, k) * y[k];
       y[i] = diag::exactlyZero(h(i, i)) ? T(0) : s / h(i, i);
     }
-    Vec<T> du(n);
+    Vec<T>& du = W.du;
+    du.setZero();
     for (std::size_t i = 0; i < j; ++i) numeric::axpy(y[i], v[i], du);
     applyOrCopy(rightPrec, du, tmp);
     x += tmp;
@@ -176,9 +199,8 @@ IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
       // stuck at the least-squares distance). Never declare convergence on
       // the estimate alone — confirm with a true residual.
       a.apply(x, w);
-      Vec<T> r2 = b;
-      r2 -= w;
-      const Real trueRes = numeric::norm2(r2);
+      for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - w[i];
+      const Real trueRes = numeric::norm2(r);
       res.residualNorm = trueRes;
       if (trueRes <= target) {
         res.converged = true;
@@ -396,11 +418,13 @@ void JacobiPreconditioner<T>::apply(const Vec<T>& x, Vec<T>& y) const {
 template IterativeResult gmres<Real>(const LinearOperator<Real>&,
                                      const Vec<Real>&, Vec<Real>&,
                                      const LinearOperator<Real>*,
-                                     const IterativeOptions&);
+                                     const IterativeOptions&,
+                                     GmresWorkspace<Real>*);
 template IterativeResult gmres<Complex>(const LinearOperator<Complex>&,
                                         const Vec<Complex>&, Vec<Complex>&,
                                         const LinearOperator<Complex>*,
-                                        const IterativeOptions&);
+                                        const IterativeOptions&,
+                                        GmresWorkspace<Complex>*);
 template IterativeResult bicgstab<Real>(const LinearOperator<Real>&,
                                         const Vec<Real>&, Vec<Real>&,
                                         const LinearOperator<Real>*,

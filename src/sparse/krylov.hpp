@@ -86,12 +86,30 @@ struct IterativeOptions {
   diag::RunBudget* budget = nullptr;
 };
 
+/// Reusable GMRES state: every buffer a solve needs (Arnoldi basis,
+/// Hessenberg factor, Givens rotations, projected rhs, work vectors).
+/// Buffers grow to the problem/restart size on first use and are reused
+/// verbatim afterwards, so a caller that keeps one workspace across Newton
+/// iterations pays no heap allocation in steady state — the discipline the
+/// HB matrix-implicit inner loop depends on. Not thread-safe: one
+/// workspace per concurrent solve.
+template <class T>
+struct GmresWorkspace {
+  std::vector<Vec<T>> v;        ///< Arnoldi basis (restart+1 vectors)
+  numeric::Mat<T> h;            ///< projected Hessenberg factor
+  std::vector<T> cs, sn, g, y;  ///< rotations, projected rhs, small solve
+  Vec<T> w, tmp, r, du;         ///< length-n work vectors
+};
+
 /// Restarted GMRES(m) with optional right preconditioner M⁻¹ (pass nullptr
-/// for none): solves A·M⁻¹·u = b, x = M⁻¹·u.
+/// for none): solves A·M⁻¹·u = b, x = M⁻¹·u. Pass a GmresWorkspace kept
+/// across calls to make repeated solves allocation-free; with ws == nullptr
+/// a transient workspace is used.
 template <class T>
 IterativeResult gmres(const LinearOperator<T>& a, const Vec<T>& b, Vec<T>& x,
                       const LinearOperator<T>* rightPrec = nullptr,
-                      const IterativeOptions& opts = {});
+                      const IterativeOptions& opts = {},
+                      GmresWorkspace<T>* ws = nullptr);
 
 /// BiCGSTAB with optional right preconditioner.
 template <class T>
@@ -133,12 +151,14 @@ class JacobiPreconditioner final : public LinearOperator<T> {
 extern template IterativeResult gmres<Real>(const LinearOperator<Real>&,
                                             const Vec<Real>&, Vec<Real>&,
                                             const LinearOperator<Real>*,
-                                            const IterativeOptions&);
+                                            const IterativeOptions&,
+                                            GmresWorkspace<Real>*);
 extern template IterativeResult gmres<Complex>(const LinearOperator<Complex>&,
                                                const Vec<Complex>&,
                                                Vec<Complex>&,
                                                const LinearOperator<Complex>*,
-                                               const IterativeOptions&);
+                                               const IterativeOptions&,
+                                               GmresWorkspace<Complex>*);
 extern template IterativeResult bicgstab<Real>(const LinearOperator<Real>&,
                                                const Vec<Real>&, Vec<Real>&,
                                                const LinearOperator<Real>*,

@@ -260,6 +260,34 @@ Vec<T> SymbolicLU<T>::solve(const Vec<T>& b) const {
   return x;
 }
 
+template <class T>
+void SymbolicLU<T>::solve(const Vec<T>& b, Vec<T>& x, Vec<T>& scratchY,
+                          Vec<T>& scratchZ) const {
+  RFIC_REQUIRE(analyzed_, "SymbolicLU::solve before factor");
+  RFIC_REQUIRE(b.size() == n_, "SymbolicLU::solve size mismatch");
+  // Zero-allocation variant for hot loops: the scratch vectors (and x)
+  // grow on first use and are reused verbatim afterwards.
+  scratchY.resize(n_);
+  scratchZ.resize(n_);
+  x.resize(n_);
+  Vec<T>& y = scratchY;
+  Vec<T>& z = scratchZ;
+  for (std::size_t i = 0; i < n_; ++i) y[i] = b[i];
+  for (std::size_t k = 0; k < n_; ++k) {
+    const T zk = y[pivRow_[k]];
+    z[k] = zk;
+    if (zk == T{}) continue;
+    for (std::size_t q = lPtr_[k]; q < lPtr_[k + 1]; ++q)
+      y[lRow_[q]] -= lVal_[q] * zk;
+  }
+  for (std::size_t k = n_; k-- > 0;) {
+    T s = z[k];
+    for (std::size_t q = uPtr_[k]; q < uPtr_[k + 1]; ++q)
+      s -= uVal_[q] * x[uCol_[q]];
+    x[pivCol_[k]] = s / pivVal_[k];
+  }
+}
+
 template class SymbolicLU<Real>;
 template class SymbolicLU<Complex>;
 

@@ -67,6 +67,12 @@ class SymbolicLU {
 
   Vec<T> solve(const Vec<T>& b) const;
 
+  /// Allocation-free solve for hot loops: writes the solution into `x` and
+  /// uses the caller's scratch vectors (all three grow to size() on first
+  /// use and are reused untouched afterwards). `b` must not alias them.
+  void solve(const Vec<T>& b, Vec<T>& x, Vec<T>& scratchY,
+             Vec<T>& scratchZ) const;
+
  private:
   void analyzeFromValues(const T* vals);
   bool replay(const T* vals, std::size_t nvals);

@@ -1,11 +1,14 @@
 // FFT kernels: roundtrips, reference DFT comparison, Parseval, real packs,
-// and the 2-D transform used by two-tone HB.
+// the 2-D transform used by two-tone HB, and the Plan/PlanCache layer the
+// hot loops replay.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <random>
+#include <thread>
 
 #include "fft/fft.hpp"
+#include "fft/plan.hpp"
 
 namespace rfic::fft {
 namespace {
@@ -157,6 +160,126 @@ TEST(FFT2, RoundTrip) {
   ifft2(x, rows, cols);
   for (std::size_t i = 0; i < x.size(); ++i)
     EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-10);
+}
+
+class PlanLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlanLengths, ForwardMatchesReferenceDFT) {
+  const std::size_t n = GetParam();
+  const Plan plan(n);
+  EXPECT_EQ(plan.size(), n);
+  EXPECT_EQ(plan.usesBluestein(), !isPowerOfTwo(n));
+  auto x = randomSignal(n, 40 + n);
+  const auto ref = referenceDFT(x);
+  std::vector<Complex> scratch(plan.scratchSize());
+  plan.forward(x.data(), scratch.data());
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(x[k] - ref[k]), 0.0, 1e-9 * static_cast<Real>(n))
+        << "bin " << k << " length " << n;
+}
+
+TEST_P(PlanLengths, InverseUndoesForward) {
+  const std::size_t n = GetParam();
+  const Plan plan(n);
+  const auto orig = randomSignal(n, 50 + n);
+  auto x = orig;
+  std::vector<Complex> scratch(plan.scratchSize());
+  plan.forward(x.data(), scratch.data());
+  plan.inverse(x.data(), scratch.data());
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(x[k] - orig[k]), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PlanLengths,
+                         ::testing::Values(1, 2, 4, 8, 64, 256,  // pow2
+                                           3, 5, 7, 12, 15, 100, 127,
+                                           243));  // Bluestein
+
+TEST(Plan, LargePrimeBluesteinToneLandsInOneBin) {
+  // Exercises the incremental k²-mod-2n chirp indexing far past where a
+  // naive k*k would overflow intermediate arithmetic carelessly written in
+  // 32 bits; the overflow guard admits any n ≤ SIZE_MAX/4.
+  const std::size_t n = 104729;  // the 10000th prime
+  const Plan plan(n);
+  ASSERT_TRUE(plan.usesBluestein());
+  const std::size_t bin = 4211;
+  std::vector<Complex> x(n);
+  for (std::size_t m = 0; m < n; ++m)
+    x[m] = std::exp(Complex(0, kTwoPi * static_cast<Real>(bin) *
+                                   static_cast<Real>(m) /
+                                   static_cast<Real>(n)));
+  std::vector<Complex> scratch(plan.scratchSize());
+  plan.forward(x.data(), scratch.data());
+  EXPECT_NEAR(std::abs(x[bin]), static_cast<Real>(n), 1e-5 * n);
+  // Every other bin is numerically empty relative to the tone.
+  Real worst = 0;
+  for (std::size_t k = 0; k < n; ++k)
+    if (k != bin) worst = std::max(worst, std::abs(x[k]));
+  EXPECT_LT(worst, 1e-6 * static_cast<Real>(n));
+}
+
+TEST(Plan, TransformColumnsMatchesPerColumnFFT) {
+  const std::size_t n = 24, cols = 7;
+  const Plan plan(n);
+  std::vector<Complex> batch(n * cols);
+  std::vector<std::vector<Complex>> separate(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    separate[c] = randomSignal(n, 60 + c);
+    std::copy(separate[c].begin(), separate[c].end(),
+              batch.begin() + static_cast<std::ptrdiff_t>(c * n));
+  }
+  transformColumns(plan, batch.data(), cols, /*inverse=*/false);
+  for (auto& col : separate) fft(col);
+  for (std::size_t c = 0; c < cols; ++c)
+    for (std::size_t k = 0; k < n; ++k)
+      EXPECT_NEAR(std::abs(batch[c * n + k] - separate[c][k]), 0.0, 1e-10);
+  // And the inverse restores the batch through the same entry point.
+  transformColumns(plan, batch.data(), cols, /*inverse=*/true);
+  for (auto& col : separate) ifft(col);
+  for (std::size_t c = 0; c < cols; ++c)
+    for (std::size_t k = 0; k < n; ++k)
+      EXPECT_NEAR(std::abs(batch[c * n + k] - separate[c][k]), 0.0, 1e-10);
+}
+
+TEST(PlanCache, SecondRequestIsASharedHit) {
+  auto& cache = PlanCache::global();
+  cache.clear();
+  const std::uint64_t h0 = cache.hits(), m0 = cache.misses();
+  const auto a = cache.get(97);
+  const auto b = cache.get(97);
+  EXPECT_EQ(a.get(), b.get());  // one immutable plan, shared
+  EXPECT_EQ(cache.misses(), m0 + 1);
+  EXPECT_GE(cache.hits(), h0 + 1);
+}
+
+TEST(PlanCache, ConcurrentGetsYieldOnePlanPerLength) {
+  // Hammer the cache from many threads over a few lengths: every caller
+  // must receive a working plan and all callers of one length must agree
+  // on the same instance once the cache settles. Run under
+  // RFIC_SANITIZE=thread this validates the lock discipline.
+  auto& cache = PlanCache::global();
+  cache.clear();
+  constexpr std::size_t kThreads = 8, kLengths = 4;
+  const std::size_t lengths[kLengths] = {33, 64, 101, 128};
+  std::vector<std::shared_ptr<const Plan>> got(kThreads * kLengths);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (std::size_t j = 0; j < kLengths; ++j)
+        got[t * kLengths + j] = cache.get(lengths[(t + j) % kLengths]);
+    });
+  for (auto& th : threads) th.join();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NE(got[i], nullptr);
+    EXPECT_GT(got[i]->size(), 0u);
+  }
+  // After the race settles, the cache serves one canonical plan per length.
+  for (const std::size_t n : lengths) {
+    const auto canonical = cache.get(n);
+    EXPECT_EQ(cache.get(n).get(), canonical.get());
+    EXPECT_EQ(canonical->size(), n);
+  }
 }
 
 TEST(FFTUtil, PowerOfTwoHelpers) {

@@ -11,8 +11,10 @@
 #include "circuit/devices.hpp"
 #include "circuit/semiconductors.hpp"
 #include "circuit/sources.hpp"
+#include "fft/plan.hpp"
 #include "hb/harmonic_balance.hpp"
 #include "hb/spectrum.hpp"
+#include "perf/perf.hpp"
 
 namespace rfic::hb {
 namespace {
@@ -205,6 +207,41 @@ TEST(HB, SquareWaveFourierContent) {
   EXPECT_NEAR(lineAmplitude(sol, u, 5) / a1, 1.0 / 5.0, 0.03);
   EXPECT_LT(lineAmplitude(sol, u, 2), 1e-6);
   EXPECT_LT(lineAmplitude(sol, u, 4), 1e-6);
+}
+
+TEST(HB, SteadyStateSolveIsAllocationFree) {
+  // The zero-allocation contract of the spectral hot path, checked by
+  // counters (ISSUE 4): the engine-owned workspace grows while the first
+  // solve warms up, then a second identical solve reuses every buffer
+  // (workspaceGrowth flat), replays the cached plans (no new PlanCache
+  // misses), and still does real spectral work (fftCount advances).
+  Circuit c;
+  const int a = c.node("a"), s2 = c.node("s2"), b = c.node("b");
+  const int br1 = c.allocBranch("V1"), br2 = c.allocBranch("V2");
+  c.add<VSource>("V1", a, -1, br1, std::make_shared<SineWave>(0.06, 1.0e6),
+                 TimeAxis::slow);
+  c.add<VSource>("V2", s2, a, br2, std::make_shared<SineWave>(0.06, 1.3e6),
+                 TimeAxis::fast);
+  c.add<Resistor>("Rs", s2, b, 1000.0);
+  c.add<CubicConductance>("GN", b, -1, 1e-3, 1e-2);
+  MnaSystem sys(c);
+  const auto dc = dcOperatingPoint(sys);
+  HarmonicBalance eng(sys, {{1.0e6, 4}, {1.3e6, 4}});
+
+  const auto warm = eng.solve(dc.x);
+  ASSERT_TRUE(warm.converged);
+  const std::uint64_t growsAfterWarmup = eng.workspaceGrowth();
+  EXPECT_GT(growsAfterWarmup, 0u);  // the first solve did size the buffers
+
+  const auto missesBefore = fft::PlanCache::global().misses();
+  const auto fftsBefore = perf::global().snapshot().fftCount;
+  const auto again = eng.solve(dc.x);
+  ASSERT_TRUE(again.converged);
+  EXPECT_EQ(eng.workspaceGrowth(), growsAfterWarmup);
+  EXPECT_EQ(fft::PlanCache::global().misses(), missesBefore);
+  EXPECT_GT(perf::global().snapshot().fftCount, fftsBefore);
+  // And the per-solution counters saw the spectral work too.
+  EXPECT_GT(again.perf.fftCount, 0u);
 }
 
 TEST(Spectrum, DbcReferencesStrongestLine) {

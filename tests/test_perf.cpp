@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -97,6 +98,39 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   EXPECT_EQ(total.load(), 20u);
 }
 
+TEST(ThreadPool, TripCountAtOrBelowGrainRunsInline) {
+  // n <= grain is the dispatch-free fast path: every index runs on the
+  // calling thread, in order, with no worker wake-up.
+  ThreadPool pool(3);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallelFor(
+      16,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);  // safe: single-threaded by construction
+      },
+      /*grain=*/16);
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, CoarseGrainStillCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallelFor(
+      n,
+      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*grain=*/64);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SetGlobalThreadsRejectsLateOverride) {
+  ThreadPool::global();  // force creation
+  EXPECT_THROW(ThreadPool::setGlobalThreads(4), InvalidArgument);
+}
+
 TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
   ThreadPool pool(3);
   std::atomic<int> ran{0};
@@ -132,11 +166,16 @@ TEST(PerfFormat, MentionsEveryStage) {
   s.refactorizations = 11;
   s.solves = 12;
   s.evalNs = 1'000'000;
+  s.fftCount = 7;
+  s.planCacheHits = 5;
+  s.planCacheMisses = 2;
   const std::string r = format(s);
   EXPECT_NE(r.find("eval"), std::string::npos);
   EXPECT_NE(r.find("factor"), std::string::npos);
   EXPECT_NE(r.find("refactor"), std::string::npos);
   EXPECT_NE(r.find("solve"), std::string::npos);
+  EXPECT_NE(r.find("fft"), std::string::npos);
+  EXPECT_NE(r.find("plan cache"), std::string::npos);
   EXPECT_NE(r.find("12"), std::string::npos);
 }
 
