@@ -14,6 +14,7 @@
 #include "extraction/ies3.hpp"
 #include "extraction/mom.hpp"
 #include "numeric/qr.hpp"
+#include "perf/thread_pool.hpp"
 
 using namespace rfic;
 using namespace rfic::bench;
@@ -38,8 +39,10 @@ Real fitExponent(const std::vector<Real>& n, const std::vector<Real>& y) {
 int main() {
   header("Fig. 6 — IES3 electromagnetic-solver scaling");
   JsonReporter rep("fig6_ies3_scaling");
-  std::printf("%-8s %-12s %-12s %-12s %-12s %-12s %-8s\n", "panels",
-              "dense MB", "ies3 MB", "compr %", "dense s", "ies3 s", "gmres");
+  perf::global().reset();
+  std::printf("%-8s %-10s %-10s %-9s %-10s %-9s %-9s %-9s %-7s\n", "panels",
+              "dense MB", "ies3 MB", "compr %", "dense s", "build s",
+              "solve s", "total s", "gmres");
   rule();
 
   std::vector<Real> ns, iesMem, iesTime, denseTime;
@@ -64,32 +67,49 @@ int main() {
     const auto comp = extractCapacitanceIES3(mesh, opts);
     const Real iesSeconds = sw.seconds();
     const Real iesMB = 8.0 * comp.storedEntries / 1e6;
+    const Real buildSeconds = comp.buildStats.buildNs * 1e-9;
+    const Real solveSeconds = comp.solveNs * 1e-9;
 
     ns.push_back(static_cast<Real>(n));
     iesMem.push_back(iesMB);
     iesTime.push_back(iesSeconds);
     if (denseSeconds > 0) denseTime.push_back(denseSeconds);
 
-    std::printf("%-8zu %-12.2f %-12.2f %-12.1f ", n, denseMB, iesMB,
+    std::printf("%-8zu %-10.2f %-10.2f %-9.1f ", n, denseMB, iesMB,
                 100.0 * comp.storedEntries / (static_cast<Real>(n) * n));
     if (denseSeconds > 0)
-      std::printf("%-12.2f ", denseSeconds);
+      std::printf("%-10.2f ", denseSeconds);
     else
-      std::printf("%-12s ", "(skipped)");
-    std::printf("%-12.2f %-8zu", iesSeconds, comp.gmresIterations);
+      std::printf("%-10s ", "(skipped)");
+    std::printf("%-9.2f %-9.2f %-9.2f %-7zu", buildSeconds, solveSeconds,
+                iesSeconds, comp.gmresIterations);
     if (denseSeconds > 0) {
       const Real err = std::abs(comp.matrix(0, 1) - c01Dense) /
                        std::abs(c01Dense);
       std::printf("  relerr=%.1e", err);
     }
     std::printf("\n");
+
+    // Per-sweep JSON: last-write-wins keeps the largest point on record.
+    rep.metric("ies3_build_s", buildSeconds);
+    rep.metric("ies3_solve_s", solveSeconds);
+    rep.metric("ies3_total_s", iesSeconds);
+    rep.count("gmres_iterations", comp.gmresIterations);
+    rep.count("matvecs", static_cast<std::size_t>(comp.matvecs));
+    rep.metric("compression_ratio", comp.buildStats.compressionRatio);
+    rep.count("rank_max", comp.buildStats.rankMax);
+    rep.metric("rank_mean", comp.buildStats.rankMean);
+    rep.count("low_rank_blocks", comp.buildStats.lowRankBlockCount);
+    rep.count("dense_blocks", comp.buildStats.denseBlockCount);
   }
   rule();
   const Real memExp = fitExponent(ns, iesMem);
   const Real timeExp = fitExponent(ns, iesTime);
   rep.count("max_panels", static_cast<std::size_t>(ns.back()));
+  rep.count("threads", perf::ThreadPool::global().concurrency());
   rep.metric("ies3_memory_exponent", memExp);
   rep.metric("ies3_time_exponent", timeExp);
+  rep.counters("perf", perf::global().snapshot());
   std::printf("fitted IES3 memory exponent: n^%.2f  (dense: n^2)\n", memExp);
   std::printf("fitted IES3 time exponent:   n^%.2f  (dense LU: n^3)\n",
               timeExp);

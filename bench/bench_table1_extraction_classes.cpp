@@ -30,26 +30,32 @@ int main() {
   rule();
 
   // Sweep resolution; report the largest case in the table body.
-  std::printf("%-6s %-10s %-10s %-12s %-10s %-10s %-12s %-10s\n", "res",
+  std::printf("%-6s %-10s %-10s %-12s %-10s %-10s %-12s %-10s %-10s\n", "res",
               "FD unk", "FD nnz", "FD C (fF)", "FD CG its", "MoM unk",
-              "MoM C (fF)", "MoM cond");
+              "MoM C (fF)", "MoM cond", "MoM s");
   rule();
   for (const std::size_t res : {16u, 24u, 32u}) {
+    Stopwatch fdSw;
     const auto fd = solveParallelPlatesFD(side, gap, res);
+    const Real fdSeconds = fdSw.seconds();
     const std::size_t momN = res / 2;
     const auto mesh = makeParallelPlates(side, gap, momN);
+    Stopwatch momSw;
     const auto mom = extractCapacitanceDense(mesh);
+    const Real momSeconds = momSw.seconds();
     const Real momCond = symmetricConditionEstimate(assembleMoMMatrix(mesh));
-    std::printf("%-6zu %-10zu %-10zu %-12.3f %-10zu %-10zu %-12.3f %-10.1f\n",
-                res, fd.unknowns, fd.nnz, fd.capacitance * 1e15,
-                fd.cgIterations, mesh.panels.size(),
-                -mom.matrix(0, 1) * 1e15, momCond);
+    std::printf(
+        "%-6zu %-10zu %-10zu %-12.3f %-10zu %-10zu %-12.3f %-10.1f %-10.3f\n",
+        res, fd.unknowns, fd.nnz, fd.capacitance * 1e15, fd.cgIterations,
+        mesh.panels.size(), -mom.matrix(0, 1) * 1e15, momCond, momSeconds);
     // Finest resolution wins (JsonReporter keys overwrite).
     rep.count("fd_unknowns", fd.unknowns);
     rep.count("fd_cg_iterations", fd.cgIterations);
     rep.metric("fd_c_fF", fd.capacitance * 1e15);
+    rep.metric("fd_solve_s", fdSeconds);
     rep.metric("mom_c_fF", -mom.matrix(0, 1) * 1e15);
     rep.metric("mom_condition", momCond);
+    rep.metric("mom_extract_s", momSeconds);
   }
   rule();
   std::printf("\nTable 1 rows, measured:\n");

@@ -86,11 +86,18 @@ class JsonReporter {
     count(prefix + ".fft_count", s.fftCount);
     count(prefix + ".plan_cache_hits", s.planCacheHits);
     count(prefix + ".plan_cache_misses", s.planCacheMisses);
+    count(prefix + ".matvecs", s.matvecs);
+    count(prefix + ".extract_builds", s.extractBuilds);
     count(prefix + ".eval_ns", static_cast<std::size_t>(s.evalNs));
     count(prefix + ".factor_ns", static_cast<std::size_t>(s.factorNs));
     count(prefix + ".refactor_ns", static_cast<std::size_t>(s.refactorNs));
     count(prefix + ".solve_ns", static_cast<std::size_t>(s.solveNs));
     count(prefix + ".fft_ns", static_cast<std::size_t>(s.fftNs));
+    count(prefix + ".matvec_ns", static_cast<std::size_t>(s.matvecNs));
+    count(prefix + ".extract_build_ns",
+          static_cast<std::size_t>(s.extractBuildNs));
+    count(prefix + ".extract_compress_ns",
+          static_cast<std::size_t>(s.extractCompressNs));
   }
 
   void write() {

@@ -2,9 +2,11 @@
 
 #include <array>
 #include <cmath>
+#include <numeric>
 
 #include "extraction/panel_kernel.hpp"
 #include "numeric/lu.hpp"
+#include "perf/perf.hpp"
 #include "perf/thread_pool.hpp"
 #include "sparse/krylov.hpp"
 #include "sparse/sparse_matrix.hpp"
@@ -14,12 +16,19 @@ namespace rfic::extraction {
 RMat assembleMoMMatrix(const PanelMesh& mesh) {
   const std::size_t n = mesh.panels.size();
   RMat p(n, n);
-  // Panel-pair potentials are independent; fill one source-panel column per
-  // pool task (disjoint writes, no synchronization needed).
-  perf::ThreadPool::global().parallelFor(n, [&](std::size_t j) {
-    const Panel& src = mesh.panels[j];
-    for (std::size_t i = 0; i < n; ++i)
-      p(i, j) = panelPotential(src, mesh.panels[i].centroid());
+  // Batched fill through the cached-frame kernel: one task per target row,
+  // written contiguously via rowPtr (disjoint writes, no synchronization).
+  const PanelPotentialKernel kernel(mesh);
+  std::vector<std::size_t> cols(n);
+  std::iota(cols.begin(), cols.end(), std::size_t{0});
+  struct Ctx {
+    const PanelPotentialKernel* kernel;
+    const std::size_t* cols;
+    std::size_t n;
+    RMat* p;
+  } ctx{&kernel, cols.data(), n, &p};
+  perf::ThreadPool::global().parallelFor(n, [&ctx](std::size_t i) {
+    ctx.kernel->row(i, ctx.cols, ctx.n, ctx.p->rowPtr(i));
   });
   return p;
 }
@@ -33,16 +42,23 @@ CapacitanceResult extractCapacitanceDense(const PanelMesh& mesh) {
   out.panelCount = n;
   out.matrix = RMat(nc, nc);
 
+  perf::Timer factorTimer;
   const numeric::LU<Real> lu(assembleMoMMatrix(mesh));
-  RVec v(n);
-  for (std::size_t k = 0; k < nc; ++k) {
-    for (std::size_t i = 0; i < n; ++i)
-      v[i] = (mesh.panels[i].conductor == static_cast<int>(k)) ? 1.0 : 0.0;
-    const RVec q = lu.solve(v);
-    for (std::size_t i = 0; i < n; ++i)
-      out.matrix(static_cast<std::size_t>(mesh.panels[i].conductor), k) +=
-          q[i];
-    if (k == nc - 1) out.charges = q;
+  perf::global().addFactorization(factorTimer.ns());
+
+  // All nc unit-voltage excitations against the one factorization.
+  RMat v(n, nc);
+  for (std::size_t i = 0; i < n; ++i)
+    v(i, static_cast<std::size_t>(mesh.panels[i].conductor)) = 1.0;
+  perf::Timer solveTimer;
+  const RMat q = lu.solve(v);
+  perf::global().addSolve(solveTimer.ns());
+
+  out.charges = RVec(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.charges[i] = q(i, 0);
+    const auto ci = static_cast<std::size_t>(mesh.panels[i].conductor);
+    for (std::size_t k = 0; k < nc; ++k) out.matrix(ci, k) += q(i, k);
   }
   return out;
 }

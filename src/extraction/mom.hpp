@@ -17,12 +17,16 @@ RMat assembleMoMMatrix(const PanelMesh& mesh);
 
 struct CapacitanceResult {
   RMat matrix;      ///< Maxwell capacitance matrix [F], numConductors²
-  RVec charges;     ///< panel charges of the last solve
+  /// Panel charge distribution with conductor 0 at 1 V, all others
+  /// grounded (the first excitation column).
+  RVec charges;
   std::size_t panelCount = 0;
 };
 
 /// Capacitance matrix by dense LU: column k = charges with conductor k at
-/// 1 V, all others grounded.
+/// 1 V, all others grounded. The matrix is factored once and all
+/// numConductors excitation columns are solved against that single
+/// factorization.
 CapacitanceResult extractCapacitanceDense(const PanelMesh& mesh);
 
 /// Parallel-plate analytic estimate ε₀·A/d (no fringe) for sanity checks.

@@ -42,10 +42,8 @@ LU<T>::LU(Mat<T> a) : lu_(std::move(a)) {
 }
 
 template <class T>
-Vec<T> LU<T>::solve(const Vec<T>& b) const {
+void LU<T>::solveInPlace(T* x) const {
   const std::size_t n = size();
-  RFIC_REQUIRE(b.size() == n, "LU::solve size mismatch");
-  Vec<T> x = b;
   for (std::size_t k = 0; k < n; ++k) {
     const auto p = static_cast<std::size_t>(piv_[k]);
     if (p != k) std::swap(x[k], x[p]);
@@ -62,6 +60,13 @@ Vec<T> LU<T>::solve(const Vec<T>& b) const {
     for (std::size_t j = k + 1; j < n; ++j) s -= row[j] * x[j];
     x[k] = s / row[k];
   }
+}
+
+template <class T>
+Vec<T> LU<T>::solve(const Vec<T>& b) const {
+  RFIC_REQUIRE(b.size() == size(), "LU::solve size mismatch");
+  Vec<T> x = b;
+  solveInPlace(x.data());
   return x;
 }
 
@@ -95,8 +100,8 @@ Mat<T> LU<T>::solve(const Mat<T>& b) const {
   Vec<T> col(b.rows());
   for (std::size_t j = 0; j < b.cols(); ++j) {
     for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
-    const Vec<T> sol = solve(col);
-    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+    solveInPlace(col.data());
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = col[i];
   }
   return x;
 }

@@ -23,9 +23,12 @@ class LU {
 
   /// Solve A x = b.
   Vec<T> solve(const Vec<T>& b) const;
+  /// Solve A x = b overwriting x (length size()) — no allocations, the
+  /// hot path for preconditioner segment solves.
+  void solveInPlace(T* x) const;
   /// Solve Aᵀ x = b (plain transpose, no conjugation).
   Vec<T> solveTransposed(const Vec<T>& b) const;
-  /// Solve A X = B column-by-column.
+  /// Solve A X = B, all columns against the one factorization.
   Mat<T> solve(const Mat<T>& b) const;
 
   /// Determinant (product of pivots with sign of the permutation).

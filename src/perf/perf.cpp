@@ -10,7 +10,7 @@ Counters& global() {
 }
 
 std::string format(const Snapshot& s) {
-  char buf[768];
+  char buf[1024];
   const auto ms = [](std::uint64_t ns) {
     return static_cast<double>(ns) * 1e-6;
   };
@@ -21,6 +21,8 @@ std::string format(const Snapshot& s) {
                 "solves           %10llu  (%10.3f ms)\n"
                 "ffts             %10llu  (%10.3f ms)\n"
                 "plan cache       %10llu hits / %llu misses\n"
+                "matvecs          %10llu  (%10.3f ms)\n"
+                "extract builds   %10llu  (%10.3f ms, %10.3f ms compress)\n"
                 "retries          %10llu\n"
                 "fallbacks        %10llu\n",
                 static_cast<unsigned long long>(s.evals), ms(s.evalNs),
@@ -32,6 +34,9 @@ std::string format(const Snapshot& s) {
                 static_cast<unsigned long long>(s.fftCount), ms(s.fftNs),
                 static_cast<unsigned long long>(s.planCacheHits),
                 static_cast<unsigned long long>(s.planCacheMisses),
+                static_cast<unsigned long long>(s.matvecs), ms(s.matvecNs),
+                static_cast<unsigned long long>(s.extractBuilds),
+                ms(s.extractBuildNs), ms(s.extractCompressNs),
                 static_cast<unsigned long long>(s.retries),
                 static_cast<unsigned long long>(s.fallbacks));
   return buf;

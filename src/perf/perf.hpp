@@ -35,11 +35,16 @@ struct Snapshot {
   std::uint64_t fftCount = 0;          ///< 1-D transforms executed (planned)
   std::uint64_t planCacheHits = 0;     ///< fft::PlanCache lookups served
   std::uint64_t planCacheMisses = 0;   ///< fft::PlanCache plan builds
+  std::uint64_t matvecs = 0;           ///< compressed-operator applications
+  std::uint64_t extractBuilds = 0;     ///< IES³ matrix constructions
   std::uint64_t evalNs = 0;
   std::uint64_t factorNs = 0;
   std::uint64_t refactorNs = 0;
   std::uint64_t solveNs = 0;
   std::uint64_t fftNs = 0;             ///< wall time inside batched transforms
+  std::uint64_t matvecNs = 0;          ///< wall time inside apply() calls
+  std::uint64_t extractBuildNs = 0;    ///< wall time in IES³ build (tree+fill)
+  std::uint64_t extractCompressNs = 0; ///< ACA+SVD time, summed over threads
 
   Snapshot& operator+=(const Snapshot& o) {
     evals += o.evals;
@@ -51,11 +56,16 @@ struct Snapshot {
     fftCount += o.fftCount;
     planCacheHits += o.planCacheHits;
     planCacheMisses += o.planCacheMisses;
+    matvecs += o.matvecs;
+    extractBuilds += o.extractBuilds;
     evalNs += o.evalNs;
     factorNs += o.factorNs;
     refactorNs += o.refactorNs;
     solveNs += o.solveNs;
     fftNs += o.fftNs;
+    matvecNs += o.matvecNs;
+    extractBuildNs += o.extractBuildNs;
+    extractCompressNs += o.extractCompressNs;
     return *this;
   }
 };
@@ -80,6 +90,16 @@ class Counters {
   void addPlanCacheMiss() {
     planMisses_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// One compressed-operator matvec (IES³ apply).
+  void addMatvec(std::uint64_t ns) { bump(matvecs_, matvecNs_, ns); }
+  /// One IES³ matrix construction (tree + plan + parallel block fill).
+  void addExtractionBuild(std::uint64_t ns) {
+    bump(extractBuilds_, extractBuildNs_, ns);
+  }
+  /// ACA+SVD compression time for one build, summed across worker threads.
+  void addExtractionCompress(std::uint64_t ns) {
+    extractCompressNs_.fetch_add(ns, std::memory_order_relaxed);
+  }
 
   Snapshot snapshot() const {
     Snapshot s;
@@ -92,18 +112,25 @@ class Counters {
     s.fftCount = ffts_.load(std::memory_order_relaxed);
     s.planCacheHits = planHits_.load(std::memory_order_relaxed);
     s.planCacheMisses = planMisses_.load(std::memory_order_relaxed);
+    s.matvecs = matvecs_.load(std::memory_order_relaxed);
+    s.extractBuilds = extractBuilds_.load(std::memory_order_relaxed);
     s.evalNs = evalNs_.load(std::memory_order_relaxed);
     s.factorNs = factorNs_.load(std::memory_order_relaxed);
     s.refactorNs = refactorNs_.load(std::memory_order_relaxed);
     s.solveNs = solveNs_.load(std::memory_order_relaxed);
     s.fftNs = fftNs_.load(std::memory_order_relaxed);
+    s.matvecNs = matvecNs_.load(std::memory_order_relaxed);
+    s.extractBuildNs = extractBuildNs_.load(std::memory_order_relaxed);
+    s.extractCompressNs = extractCompressNs_.load(std::memory_order_relaxed);
     return s;
   }
 
   void reset() {
     for (auto* a : {&evals_, &factor_, &refactor_, &solves_, &retries_,
-                    &fallbacks_, &ffts_, &planHits_, &planMisses_, &evalNs_,
-                    &factorNs_, &refactorNs_, &solveNs_, &fftNs_})
+                    &fallbacks_, &ffts_, &planHits_, &planMisses_, &matvecs_,
+                    &extractBuilds_, &evalNs_, &factorNs_, &refactorNs_,
+                    &solveNs_, &fftNs_, &matvecNs_, &extractBuildNs_,
+                    &extractCompressNs_})
       a->store(0, std::memory_order_relaxed);
   }
 
@@ -117,8 +144,10 @@ class Counters {
   std::atomic<std::uint64_t> evals_{0}, factor_{0}, refactor_{0}, solves_{0};
   std::atomic<std::uint64_t> retries_{0}, fallbacks_{0};
   std::atomic<std::uint64_t> ffts_{0}, planHits_{0}, planMisses_{0};
+  std::atomic<std::uint64_t> matvecs_{0}, extractBuilds_{0};
   std::atomic<std::uint64_t> evalNs_{0}, factorNs_{0}, refactorNs_{0},
-      solveNs_{0}, fftNs_{0};
+      solveNs_{0}, fftNs_{0}, matvecNs_{0}, extractBuildNs_{0},
+      extractCompressNs_{0};
 };
 
 /// Process-wide counters: every MnaWorkspace contributes here in addition

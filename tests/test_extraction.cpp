@@ -11,6 +11,7 @@
 #include "extraction/panel_kernel.hpp"
 #include "extraction/peec.hpp"
 #include "extraction/spiral.hpp"
+#include "perf/thread_pool.hpp"
 
 namespace rfic::extraction {
 namespace {
@@ -166,6 +167,139 @@ TEST(IES3, CompressionImprovesWithSize) {
       (static_cast<Real>(cl.panelCount) * static_cast<Real>(cl.panelCount));
   EXPECT_LT(fracLarge, fracSmall);
   EXPECT_LT(fracLarge, 0.75);
+}
+
+TEST(IES3, ApplyMatchesDenseAcrossKnobSweep) {
+  // The engine must agree with the dense operator for every combination of
+  // tree / compression knobs — shallow and deep trees, tight and loose
+  // admissibility, rank-starved and rank-rich ACA.
+  const auto mesh = makeBusCrossing(4, 1.0, 3.0, 12.0, 1.0, 12);
+  const std::size_t n = mesh.panels.size();
+  const PanelPotentialKernel kernel(mesh);
+  std::vector<Vec3> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[i] = kernel.centroid(i);
+  const numeric::RMat d = assembleMoMMatrix(mesh);
+  numeric::RVec x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::cos(0.3 * static_cast<Real>(i));
+  const numeric::RVec yRef = d * x;
+  const Real scale = numeric::normInf(yRef);
+
+  for (const Real eta : {1.0, 2.0, 4.0}) {
+    for (const std::size_t leafSize : {std::size_t{8}, std::size_t{24}}) {
+      for (const std::size_t maxRank : {std::size_t{4}, std::size_t{80}}) {
+        IES3Options opts;
+        opts.eta = eta;
+        opts.leafSize = leafSize;
+        opts.maxRank = maxRank;
+        opts.tolerance = 1e-6;
+        const IES3Matrix a(pos, kernel, opts);
+        numeric::RVec y(n);
+        a.apply(x, y);
+        // A hard rank cap leaves truncation error (worst with loose
+        // admissibility, where near-touching clusters compress); the ACA
+        // tolerance bounds the uncapped cases tightly.
+        const Real tol = (maxRank < 80 ? 5e-2 : 1e-4) * scale;
+        for (std::size_t i = 0; i < n; ++i)
+          ASSERT_NEAR(y[i], yRef[i], tol)
+              << "eta=" << eta << " leaf=" << leafSize << " rank=" << maxRank;
+      }
+    }
+  }
+}
+
+TEST(IES3, CoincidentCentroidsFallBackToDense) {
+  // Degenerate geometry: every point at the origin. No cluster pair is
+  // ever admissible (dist == 0), so the engine must store the full dense
+  // matrix and still reproduce it exactly.
+  const std::size_t n = 37;
+  std::vector<Vec3> pos(n, Vec3{0, 0, 0});
+  auto entry = [](std::size_t i, std::size_t j) {
+    return 1.0 / (1.0 + std::abs(static_cast<double>(i) -
+                                 static_cast<double>(j)));
+  };
+  IES3Options opts;
+  opts.leafSize = 8;
+  const IES3Matrix a(pos, FunctionKernel(entry), opts);
+  EXPECT_EQ(a.storedEntries(), n * n);
+  EXPECT_EQ(a.lowRankBlockCount(), 0u);
+  numeric::RVec x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(1.1 * static_cast<Real>(i));
+  a.apply(x, y);
+  for (std::size_t i = 0; i < n; ++i) {
+    Real ref = 0;
+    for (std::size_t j = 0; j < n; ++j) ref += entry(i, j) * x[j];
+    EXPECT_NEAR(y[i], ref, 1e-12);
+  }
+}
+
+TEST(IES3, ExtractionBitwiseIdenticalAcrossThreadCounts) {
+  // The contract: block build, matvec accumulation, and the multi-RHS
+  // sweep are all scheduled so the arithmetic is identical whatever the
+  // pool size. 1-thread vs 4-thread extraction must agree to the bit.
+  const auto mesh = makeBusCrossing(4, 1.0, 3.0, 12.0, 1.0, 10);
+  perf::ThreadPool p1(1), p4(4);
+  IES3Options o1;
+  o1.pool = &p1;
+  IES3Options o4;
+  o4.pool = &p4;
+  const auto r1 = extractCapacitanceIES3(mesh, o1);
+  const auto r4 = extractCapacitanceIES3(mesh, o4);
+  EXPECT_EQ(r1.storedEntries, r4.storedEntries);
+  EXPECT_EQ(r1.gmresIterations, r4.gmresIterations);
+  for (std::size_t i = 0; i < r1.matrix.rows(); ++i)
+    for (std::size_t j = 0; j < r1.matrix.cols(); ++j)
+      EXPECT_EQ(r1.matrix(i, j), r4.matrix(i, j)) << i << "," << j;
+}
+
+TEST(IES3, SteadyStateApplyIsAllocationFree) {
+  // Workspace-growth contract (same discipline as the HB hot loop): the
+  // first apply() may allocate its workspace; repeats must recycle it.
+  const auto mesh = makeResonatorAssembly(3);
+  const PanelPotentialKernel kernel(mesh);
+  std::vector<Vec3> pos(kernel.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) pos[i] = kernel.centroid(i);
+  const IES3Matrix a(pos, kernel);
+  numeric::RVec x(a.dim(), 1.0), y(a.dim());
+  a.apply(x, y);  // warm-up: pool acquires + sizes the workspace
+  const std::uint64_t warm = a.workspaceGrowth();
+  EXPECT_GE(warm, 1u);
+  for (int rep = 0; rep < 10; ++rep) a.apply(x, y);
+  EXPECT_EQ(a.workspaceGrowth(), warm);
+  EXPECT_GE(a.matvecCount(), 11u);
+}
+
+TEST(IES3, BlockJacobiOutlivesMatrix) {
+  // The preconditioner copies everything it needs; using it after the
+  // matrix is gone must be safe (regression: it used to hold a reference
+  // to the matrix's permutation vector).
+  const auto mesh = makeBusCrossing(4, 1.0, 3.0, 12.0, 1.0, 8);
+  const PanelPotentialKernel kernel(mesh);
+  std::vector<Vec3> pos(kernel.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) pos[i] = kernel.centroid(i);
+  numeric::RVec x(kernel.size(), 1.0), y1, y2;
+  std::unique_ptr<sparse::LinearOperator<Real>> prec;
+  {
+    const IES3Matrix a(pos, kernel);
+    prec = a.makeBlockJacobi();
+    prec->apply(x, y1);
+  }  // matrix destroyed
+  prec->apply(x, y2);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(MoM, DenseChargesBelongToConductorZero) {
+  // charges = the conductor-0 excitation column, so summing it over
+  // conductor-0 panels reproduces the Maxwell diagonal C(0,0).
+  const auto mesh = makeParallelPlates(1e-3, 1e-4, 6);
+  const auto cap = extractCapacitanceDense(mesh);
+  ASSERT_EQ(cap.charges.size(), mesh.panels.size());
+  Real sum0 = 0;
+  for (std::size_t i = 0; i < mesh.panels.size(); ++i)
+    if (mesh.panels[i].conductor == 0) sum0 += cap.charges[i];
+  EXPECT_NEAR(sum0, cap.matrix(0, 0), 1e-12 * std::abs(cap.matrix(0, 0)));
 }
 
 TEST(FDLaplace, AgreesWithMoMParallelPlates) {
