@@ -35,7 +35,8 @@ void assembleResidual(IntegrationMethod method, Real h, bool haveGearHist,
                       const RVec& q0, const RVec& f0, const RVec& b0,
                       const RVec& qPrev, RVec& r, Real& jacQ, Real& jacG) {
   const std::size_t n = q1.size();
-  r.resize(n);
+  r.resize(n);  // rt: allow(rt-alloc) grow-once caller scratch — a no-op on
+                // every iteration after the first
   switch (method) {
     case IntegrationMethod::backwardEuler:
       for (std::size_t i = 0; i < n; ++i)
@@ -184,10 +185,15 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
   return true;
 }
 
-bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
-                   Real t0, Real h, const RVec& x0, const RVec* xPrevStep,
-                   RVec& x1, numeric::RMat* sensitivity, std::size_t maxNewton,
-                   Real tol, std::size_t* newtonIters) {
+// The transient inner step: one Gear-2/trapezoidal Newton solve. Marked
+// real-time for the per-iteration body — the per-step history snapshots
+// before the loop are the audited exceptions below.
+RFIC_REALTIME bool integrateStep(circuit::MnaWorkspace& ws,
+                                 IntegrationMethod method, Real t0, Real h,
+                                 const RVec& x0, const RVec* xPrevStep,
+                                 RVec& x1, numeric::RMat* sensitivity,
+                                 std::size_t maxNewton, Real tol,
+                                 std::size_t* newtonIters) {
   const std::size_t n = ws.dim();
   const Real t1 = t0 + h;
   const bool wantSens = sensitivity != nullptr;
@@ -196,12 +202,16 @@ bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
   // evaluation, so history vectors (and, for the sensitivity path, the C0/
   // G0 value arrays) are copied out.
   ws.eval(x0, t0, wantSens);
+  // rt: allow(rt-alloc) per-step history snapshot (once per step, outside
+  // the Newton iteration; the workspace eval buffers are overwritten every
+  // iteration so the t0 values must be copied out)
   RVec q0 = ws.q(), f0 = ws.f(), b0 = ws.b();
   std::vector<Real> c0Vals, g0Vals;
   std::size_t c0Version = 0;
   if (wantSens) {
-    c0Vals = ws.cValues();
-    g0Vals = ws.gValues();
+    c0Vals = ws.cValues();  // rt: allow(rt-alloc) sensitivity-path snapshot,
+                            // once per step
+    g0Vals = ws.gValues();  // rt: allow(rt-alloc) sensitivity-path snapshot
     c0Version = ws.patternVersion();
   }
   RVec qPrev;
@@ -215,8 +225,9 @@ bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
   }
 
   x1 = x0;
-  RVec xIter = x0;
-  RVec r;
+  RVec xIter = x0;  // rt: allow(rt-alloc) per-step iterate snapshot
+  RVec r;           // grows once in assembleResidual, then reused
+  RVec dx;          // grows once in ws.solve(r, dx), then reused
   bool converged = false;
   bool confirmPending = false;
   Real confirmRnorm = 0;
@@ -243,9 +254,10 @@ bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
               diag::FaultPoint::SingularJacobian))
         failNumerical("integrateStep: injected singular Jacobian");
       // First call factors symbolically; later iterations (and steps)
-      // replay the recorded elimination on the new values.
+      // replay the recorded elimination on the new values, and the solve
+      // writes into loop-scoped scratch — no per-iteration allocation.
       ws.factorJacobian(jacQ, jacG);
-      const RVec dx = ws.solve(r);
+      ws.solve(r, dx);
       xIter = x1;
       x1 -= dx;
       if (numeric::norm2(dx) < tol * (1.0 + numeric::norm2(x1))) {
@@ -275,8 +287,10 @@ bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
     ws.factorJacobian(1.0, gw);
 
     const auto& pat = ws.pattern();
+    // rt: allow(rt-alloc) sensitivity epilogue: runs once per accepted step
+    // after Newton converged, never inside the iteration
     numeric::RMat out(n, sensitivity->cols());
-    RVec col(n), y(n), yg(n);
+    RVec col(n), y(n), yg(n), sol;  // rt: allow(rt-alloc) sensitivity epilogue
     for (std::size_t c = 0; c < sensitivity->cols(); ++c) {
       for (std::size_t i = 0; i < n; ++i) col[i] = (*sensitivity)(i, c);
       pat.multiplyWith(c0Vals, col, y);
@@ -284,7 +298,7 @@ bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
         pat.multiplyWith(g0Vals, col, yg);
         for (std::size_t i = 0; i < n; ++i) y[i] -= gw * yg[i];
       }
-      const RVec sol = ws.solve(y);
+      ws.solve(y, sol);
       for (std::size_t i = 0; i < n; ++i) out(i, c) = sol[i];
     }
     *sensitivity = std::move(out);

@@ -91,12 +91,14 @@ bool integrateStep(const MnaSystem& sys, IntegrationMethod method, Real t0,
 /// Pattern-cached variant: the workspace's sparsity pattern and LU pivot
 /// order persist across calls, so Newton iterations after the first pay
 /// only a numeric refactorization. Preferred inside stepping loops
-/// (runTransient, shooting) that take many steps on one circuit.
-bool integrateStep(circuit::MnaWorkspace& ws, IntegrationMethod method,
-                   Real t0, Real h, const RVec& x0, const RVec* xPrevStep,
-                   RVec& x1, numeric::RMat* sensitivity,
-                   std::size_t maxNewton = 50, Real tol = 1e-9,
-                   std::size_t* newtonIters = nullptr);
+/// (runTransient, shooting) that take many steps on one circuit. The
+/// Newton iteration body is allocation-free (real-time audited).
+RFIC_REALTIME bool integrateStep(circuit::MnaWorkspace& ws,
+                                 IntegrationMethod method, Real t0, Real h,
+                                 const RVec& x0, const RVec* xPrevStep,
+                                 RVec& x1, numeric::RMat* sensitivity,
+                                 std::size_t maxNewton = 50, Real tol = 1e-9,
+                                 std::size_t* newtonIters = nullptr);
 
 /// Additive white-noise transient (Euler–Maruyama on top of BE): at each
 /// step every device noise generator injects an independent Gaussian

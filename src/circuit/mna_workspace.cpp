@@ -82,9 +82,10 @@ void MnaWorkspace::evalBivariate(const RVec& x, Real t1, Real t2,
 
   if (!wantMatrices) {
     // Vector-only evaluation needs no pattern machinery.
-    f_.assign(n_, 0.0);
-    q_.assign(n_, 0.0);
-    b_.assign(n_, 0.0);
+    f_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite — the
+                         // buffers hold n_ entries after the first call
+    q_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
+    b_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
     Stamp s(f_, q_, b_, nullptr, nullptr, t1, t2);
     for (const auto& dev : sys_.circuit().devices()) dev->stamp(x, xPrev, s);
     const auto ns = timer.ns();
@@ -93,11 +94,13 @@ void MnaWorkspace::evalBivariate(const RVec& x, Real t1, Real t2,
     return;
   }
 
+  // rt: allow(rt-alloc) first-call pattern discovery — early-returns once
+  // the pattern exists, so steady-state iterations never enter it
   ensurePattern(x, t1, t2, xPrev);
   for (;;) {
-    f_.assign(n_, 0.0);
-    q_.assign(n_, 0.0);
-    b_.assign(n_, 0.0);
+    f_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
+    q_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
+    b_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
     std::fill(gVals_.begin(), gVals_.end(), 0.0);
     std::fill(cVals_.begin(), cVals_.end(), 0.0);
     gOv_.reset(n_, n_);
@@ -113,6 +116,9 @@ void MnaWorkspace::evalBivariate(const RVec& x, Real t1, Real t2,
     for (const auto& dev : sys_.circuit().devices()) dev->stamp(x, xPrev, s);
 
     if (gOv_.entries().empty() && cOv_.entries().empty()) break;
+    // rt: allow(rt-alloc) self-healing pattern growth — taken only when a
+    // device stamps a position outside the cached pattern (rare, and each
+    // growth is permanent, so the path is visited a bounded number of times)
     growPattern();
   }
   const auto ns = timer.ns();
@@ -125,7 +131,8 @@ diag::SolverStatus MnaWorkspace::factorJacobian(Real cCoeff, Real gCoeff,
   RFIC_REQUIRE(pattern_.rows() == n_,
                "MnaWorkspace::factorJacobian before matrix evaluation");
   const std::size_t nnz = pattern_.nnz();
-  jVals_.resize(nnz);
+  jVals_.resize(nnz);  // rt: allow(rt-alloc) grow-once — nnz only changes
+                       // when the pattern grows
   for (std::size_t p = 0; p < nnz; ++p)
     jVals_[p] = cCoeff * cVals_[p] + gCoeff * gVals_[p];
   if (gDiag != 0.0)  // lint: allow-float-eq (exact sentinel for "no shunt")
@@ -165,6 +172,14 @@ RVec MnaWorkspace::solve(const RVec& rhs) {
   counters_.addSolve(ns);
   perf::global().addSolve(ns);
   return x;
+}
+
+RFIC_REALTIME void MnaWorkspace::solve(const RVec& rhs, RVec& x) {
+  const perf::Timer timer;
+  lu_.solve(rhs, x, solveY_, solveZ_);
+  const auto ns = timer.ns();
+  counters_.addSolve(ns);
+  perf::global().addSolve(ns);
 }
 
 }  // namespace rfic::circuit

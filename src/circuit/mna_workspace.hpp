@@ -75,6 +75,12 @@ class MnaWorkspace {
   /// Solve with the most recent factorization.
   RVec solve(const RVec& rhs);
 
+  /// Allocation-free solve for hot loops (the transient Newton iteration):
+  /// writes into `x` through workspace-owned scratch. `x` grows to dim()
+  /// on first use and is reused untouched afterwards; `rhs` must not alias
+  /// it.
+  RFIC_REALTIME void solve(const RVec& rhs, RVec& x);
+
   /// This workspace's pipeline counters (also mirrored into perf::global()).
   perf::Snapshot counters() const { return counters_.snapshot(); }
 
@@ -107,6 +113,7 @@ class MnaWorkspace {
   std::vector<Real> jVals_;              ///< combined Jacobian values
   sparse::RSymbolicLU lu_;
   bool luPatternCurrent_ = false;        ///< lu_ analyzed this pattern
+  RVec solveY_, solveZ_;                 ///< solve(rhs, x) scratch, grow-once
 
   perf::Counters counters_;
 };

@@ -61,6 +61,8 @@ FaultInjector& FaultInjector::global() {
   static FaultInjector instance;
   static const bool envParsed = [] {
     if (const char* env = std::getenv("RFIC_INJECT_FAULT")) {
+      // rt: allow(rt-alloc) once-per-process env parsing inside the
+      // function-local static initializer; fire() itself is atomics-only
       const std::string specs(env);
       std::size_t start = 0;
       while (start <= specs.size()) {
@@ -91,11 +93,14 @@ void FaultInjector::arm(FaultPoint p, std::uint64_t count) {
 }
 
 void FaultInjector::arm(const std::string& spec) {
+  // rt: allow(rt-alloc) test-harness configuration path — arm() runs at
+  // setup time, never from the solver loops that call fire()
   std::string name = spec;
   std::uint64_t count = 1;
   if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
     name = spec.substr(0, colon);
-    const std::string num = spec.substr(colon + 1);
+    const std::string num = spec.substr(colon + 1);  // rt: allow(rt-alloc)
+                                                     // setup-time parsing
     char* end = nullptr;
     count = std::strtoull(num.c_str(), &end, 10);
     RFIC_REQUIRE(end != nullptr && *end == '\0' && !num.empty(),

@@ -1,0 +1,183 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis
+// capability macros, an annotated mutex family, and the RFIC_REALTIME
+// marker consumed by tools/realtime_lint.py.
+//
+// PRs 2-5 made the simulator heavily concurrent (shared perf::ThreadPool,
+// process-wide fft::PlanCache, parallel IES3 fill/solve) and promised
+// zero steady-state allocation in the hot loops. Until now those
+// invariants were enforced only at runtime — workspaceGrowth() counters
+// and TSan — which observe only the inputs a test happens to exercise.
+// This header makes them compile-time checkable:
+//
+//  * Capability macros (RFIC_GUARDED_BY, RFIC_REQUIRES, ...) wrap Clang's
+//    -Wthread-safety attributes. Under GCC (which has no such analysis)
+//    they expand to nothing, so the annotations cost nothing to carry and
+//    gcc-only containers build unchanged. The CI static-analysis job
+//    compiles with clang and -Wthread-safety -Wthread-safety-beta as
+//    errors, so an unguarded access to annotated state fails the build.
+//
+//  * diag::Mutex / diag::LockGuard / diag::UniqueLock are drop-in
+//    std::mutex wrappers carrying the capability attributes — the
+//    analysis only understands annotated lock types. UniqueLock exposes
+//    its std::unique_lock for condition_variable waits.
+//
+//  * diag::ExclusiveContext is the runtime tier for shared state that is
+//    protected by contract rather than by a lock (the HB engine's mutable
+//    workspace: "one engine instance must not run concurrent solve()
+//    calls"). Entering an already-entered context fails loudly in every
+//    build instead of corrupting the workspace silently.
+//
+//  * RFIC_REALTIME marks a function as a real-time/allocation-free hot
+//    path. tools/realtime_lint.py walks the call graph from every marked
+//    function and rejects reachable allocation, lock acquisition, throw
+//    statements, and I/O (suppressions need an inline justification:
+//    `// rt: allow(<rule>) <why>`). Under clang the marker also leaves an
+//    `annotate` attribute in the AST for future libclang-based tooling.
+//
+// Conventions (DESIGN.md §9): every std::mutex in the library is a
+// diag::Mutex; every field it protects carries RFIC_GUARDED_BY; private
+// helpers called under the lock carry RFIC_REQUIRES instead of
+// re-locking; public entry points that take the lock carry RFIC_EXCLUDES
+// so self-deadlock is a compile error.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "common.hpp"
+
+// ---------------------------------------------------------------- macros
+
+#if defined(__clang__)
+#define RFIC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define RFIC_THREAD_ANNOTATION(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define RFIC_CAPABILITY(x) RFIC_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires in its ctor / releases in its dtor.
+#define RFIC_SCOPED_CAPABILITY RFIC_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the given capability.
+#define RFIC_GUARDED_BY(x) RFIC_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose pointee is protected by the given capability.
+#define RFIC_PT_GUARDED_BY(x) RFIC_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not release it).
+#define RFIC_REQUIRES(...) \
+  RFIC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (held on exit).
+#define RFIC_ACQUIRE(...) RFIC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (not held on exit).
+#define RFIC_RELEASE(...) RFIC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define RFIC_TRY_ACQUIRE(...) \
+  RFIC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define RFIC_EXCLUDES(...) RFIC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Lock-ordering declarations for multi-mutex code.
+#define RFIC_ACQUIRED_BEFORE(...) \
+  RFIC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RFIC_ACQUIRED_AFTER(...) \
+  RFIC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Accessor returning a reference to the given capability.
+#define RFIC_RETURN_CAPABILITY(x) RFIC_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch; every use needs a comment saying why the analysis is wrong.
+#define RFIC_NO_THREAD_SAFETY_ANALYSIS \
+  RFIC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Marks a real-time hot path: no allocation, no locks, no throw, no I/O
+/// reachable from here (tools/realtime_lint.py enforces it as a ctest/CI
+/// gate; violations need `// rt: allow(<rule>) <justification>`).
+#if defined(__clang__)
+#define RFIC_REALTIME __attribute__((annotate("rfic::realtime")))
+#else
+#define RFIC_REALTIME
+#endif
+
+namespace rfic::diag {
+
+// ----------------------------------------------------- annotated mutexes
+
+/// std::mutex with the capability annotation the analysis needs. Same
+/// cost, same semantics; `native()` exists only for condition_variable
+/// plumbing through UniqueLock.
+class RFIC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RFIC_ACQUIRE() { mu_.lock(); }
+  void unlock() RFIC_RELEASE() { mu_.unlock(); }
+  bool try_lock() RFIC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock of a diag::Mutex (std::lock_guard shape).
+class RFIC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) RFIC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() RFIC_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped lock exposing its std::unique_lock for condition_variable::wait.
+/// The analysis treats the capability as held across a wait — which is the
+/// correct model: the predicate and all guarded accesses around the wait
+/// run under the re-acquired lock.
+class RFIC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) RFIC_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~UniqueLock() RFIC_RELEASE() {}  // lock_'s destructor performs the unlock
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+// -------------------------------------------------- runtime exclusivity
+
+/// Exclusivity contract for state shared by convention rather than by a
+/// lock: entering a context that is already entered is a programming
+/// error (two threads inside one HB engine's solve(), nested solve()
+/// reentry) and fails loudly instead of corrupting the workspace. One
+/// relaxed CAS per entry — cheap enough to keep armed in Release.
+class ExclusiveContext {
+ public:
+  class Scope {
+   public:
+    explicit Scope(ExclusiveContext& ctx, const char* what) : ctx_(ctx) {
+      bool expected = false;
+      if (!ctx_.busy_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acquire))
+        failInvalid(std::string(what) +
+                    ": concurrent entry into a single-caller context — one "
+                    "engine instance must not run overlapping solves");
+    }
+    ~Scope() { ctx_.busy_.store(false, std::memory_order_release); }
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ExclusiveContext& ctx_;
+  };
+
+ private:
+  std::atomic<bool> busy_{false};
+};
+
+}  // namespace rfic::diag

@@ -26,9 +26,9 @@
 #include <cstdint>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "diag/thread_annotations.hpp"
 #include "extraction/geometry.hpp"
 #include "extraction/kernel.hpp"
 #include "numeric/dense.hpp"
@@ -93,7 +93,9 @@ class IES3Matrix final : public sparse::LinearOperator<Real> {
              const IES3Options& opts = {});
 
   std::size_t dim() const override { return n_; }
-  void apply(const RVec& x, RVec& y) const override;
+  /// Compressed matvec — the inner loop of every extraction GMRES
+  /// iteration; allocation-free in steady state (pooled workspace).
+  RFIC_REALTIME void apply(const RVec& x, RVec& y) const override;
 
   /// Stored floats (dense blocks + low-rank factors) — the Fig. 6 memory
   /// metric. Dense storage would be dim()².
@@ -169,8 +171,9 @@ class IES3Matrix final : public sparse::LinearOperator<Real> {
   void buildLeafWork();
   static Real clusterDistance(const Cluster& a, const Cluster& b);
 
-  std::unique_ptr<Workspace> acquireWorkspace() const;
-  void releaseWorkspace(std::unique_ptr<Workspace> ws) const;
+  std::unique_ptr<Workspace> acquireWorkspace() const RFIC_EXCLUDES(wsMu_);
+  void releaseWorkspace(std::unique_ptr<Workspace> ws) const
+      RFIC_EXCLUDES(wsMu_);
 
   std::size_t n_ = 0;
   perf::ThreadPool* pool_ = nullptr;
@@ -186,8 +189,9 @@ class IES3Matrix final : public sparse::LinearOperator<Real> {
   RVec diag_;
   IES3BuildStats stats_;
 
-  mutable std::mutex wsMu_;
-  mutable std::vector<std::unique_ptr<Workspace>> wsPool_;
+  mutable diag::Mutex wsMu_;
+  mutable std::vector<std::unique_ptr<Workspace>> wsPool_
+      RFIC_GUARDED_BY(wsMu_);
   mutable std::atomic<std::uint64_t> wsGrows_{0};
   mutable std::atomic<std::uint64_t> matvecs_{0};
   mutable std::atomic<std::uint64_t> matvecNs_{0};

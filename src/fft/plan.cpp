@@ -13,13 +13,54 @@ namespace rfic::fft {
 namespace {
 // Per-thread Bluestein/column scratch. Grow-only, so repeated transforms
 // of the same (or smaller) lengths never touch the allocator.
+//
+// Reentrancy: the batched entry points below run their lambdas on pool
+// workers, and a parallelFor issued from inside a worker executes INLINE
+// on that worker (nested-inline path) — so a transform invoked from user
+// code that is itself inside a transform lambda would claim the same
+// thread_local buffer and trample the outer call's scratch. ScratchLease
+// makes that impossible: the outer claim marks the buffer busy, and a
+// nested claim falls back to a private heap buffer instead of aliasing.
+// The fallback never triggers from this library's own call graph (plan
+// execution never calls back into the batched entry points) — it is a
+// guard for nested user pipelines, tested in test_fft.cpp.
 thread_local std::vector<Complex> tlScratch;
 thread_local std::vector<Complex> tlColumn;
+thread_local bool tlScratchBusy = false;
+thread_local bool tlColumnBusy = false;
 
-Complex* threadScratch(std::size_t need) {
-  if (tlScratch.size() < need) tlScratch.resize(need);
-  return tlScratch.data();
-}
+class ScratchLease {
+ public:
+  ScratchLease(std::vector<Complex>& buf, bool& busy, std::size_t need)
+      : busy_(busy), owner_(!busy) {
+    if (owner_) {
+      busy_ = true;
+      if (buf.size() < need)
+        buf.resize(need);  // rt: allow(rt-alloc) grow-once thread-local
+                           // scratch; steady state replays at high-water mark
+      ptr_ = buf.data();
+    } else {
+      // Nested (reentrant) claim: private buffer, correctness over speed.
+      fallback_.resize(need);  // rt: allow(rt-alloc) reentrant-claim fallback
+                               // only — never taken on the library's own paths
+      ptr_ = fallback_.data();
+    }
+  }
+  ~ScratchLease() {
+    if (owner_) busy_ = false;
+  }
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  Complex* get() { return ptr_; }
+
+ private:
+  bool& busy_;
+  bool owner_;
+  Complex* ptr_ = nullptr;
+  std::vector<Complex> fallback_;
+};
 }  // namespace
 
 Plan::Plan(std::size_t n) : n_(n) {
@@ -94,7 +135,8 @@ Plan::Plan(std::size_t n) : n_(n) {
   sub_->executePow2(kernelInv_.data(), false);
 }
 
-void Plan::execute(Complex* x, Complex* scratch, bool inverse) const {
+RFIC_REALTIME void Plan::execute(Complex* x, Complex* scratch,
+                                 bool inverse) const {
   RFIC_REQUIRE(x != nullptr, "fft::Plan: null signal pointer");
   if (sub_)
     executeBluestein(x, scratch, inverse);
@@ -102,7 +144,7 @@ void Plan::execute(Complex* x, Complex* scratch, bool inverse) const {
     executePow2(x, inverse);
 }
 
-void Plan::executePow2(Complex* x, bool inverse) const {
+RFIC_REALTIME void Plan::executePow2(Complex* x, bool inverse) const {
   const std::size_t n = n_;
   if (n == 1) return;
   for (std::size_t i = 1; i < n; ++i) {
@@ -130,7 +172,8 @@ void Plan::executePow2(Complex* x, bool inverse) const {
   }
 }
 
-void Plan::executeBluestein(Complex* x, Complex* scratch, bool inverse) const {
+RFIC_REALTIME void Plan::executeBluestein(Complex* x, Complex* scratch,
+                                          bool inverse) const {
   RFIC_REQUIRE(scratch != nullptr, "fft::Plan: Bluestein path needs scratch");
   const std::size_t n = n_;
   const std::size_t m = sub_->n_;
@@ -165,7 +208,7 @@ PlanCache& PlanCache::global() {
 std::shared_ptr<const Plan> PlanCache::get(std::size_t n) {
   RFIC_REQUIRE(n > 0, "fft::PlanCache: length must be positive");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    diag::LockGuard lock(mu_);
     const auto it = plans_.find(n);
     if (it != plans_.end()) {
       ++hits_;
@@ -177,7 +220,7 @@ std::shared_ptr<const Plan> PlanCache::get(std::size_t n) {
   // concurrent first requests for distinct lengths should not serialize.
   // A lost race simply discards the duplicate plan.
   auto built = std::make_shared<const Plan>(n);
-  std::lock_guard<std::mutex> lock(mu_);
+  diag::LockGuard lock(mu_);
   const auto [it, inserted] = plans_.try_emplace(n, std::move(built));
   ++misses_;
   perf::global().addPlanCacheMiss();
@@ -185,22 +228,23 @@ std::shared_ptr<const Plan> PlanCache::get(std::size_t n) {
 }
 
 std::uint64_t PlanCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  diag::LockGuard lock(mu_);
   return hits_;
 }
 
 std::uint64_t PlanCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  diag::LockGuard lock(mu_);
   return misses_;
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  diag::LockGuard lock(mu_);
   plans_.clear();
 }
 
-void transformColumns(const Plan& plan, Complex* data, std::size_t count,
-                      bool inverse, perf::Counters* extra) {
+RFIC_REALTIME void transformColumns(const Plan& plan, Complex* data,
+                                    std::size_t count, bool inverse,
+                                    perf::Counters* extra) {
   RFIC_REQUIRE(count == 0 || data != nullptr,
                "fft::transformColumns: null data with nonzero count");
   if (count == 0) return;
@@ -213,20 +257,21 @@ void transformColumns(const Plan& plan, Complex* data, std::size_t count,
       count,
       [&](std::size_t i) {
         Complex* col = data + i * n;
-        Complex* scratch = threadScratch(plan.scratchSize());
+        ScratchLease scratch(tlScratch, tlScratchBusy, plan.scratchSize());
         if (inverse)
-          plan.inverse(col, scratch);
+          plan.inverse(col, scratch.get());
         else
-          plan.forward(col, scratch);
+          plan.forward(col, scratch.get());
       },
       grain);
   perf::global().addFfts(count, t.ns());
   if (extra) extra->addFfts(count, t.ns());
 }
 
-void transformGrid2D(const Plan& rowPlan, const Plan& colPlan, Complex* x,
-                     std::size_t rows, std::size_t cols, bool inverse,
-                     perf::Counters* extra) {
+RFIC_REALTIME void transformGrid2D(const Plan& rowPlan, const Plan& colPlan,
+                                   Complex* x, std::size_t rows,
+                                   std::size_t cols, bool inverse,
+                                   perf::Counters* extra) {
   RFIC_REQUIRE(x != nullptr && rowPlan.size() == cols && colPlan.size() == rows,
                "fft::transformGrid2D: plan lengths must match the grid");
   std::uint64_t nTransforms = 0;
@@ -238,11 +283,12 @@ void transformGrid2D(const Plan& rowPlan, const Plan& colPlan, Complex* x,
         rows,
         [&](std::size_t r) {
           Complex* row = x + r * cols;
-          Complex* scratch = threadScratch(rowPlan.scratchSize());
+          ScratchLease scratch(tlScratch, tlScratchBusy,
+                               rowPlan.scratchSize());
           if (inverse)
-            rowPlan.inverse(row, scratch);
+            rowPlan.inverse(row, scratch.get());
           else
-            rowPlan.forward(row, scratch);
+            rowPlan.forward(row, scratch.get());
         },
         grain);
     nTransforms += rows;
@@ -252,14 +298,15 @@ void transformGrid2D(const Plan& rowPlan, const Plan& colPlan, Complex* x,
     pool.parallelFor(
         cols,
         [&](std::size_t c) {
-          if (tlColumn.size() < rows) tlColumn.resize(rows);
-          Complex* col = tlColumn.data();
+          ScratchLease column(tlColumn, tlColumnBusy, rows);
+          Complex* col = column.get();
           for (std::size_t r = 0; r < rows; ++r) col[r] = x[r * cols + c];
-          Complex* scratch = threadScratch(colPlan.scratchSize());
+          ScratchLease scratch(tlScratch, tlScratchBusy,
+                               colPlan.scratchSize());
           if (inverse)
-            colPlan.inverse(col, scratch);
+            colPlan.inverse(col, scratch.get());
           else
-            colPlan.forward(col, scratch);
+            colPlan.forward(col, scratch.get());
           for (std::size_t r = 0; r < rows; ++r) x[r * cols + c] = col[r];
         },
         grain);

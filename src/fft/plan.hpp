@@ -23,11 +23,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common.hpp"
+#include "diag/thread_annotations.hpp"
 
 namespace rfic::perf {
 class Counters;
@@ -50,14 +50,19 @@ class Plan {
 
   /// In-place forward DFT of x[0..n). `scratch` must point at
   /// scratchSize() slots (may be null when that is 0). No allocation.
-  void forward(Complex* x, Complex* scratch) const { execute(x, scratch, false); }
+  RFIC_REALTIME void forward(Complex* x, Complex* scratch) const {
+    execute(x, scratch, false);
+  }
   /// In-place inverse DFT with the 1/n normalization.
-  void inverse(Complex* x, Complex* scratch) const { execute(x, scratch, true); }
+  RFIC_REALTIME void inverse(Complex* x, Complex* scratch) const {
+    execute(x, scratch, true);
+  }
 
  private:
-  void execute(Complex* x, Complex* scratch, bool inverse) const;
-  void executePow2(Complex* x, bool inverse) const;
-  void executeBluestein(Complex* x, Complex* scratch, bool inverse) const;
+  RFIC_REALTIME void execute(Complex* x, Complex* scratch, bool inverse) const;
+  RFIC_REALTIME void executePow2(Complex* x, bool inverse) const;
+  RFIC_REALTIME void executeBluestein(Complex* x, Complex* scratch,
+                                      bool inverse) const;
 
   std::size_t n_ = 0;
   // Radix-2 machinery (n_ a power of two; also the engine under the
@@ -82,17 +87,19 @@ class PlanCache {
   static PlanCache& global();
 
   /// The plan for length n, building and caching it on first request.
-  std::shared_ptr<const Plan> get(std::size_t n);
+  std::shared_ptr<const Plan> get(std::size_t n) RFIC_EXCLUDES(mu_);
 
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
+  std::uint64_t hits() const RFIC_EXCLUDES(mu_);
+  std::uint64_t misses() const RFIC_EXCLUDES(mu_);
   /// Drop every cached plan (tests; outstanding shared_ptrs stay valid).
-  void clear();
+  void clear() RFIC_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::size_t, std::shared_ptr<const Plan>> plans_;
-  std::uint64_t hits_ = 0, misses_ = 0;
+  mutable diag::Mutex mu_;
+  std::unordered_map<std::size_t, std::shared_ptr<const Plan>> plans_
+      RFIC_GUARDED_BY(mu_);
+  std::uint64_t hits_ RFIC_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ RFIC_GUARDED_BY(mu_) = 0;
 };
 
 /// Transform `count` signals, each contiguous of length plan.size(), laid
@@ -103,16 +110,18 @@ class PlanCache {
 /// Counters (fftCount, fftNs) are bumped on perf::global() and, when
 /// given, on `extra` — analyses pass their local pipeline counters so the
 /// spectral cost lands in their result snapshots.
-void transformColumns(const Plan& plan, Complex* data, std::size_t count,
-                      bool inverse, perf::Counters* extra = nullptr);
+RFIC_REALTIME void transformColumns(const Plan& plan, Complex* data,
+                                    std::size_t count, bool inverse,
+                                    perf::Counters* extra = nullptr);
 
 /// 2-D in-place DFT of a rows×cols row-major grid: `rowPlan` must have
 /// length cols, `colPlan` length rows. Rows transform contiguously;
 /// columns gather/scatter through per-thread scratch. Length-1 axes are
 /// skipped. Same counter and normalization conventions as
 /// transformColumns.
-void transformGrid2D(const Plan& rowPlan, const Plan& colPlan, Complex* x,
-                     std::size_t rows, std::size_t cols, bool inverse,
-                     perf::Counters* extra = nullptr);
+RFIC_REALTIME void transformGrid2D(const Plan& rowPlan, const Plan& colPlan,
+                                   Complex* x, std::size_t rows,
+                                   std::size_t cols, bool inverse,
+                                   perf::Counters* extra = nullptr);
 
 }  // namespace rfic::fft

@@ -149,7 +149,8 @@ void HarmonicBalance::timeToSpectrum(const RMat& samples, CMat& coeffs) const {
 }
 
 void HarmonicBalance::packReal(const CMat& coeffs, RVec& v) const {
-  v.resize(n_ * nc_);
+  v.resize(n_ * nc_);  // rt: allow(rt-alloc) grow-once — every caller
+                       // passes a persistent workspace vector
   for (std::size_t u = 0; u < n_; ++u) {
     Real* base = v.data() + u * nc_;
     base[0] = coeffs(u, 0).real();
@@ -239,6 +240,12 @@ HBSolution HarmonicBalance::solve(const RVec& dcOp) const {
 
 HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
                                          const HBOptions& opts) const {
+  // The engine workspace (work_) is handed between this Newton loop, the
+  // GMRES operator, and the preconditioner without locks; the exclusive
+  // scope turns a second concurrent solve on this instance into an
+  // immediate structured error instead of silent corruption.
+  const diag::ExclusiveContext::Scope exclusive(workCtx_,
+                                                "HarmonicBalance::solve");
   HBSolution sol;
   sol.indices = indices_;
   sol.freqs.resize(indices_.size());

@@ -26,6 +26,7 @@
 #include "circuit/mna.hpp"
 #include "diag/convergence.hpp"
 #include "diag/resilience.hpp"
+#include "diag/thread_annotations.hpp"
 #include "numeric/dense.hpp"
 #include "perf/perf.hpp"
 #include "sparse/krylov.hpp"
@@ -162,7 +163,9 @@ class HarmonicBalance {
   /// are then reused without touching the allocator. Mutable because the
   /// transforms and operator applications are logically const; a
   /// consequence is that one engine instance must not run concurrent
-  /// solve() calls.
+  /// solve() calls — a contract enforced at runtime by workCtx_ (the
+  /// workspace handoff between solveAttempt, HBOperator::apply, and
+  /// HBBlockPreconditioner::apply all happens inside one exclusive scope).
   struct HBWorkspace {
     numeric::CVec grid;                  ///< batched n×(m1·m2) spectral grids
     numeric::CMat ySpec, gSpec, cSpec;   ///< HBOperator::apply spectra
@@ -201,6 +204,10 @@ class HarmonicBalance {
     }
   };
   mutable HBWorkspace work_;
+  /// Runtime exclusivity for work_: solveAttempt() enters this context for
+  /// its whole duration, so overlapping solves on one engine instance fail
+  /// loudly instead of corrupting the shared workspace.
+  mutable diag::ExclusiveContext workCtx_;
   /// Spectral-transform counters for the current solve; merged into
   /// HBSolution::perf so a result reports the FFT cost of producing it.
   mutable perf::Counters fftCounters_;

@@ -20,7 +20,7 @@ HBOperator::HBOperator(const HarmonicBalance& engine,
 
 std::size_t HBOperator::dim() const { return eng_.n_ * eng_.nc_; }
 
-void HBOperator::apply(const RVec& y, RVec& out) const {
+RFIC_REALTIME void HBOperator::apply(const RVec& y, RVec& out) const {
   // J·y = Γ G(t) Γ⁻¹ y + Ω Γ C(t) Γ⁻¹ y, evaluated sample by sample.
   // Every buffer lives in the engine workspace and every transform replays
   // a cached plan, so a steady-state application is allocation-free — this
@@ -39,8 +39,9 @@ void HBOperator::apply(const RVec& y, RVec& out) const {
       ms,
       [&](std::size_t s) {
         thread_local RVec xs, tmp;
-        xs.resize(n);
-        tmp.resize(n);
+        xs.resize(n);   // rt: allow(rt-alloc) grow-once thread-local gather
+                        // scratch; no-op at steady state (same n every call)
+        tmp.resize(n);  // rt: allow(rt-alloc) grow-once thread-local scratch
         for (std::size_t u = 0; u < n; ++u) xs[u] = W.ySamp(u, s);
         pat_.multiplyWith(g_[s], xs, tmp);
         for (std::size_t u = 0; u < n; ++u) W.gy(u, s) = tmp[u];
@@ -127,7 +128,7 @@ void HBBlockPreconditioner::update(const sparse::RTriplets& gAvg,
 
 std::size_t HBBlockPreconditioner::dim() const { return eng_.n_ * eng_.nc_; }
 
-void HBBlockPreconditioner::apply(const RVec& r, RVec& z) const {
+RFIC_REALTIME void HBBlockPreconditioner::apply(const RVec& r, RVec& z) const {
   auto& W = eng_.work_;
   eng_.unpackReal(r, W.pcSpec);
   const std::size_t n = eng_.n_;
@@ -139,7 +140,8 @@ void HBBlockPreconditioner::apply(const RVec& r, RVec& z) const {
   // allocation-free.
   perf::ThreadPool::global().parallelFor(nidx, [&](std::size_t j) {
     thread_local numeric::CVec rhs, sol, scratchY, scratchZ;
-    rhs.resize(n);
+    rhs.resize(n);  // rt: allow(rt-alloc) grow-once thread-local rhs gather;
+                    // no-op at steady state (same n every call)
     for (std::size_t u = 0; u < n; ++u) rhs[u] = W.pcSpec(u, j);
     blocks_[j].solve(rhs, sol, scratchY, scratchZ);
     for (std::size_t u = 0; u < n; ++u) W.pzSpec(u, j) = sol[u];

@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "diag/thread_annotations.hpp"
 #include "numeric/dense.hpp"
 #include "perf/perf.hpp"
 #include "sparse/krylov.hpp"
@@ -43,7 +44,10 @@ class HBOperator final : public sparse::LinearOperator<Real> {
              const std::vector<std::vector<Real>>& gSampleVals,
              const std::vector<std::vector<Real>>& cSampleVals);
   std::size_t dim() const override;
-  void apply(const numeric::RVec& y, numeric::RVec& out) const override;
+  /// J·y — the inner loop of every HB GMRES iteration; allocation-free in
+  /// steady state (engine workspace + cached plans).
+  RFIC_REALTIME void apply(const numeric::RVec& y,
+                           numeric::RVec& out) const override;
 
  private:
   const HarmonicBalance& eng_;
@@ -69,7 +73,9 @@ class HBBlockPreconditioner final : public sparse::LinearOperator<Real> {
   void update(const sparse::RTriplets& gAvg, const sparse::RTriplets& cAvg);
 
   std::size_t dim() const override;
-  void apply(const numeric::RVec& r, numeric::RVec& z) const override;
+  /// M⁻¹·r — per-harmonic block solves; allocation-free in steady state.
+  RFIC_REALTIME void apply(const numeric::RVec& r,
+                           numeric::RVec& z) const override;
 
   /// Block (re)factorization counters accumulated across update() calls.
   perf::Snapshot counters() const { return counters_.snapshot(); }

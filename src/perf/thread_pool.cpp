@@ -35,10 +35,12 @@ std::size_t defaultThreads() {
 struct ThreadPool::Batch {
   std::size_t n = 0;
   std::size_t grain = 1;
-  const std::function<void(std::size_t)>* fn = nullptr;
+  FunctionRef<void(std::size_t)> fn;
   std::atomic<std::size_t> next{0};  // next chunk index (not element index)
-  std::exception_ptr error;          // first exception, guarded by errMu
-  std::mutex errMu;
+  diag::Mutex errMu;
+  std::exception_ptr error RFIC_GUARDED_BY(errMu);  // first exception
+
+  explicit Batch(FunctionRef<void(std::size_t)> f) : fn(f) {}
 
   std::size_t chunks() const { return (n + grain - 1) / grain; }
 
@@ -51,13 +53,22 @@ struct ThreadPool::Batch {
       const std::size_t lo = c * grain;
       const std::size_t hi = std::min(n, lo + grain);
       try {
-        for (std::size_t i = lo; i < hi; ++i) (*fn)(i);
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(errMu);
+        // rt: allow(rt-lock) exception path only — never taken while the
+        // batch is healthy
+        diag::LockGuard lock(errMu);
         if (!error) error = std::current_exception();
       }
     }
     tlInPool = false;
+  }
+
+  /// The first exception captured, if any; called after the batch drained.
+  std::exception_ptr takeError() RFIC_EXCLUDES(errMu) {
+    // rt: allow(rt-lock) post-drain, uncontended by construction
+    diag::LockGuard lock(errMu);
+    return error;
   }
 };
 
@@ -67,12 +78,14 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t nWorkers = total > 1 ? total - 1 : 0;
   workers_.reserve(nWorkers);
   for (std::size_t i = 0; i < nWorkers; ++i)
+    // lint: allow-detached-thread — this IS perf::ThreadPool: the one
+    // place the library creates threads; all are joined in ~ThreadPool.
     workers_.emplace_back([this] { workerLoop(); });
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    diag::LockGuard lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -83,15 +96,15 @@ void ThreadPool::workerLoop() {
   for (;;) {
     Batch* b = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || batch_ != nullptr; });
+      diag::UniqueLock lock(mu_);
+      while (!stop_ && batch_ == nullptr) cv_.wait(lock.native());
       if (stop_) return;
       b = batch_;
       ++busy_;
     }
     b->run();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      diag::LockGuard lock(mu_);
       --busy_;
       if (busy_ == 0 && b->next.load(std::memory_order_relaxed) >= b->chunks())
         doneCv_.notify_all();
@@ -99,8 +112,7 @@ void ThreadPool::workerLoop() {
   }
 }
 
-void ThreadPool::parallelFor(std::size_t n,
-                             const std::function<void(std::size_t)>& fn,
+void ThreadPool::parallelFor(std::size_t n, FunctionRef<void(std::size_t)> fn,
                              std::size_t grain) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
@@ -112,12 +124,14 @@ void ThreadPool::parallelFor(std::size_t n,
     return;
   }
 
-  Batch b;
+  Batch b(fn);
   b.n = n;
   b.grain = grain;
-  b.fn = &fn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // rt: allow(rt-lock) dispatch handshake — one uncontended round-trip
+    // per batch, amortized over `n` iterations; the inline fast path above
+    // keeps sub-grain calls lock-free.
+    diag::LockGuard lock(mu_);
     batch_ = &b;
   }
   cv_.notify_all();
@@ -125,11 +139,16 @@ void ThreadPool::parallelFor(std::size_t n,
   b.run();  // the caller is a lane too
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    // rt: allow(rt-lock) completion handshake — the caller has already run
+    // its lanes; it blocks only for the stragglers' final chunks
+    diag::UniqueLock lock(mu_);
     batch_ = nullptr;  // late wakers see no batch and go back to sleep
-    doneCv_.wait(lock, [this] { return busy_ == 0; });
+    while (busy_ != 0) doneCv_.wait(lock.native());  // rt: allow(rt-lock)
+                                                     // completion handshake
   }
-  if (b.error) std::rethrow_exception(b.error);
+  if (auto err = b.takeError())
+    std::rethrow_exception(err);  // rt: allow(rt-throw) propagates the user
+                                  // lambda's exception; no-throw otherwise
 }
 
 ThreadPool& ThreadPool::global() {

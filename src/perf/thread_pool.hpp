@@ -14,8 +14,14 @@
 //    inline serially — no deadlock, no oversubscription.
 //  - The first exception thrown by any chunk is captured and rethrown on
 //    the calling thread.
-//  - Memory ordering is conservative (acquire/release via mutex +
-//    condition_variable); validated under RFIC_SANITIZE=thread.
+//  - parallelFor takes a non-owning FunctionRef, not a std::function: the
+//    callable lives on the caller's stack for the duration of the batch,
+//    so dispatch never heap-allocates — a std::function parameter would
+//    box every capture-heavy hot-loop lambda on every call.
+//  - Queue/batch state is guarded by an annotated diag::Mutex and checked
+//    by Clang Thread Safety Analysis (see diag/thread_annotations.hpp);
+//    memory ordering is conservative (acquire/release via mutex +
+//    condition_variable) and validated under RFIC_SANITIZE=thread.
 //
 // Pool size: the process-wide pool reads RFIC_THREADS (positive integer)
 // and falls back to the hardware concurrency. setGlobalThreads() — wired to
@@ -25,19 +31,49 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
-#include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "diag/thread_annotations.hpp"
+
 namespace rfic::perf {
+
+/// Non-owning, non-allocating reference to a callable — the parameter type
+/// of hot-loop fan-out. The referenced callable must outlive the call (it
+/// always does for parallelFor: the batch drains before returning).
+template <class Sig>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): by design —
+                      // lambdas bind implicitly at call sites, like
+                      // std::function, but without the allocation.
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              static_cast<Args&&>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, static_cast<Args&&>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
 
 class ThreadPool {
  public:
   /// threads == 0 picks a size from RFIC_THREADS, falling back to the
   /// hardware concurrency (at least 1 worker besides the caller).
   explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
+  ~ThreadPool() RFIC_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -51,8 +87,8 @@ class ThreadPool {
   /// calling thread (no wake-up), and workers claim `grain` consecutive
   /// indices per atomic round-trip — size it so one chunk amortizes the
   /// dispatch cost (~1 µs) against the per-index work.
-  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
-                   std::size_t grain = 1);
+  void parallelFor(std::size_t n, FunctionRef<void(std::size_t)> fn,
+                   std::size_t grain = 1) RFIC_EXCLUDES(mu_);
 
   /// Process-wide pool, sized from setGlobalThreads() > RFIC_THREADS >
   /// hardware concurrency, in that precedence order.
@@ -65,15 +101,15 @@ class ThreadPool {
 
  private:
   struct Batch;
-  void workerLoop();
+  void workerLoop() RFIC_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  diag::Mutex mu_;
   std::condition_variable cv_;       ///< wakes workers when a batch arrives
   std::condition_variable doneCv_;   ///< wakes the caller when a batch drains
-  Batch* batch_ = nullptr;           ///< current batch, guarded by mu_
-  std::size_t busy_ = 0;             ///< workers still inside the batch
-  bool stop_ = false;
+  Batch* batch_ RFIC_GUARDED_BY(mu_) = nullptr;  ///< current batch
+  std::size_t busy_ RFIC_GUARDED_BY(mu_) = 0;    ///< workers inside the batch
+  bool stop_ RFIC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rfic::perf

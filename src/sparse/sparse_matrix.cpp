@@ -67,7 +67,8 @@ void CSR<T>::multiplyWith(const std::vector<T>& vals, const Vec<T>& x,
                           Vec<T>& y) const {
   RFIC_REQUIRE(vals.size() == val_.size(), "CSR::multiplyWith nnz mismatch");
   RFIC_REQUIRE(x.size() == cols_, "CSR::multiplyWith size mismatch");
-  y.resize(rows_);
+  y.resize(rows_);  // rt: allow(rt-alloc) grow-once output sizing — a no-op
+                    // when the caller reuses its vector
   for (std::size_t r = 0; r < rows_; ++r) {
     T s{};
     for (std::size_t p = rowPtr_[r]; p < rowPtr_[r + 1]; ++p)

@@ -173,7 +173,8 @@ void SymbolicLU<T>::analyzeFromValues(const T* vals) {
 template <class T>
 bool SymbolicLU<T>::replay(const T* vals, std::size_t nvals) {
   RFIC_REQUIRE(nvals == nnz_, "SymbolicLU::refactor value count mismatch");
-  w_.assign(w_.size(), T{});
+  w_.assign(w_.size(), T{});  // rt: allow(rt-alloc) same-size overwrite of
+  // the analysis-sized slot workspace — never reallocates
   Real maxIn = 0;
   for (std::size_t p = 0; p < nnz_; ++p) {
     w_[p] = vals[p];
@@ -214,7 +215,8 @@ bool SymbolicLU<T>::replay(const T* vals, std::size_t nvals) {
 }
 
 template <class T>
-diag::SolverStatus SymbolicLU<T>::refactor(const std::vector<T>& values) {
+RFIC_REALTIME diag::SolverStatus SymbolicLU<T>::refactor(
+    const std::vector<T>& values) {
   RFIC_REQUIRE(analyzed_, "SymbolicLU::refactor before factor");
   // factor-repivot fault point: pretend the replayed pivots went bad so the
   // fresh-analysis fallback below runs (and callers see Repivoted).
@@ -224,7 +226,9 @@ diag::SolverStatus SymbolicLU<T>::refactor(const std::vector<T>& values) {
     return diag::SolverStatus::Converged;
   // Pivot growth (or a sign/topology change in the values) invalidated the
   // recorded pivot order — redo the full analysis with fresh pivots.
-  analyzeFromValues(values.data());
+  analyzeFromValues(values.data());  // rt: allow(rt-alloc) cold Repivoted
+  // fallback — runs only when the recorded pivots went numerically bad;
+  // callers observe it through the returned status and perf counters
   return diag::SolverStatus::Repivoted;
 }
 
@@ -261,15 +265,16 @@ Vec<T> SymbolicLU<T>::solve(const Vec<T>& b) const {
 }
 
 template <class T>
-void SymbolicLU<T>::solve(const Vec<T>& b, Vec<T>& x, Vec<T>& scratchY,
-                          Vec<T>& scratchZ) const {
+RFIC_REALTIME void SymbolicLU<T>::solve(const Vec<T>& b, Vec<T>& x,
+                                        Vec<T>& scratchY,
+                                        Vec<T>& scratchZ) const {
   RFIC_REQUIRE(analyzed_, "SymbolicLU::solve before factor");
   RFIC_REQUIRE(b.size() == n_, "SymbolicLU::solve size mismatch");
   // Zero-allocation variant for hot loops: the scratch vectors (and x)
   // grow on first use and are reused verbatim afterwards.
-  scratchY.resize(n_);
-  scratchZ.resize(n_);
-  x.resize(n_);
+  scratchY.resize(n_);  // rt: allow(rt-alloc) grow-once caller scratch
+  scratchZ.resize(n_);  // rt: allow(rt-alloc) grow-once caller scratch
+  x.resize(n_);         // rt: allow(rt-alloc) grow-once caller solution
   Vec<T>& y = scratchY;
   Vec<T>& z = scratchZ;
   for (std::size_t i = 0; i < n_; ++i) y[i] = b[i];

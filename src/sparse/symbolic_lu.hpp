@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "diag/convergence.hpp"
+#include "diag/thread_annotations.hpp"
 #include "sparse/sparse_matrix.hpp"
 
 namespace rfic::sparse {
@@ -52,8 +53,9 @@ class SymbolicLU {
   /// must follow the CSR position order of the matrix passed to factor().
   /// Returns SolverStatus::Converged when the replay succeeded, or
   /// SolverStatus::Repivoted when pivot growth forced a fresh full
-  /// factorization (with new pivots) from the same values.
-  diag::SolverStatus refactor(const std::vector<T>& values);
+  /// factorization (with new pivots) from the same values. The replay path
+  /// is allocation-free; only the Repivoted fallback allocates.
+  RFIC_REALTIME diag::SolverStatus refactor(const std::vector<T>& values);
   /// Convenience: same-pattern matrix (only its values are read).
   diag::SolverStatus refactor(const CSR<T>& a);
 
@@ -70,8 +72,8 @@ class SymbolicLU {
   /// Allocation-free solve for hot loops: writes the solution into `x` and
   /// uses the caller's scratch vectors (all three grow to size() on first
   /// use and are reused untouched afterwards). `b` must not alias them.
-  void solve(const Vec<T>& b, Vec<T>& x, Vec<T>& scratchY,
-             Vec<T>& scratchZ) const;
+  RFIC_REALTIME void solve(const Vec<T>& b, Vec<T>& x, Vec<T>& scratchY,
+                           Vec<T>& scratchZ) const;
 
  private:
   void analyzeFromValues(const T* vals);

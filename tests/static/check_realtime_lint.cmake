@@ -1,0 +1,48 @@
+# Selftest driver for tools/realtime_lint.py: runs the lint on the
+# seeded-violation fixture and asserts the full contract — every rule
+# fires, the call graph is walked (hotLoop -> coldHelper), the justified
+# suppression is honored, and the bare suppression is itself rejected.
+#
+# Invoked by ctest as:
+#   cmake -DPYTHON=... -DLINT=... -DFIXTURE=... -P check_realtime_lint.cmake
+
+execute_process(
+  COMMAND "${PYTHON}" "${LINT}" "${FIXTURE}"
+  OUTPUT_VARIABLE lint_out
+  ERROR_VARIABLE lint_err
+  RESULT_VARIABLE lint_rc)
+string(APPEND lint_out "${lint_err}")
+
+if(NOT lint_rc EQUAL 1)
+  message(FATAL_ERROR
+          "realtime_lint selftest: expected exit code 1 on the seeded "
+          "fixture, got ${lint_rc}. Output:\n${lint_out}")
+endif()
+
+# Every rule must fire, the walk must reach coldHelper, and the total must
+# be exactly the seeded count (a drop means a rule regressed; a rise means
+# a false positive crept in).
+foreach(marker
+        "[rt-alloc]" "[rt-lock]" "[rt-io]" "[rt-throw]" "[rt-suppression]"
+        "hotLoop -> coldHelper"
+        "7 finding(s)")
+  string(FIND "${lint_out}" "${marker}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "realtime_lint selftest: expected '${marker}' in the lint "
+            "output. Output:\n${lint_out}")
+  endif()
+endforeach()
+
+# The clean root and the justified suppression must NOT be reported
+# (line 27 is the justified buf.reserve(64)).
+foreach(absent "quietPath" "seeded_violations.cpp:27")
+  string(FIND "${lint_out}" "${absent}" pos)
+  if(NOT pos EQUAL -1)
+    message(FATAL_ERROR
+            "realtime_lint selftest: '${absent}' must not be flagged. "
+            "Output:\n${lint_out}")
+  endif()
+endforeach()
+
+message(STATUS "realtime_lint selftest: all assertions passed")

@@ -1,0 +1,35 @@
+// Thread-safety-analysis negative fixture: reads an RFIC_GUARDED_BY member
+// without holding its mutex. Under clang with -Wthread-safety
+// -Wthread-safety-beta -Werror this MUST fail to compile — the ctest entry
+// registering it carries WILL_FAIL. (Under GCC the annotations are no-ops
+// and the file compiles, so the test is only registered when clang is
+// available.)
+#include <cstddef>
+
+#include "diag/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() RFIC_EXCLUDES(mu_) {
+    rfic::diag::LockGuard lock(mu_);
+    ++value_;
+  }
+
+  std::size_t racyRead() const {
+    return value_;  // BUG under analysis: no lock held
+  }
+
+ private:
+  mutable rfic::diag::Mutex mu_;
+  std::size_t value_ RFIC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return static_cast<int>(c.racyRead());
+}

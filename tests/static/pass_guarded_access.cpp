@@ -1,0 +1,34 @@
+// Thread-safety-analysis positive fixture: correctly guarded access to an
+// RFIC_GUARDED_BY member. Must compile warning-free everywhere — under
+// clang with -Wthread-safety -Wthread-safety-beta -Werror (the CI
+// static-analysis job) and under GCC, where the annotations are no-ops.
+#include <cstddef>
+
+#include "diag/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() RFIC_EXCLUDES(mu_) {
+    rfic::diag::LockGuard lock(mu_);
+    ++value_;
+  }
+
+  std::size_t read() const RFIC_EXCLUDES(mu_) {
+    rfic::diag::LockGuard lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable rfic::diag::Mutex mu_;
+  std::size_t value_ RFIC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read() == 1 ? 0 : 1;
+}

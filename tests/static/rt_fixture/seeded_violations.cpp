@@ -1,0 +1,40 @@
+// Seeded-violation fixture for the realtime_lint selftest. This file is
+// never compiled — the lint is textual — but it is kept valid C++ so it
+// reads like the real thing. Every violation below is intentional; the
+// selftest asserts the lint reports each rule, walks into coldHelper, and
+// honors the one justified suppression while rejecting the bare one.
+#define RFIC_REALTIME
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+std::mutex gMu;
+
+void coldHelper(std::vector<double>& v) {
+  v.push_back(1.0);  // reachable finding: flagged through the call graph
+}
+
+RFIC_REALTIME int hotLoop(std::vector<double>& buf) {
+  std::vector<double> tmp(8);               // rt-alloc: sized local
+  buf.resize(32);                           // rt-alloc: container call
+  std::lock_guard<std::mutex> guard(gMu);   // rt-lock
+  std::printf("side effect\n");             // rt-io
+  if (buf.empty()) throw 42;                // rt-throw
+  coldHelper(buf);                          // walked: coldHelper flagged
+  buf.reserve(64);  // rt: allow(rt-alloc) justified suppression — the
+                    // selftest asserts this line is NOT reported
+  buf.reserve(65);  // rt: allow(rt-alloc)
+  return static_cast<int>(tmp.size());      // bare suppression above is an
+                                            // rt-suppression finding
+}
+
+RFIC_REALTIME double quietPath(const std::vector<double>& buf) {
+  double s = 0;  // no findings here: the selftest asserts `quietPath`
+  for (double v : buf) s += v;
+  return s;
+}
+
+}  // namespace fixture

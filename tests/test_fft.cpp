@@ -9,6 +9,7 @@
 
 #include "fft/fft.hpp"
 #include "fft/plan.hpp"
+#include "perf/thread_pool.hpp"
 
 namespace rfic::fft {
 namespace {
@@ -239,6 +240,72 @@ TEST(Plan, TransformColumnsMatchesPerColumnFFT) {
   for (std::size_t c = 0; c < cols; ++c)
     for (std::size_t k = 0; k < n; ++k)
       EXPECT_NEAR(std::abs(batch[c * n + k] - separate[c][k]), 0.0, 1e-10);
+}
+
+TEST(Plan, BatchedTransformsNestInsidePoolTasks) {
+  // Reentrancy audit for the thread_local scratch (DESIGN.md §9): the
+  // batched entry points run their lambdas on pool workers, and a
+  // parallelFor issued from such a worker executes inline on it. A user
+  // pipeline that calls transformColumns from inside its own pool task
+  // therefore runs the whole transform — including the ScratchLease claim
+  // of tlScratch — on a worker thread, nested below another dispatch.
+  // Distinct Bluestein lengths per task force scratch buffers of different
+  // sizes to be claimed on whichever worker picks the task up; every
+  // result must still match the serial reference.
+  const std::size_t kTasks = 6;
+  const std::size_t lengths[kTasks] = {23, 31, 37, 41, 43, 47};  // Bluestein
+  const std::size_t cols = 5;
+
+  std::vector<std::vector<Complex>> batches(kTasks);
+  std::vector<std::vector<Complex>> expected(kTasks);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    const std::size_t n = lengths[t];
+    batches[t].resize(n * cols);
+    expected[t].resize(n * cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      auto col = randomSignal(n, 900 + t * cols + c);
+      std::copy(col.begin(), col.end(),
+                batches[t].begin() + static_cast<std::ptrdiff_t>(c * n));
+      fft(col);  // serial reference, computed before any pool activity
+      std::copy(col.begin(), col.end(),
+                expected[t].begin() + static_cast<std::ptrdiff_t>(c * n));
+    }
+  }
+
+  perf::ThreadPool::global().parallelFor(kTasks, [&](std::size_t t) {
+    const Plan plan(lengths[t]);
+    transformColumns(plan, batches[t].data(), cols, /*inverse=*/false);
+  });
+
+  for (std::size_t t = 0; t < kTasks; ++t)
+    for (std::size_t i = 0; i < batches[t].size(); ++i)
+      EXPECT_NEAR(std::abs(batches[t][i] - expected[t][i]), 0.0, 1e-9)
+          << "task " << t << " index " << i;
+}
+
+TEST(Plan, Grid2DNestsInsidePoolTasks) {
+  // Same audit for transformGrid2D, whose column pass holds TWO leases at
+  // once (tlColumn for the gather/scatter and tlScratch for Bluestein).
+  const std::size_t rows = 6, colsN = 10;
+  std::vector<Complex> grid = randomSignal(rows * colsN, 1234);
+  std::vector<Complex> expected = grid;
+  {
+    const Plan rowPlan(colsN), colPlan(rows);
+    transformGrid2D(rowPlan, colPlan, expected.data(), rows, colsN,
+                    /*inverse=*/false);
+  }
+  // Two tasks so that (with workers available) at least one grid transform
+  // runs nested-inline on a pool worker rather than on the caller.
+  std::vector<Complex> nested[2] = {grid, grid};
+  perf::ThreadPool::global().parallelFor(2, [&](std::size_t t) {
+    const Plan rowPlan(colsN), colPlan(rows);
+    transformGrid2D(rowPlan, colPlan, nested[t].data(), rows, colsN,
+                    /*inverse=*/false);
+  });
+  for (std::size_t t = 0; t < 2; ++t)
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      EXPECT_NEAR(std::abs(nested[t][i] - expected[i]), 0.0, 1e-9)
+          << "task " << t << " index " << i;
 }
 
 TEST(PlanCache, SecondRequestIsASharedHit) {

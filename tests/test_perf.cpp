@@ -98,6 +98,29 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   EXPECT_EQ(total.load(), 20u);
 }
 
+TEST(FunctionRef, InvokesTheReferredCallableWithoutCopying) {
+  // parallelFor takes FunctionRef so capture-heavy hot-loop lambdas are
+  // never boxed into a std::function heap allocation per dispatch. The
+  // ref must call the ORIGINAL callable, not a copy: mutations made by the
+  // callable must be visible after the call.
+  std::size_t calls = 0;
+  auto counter = [&calls](std::size_t i) { calls += i; };
+  FunctionRef<void(std::size_t)> ref(counter);
+  ref(3);
+  ref(4);
+  EXPECT_EQ(calls, 7u);
+
+  // Large capture state (beyond any small-buffer optimization) stays by
+  // reference — the sum reflects the live array, not a snapshot.
+  std::vector<double> weights(1024, 0.5);
+  double sum = 0;
+  auto weigh = [&](std::size_t i) { sum += weights[i]; };
+  FunctionRef<void(std::size_t)> wref(weigh);
+  weights[7] = 2.0;  // mutate after constructing the ref
+  wref(7);
+  EXPECT_DOUBLE_EQ(sum, 2.0);
+}
+
 TEST(ThreadPool, TripCountAtOrBelowGrainRunsInline) {
   // n <= grain is the dispatch-free fast path: every index runs on the
   // calling thread, in order, with no worker wake-up.

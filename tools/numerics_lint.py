@@ -19,6 +19,19 @@ drifting into silent-wrong-answer territory:
                 top of its body.
   status        Iterative-solver translation units must report structured
                 convergence statuses (diag::SolverStatus), not bare bools.
+  detached-thread
+                Library code must not create std::thread directly — all
+                parallelism goes through perf::ThreadPool (fixed workers,
+                joined in the destructor, nested-inline safe). src/perf is
+                the one sanctioned exception. `.detach()` is rejected
+                everywhere, tests included: a detached thread outlives the
+                state it captured.
+  mutable-capture
+                A `mutable` by-value lambda handed to a pool dispatch
+                (parallelFor) gets copied per dispatch and mutates its own
+                private copy — workspace handles silently diverge across
+                workers. Capture workspaces by reference (the pool joins
+                before the dispatch returns) or keep the lambda immutable.
 
 Escape hatch: append  // lint: allow-<rule>  to a flagged line when the
 pattern is intentional (used sparingly; each use is visible in review).
@@ -89,6 +102,15 @@ FLOAT_EQ_RE = re.compile(
 FLOAT_CALL_EQ_RE = re.compile(
     r"(?:norm2|normInf|std::abs|std::norm|std::sqrt)\s*\([^()]*\)\s*[=!]=")
 
+THREAD_RE = re.compile(r"\bstd::thread\b")
+DETACH_RE = re.compile(r"[.>]\s*detach\s*\(\s*\)")
+# A lambda whose capture list takes anything by value (capture-default `=`
+# or a bare identifier) and whose body is marked `mutable`.
+MUTABLE_LAMBDA_RE = re.compile(
+    r"\[([^\]]*)\]\s*(?:\([^)]*\)\s*)?mutable\b")
+POOL_DISPATCH_RE = re.compile(r"\bparallelFor\s*\(")
+BY_VALUE_CAPTURE_RE = re.compile(r"(?:^|,)\s*(?:=|\w+\s*(?:,|$))")
+
 NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_:<]")
 DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[A-Za-z_(*]")
 DATA_CAPTURE_RE = re.compile(r"[*&]?\s*(\w+)\s*=\s*(\w+)\.data\(\)")
@@ -148,6 +170,10 @@ class Linter:
         lines = clean.splitlines()
         rel = str(path.relative_to(self.root))
         in_solver = any(rel.startswith(d) for d in SOLVER_DIRS)
+        in_library = rel.startswith("src/")
+        in_pool_impl = rel.startswith("src/perf")
+
+        self.lint_pool_dispatches(path, clean, lines)
 
         data_aliases = []  # (ptr, container, lineno), reset at function end
         for num, line in enumerate(lines, 1):
@@ -184,6 +210,40 @@ class Linter:
                     self.flag(path, num, "float-eq",
                               "floating-point == / != — use an explicit "
                               "tolerance or diag::exactlyZero()")
+
+            # detached-thread: raw std::thread in library code (src/perf is
+            # the sanctioned owner); .detach() everywhere.
+            if not allowed(line, "detached-thread"):
+                if in_library and not in_pool_impl and THREAD_RE.search(line):
+                    self.flag(path, num, "detached-thread",
+                              "raw std::thread in library code — use "
+                              "perf::ThreadPool (fixed workers, joined in "
+                              "the destructor)")
+                if DETACH_RE.search(line):
+                    self.flag(path, num, "detached-thread",
+                              "detached thread — it outlives the state it "
+                              "captured; join instead")
+
+    def lint_pool_dispatches(self, path, clean, lines):
+        """mutable-capture: scan the argument window of every parallelFor
+        call for a `mutable` lambda with by-value captures. Whole-text scan
+        because the lambda usually starts a line or two below the call."""
+        for m in POOL_DISPATCH_RE.finditer(clean):
+            window = clean[m.end():m.end() + 600]
+            lm = MUTABLE_LAMBDA_RE.search(window)
+            if not lm:
+                continue
+            captures = lm.group(1)
+            if not BY_VALUE_CAPTURE_RE.search(captures):
+                continue  # reference-only captures: mutable is harmless
+            lineno = clean[:m.end() + lm.start()].count("\n") + 1
+            if allowed(lines[lineno - 1], "mutable-capture"):
+                continue
+            self.flag(path, lineno, "mutable-capture",
+                      "mutable by-value lambda dispatched to the pool — "
+                      "each worker mutates a private copy, so workspace "
+                      "state diverges; capture by reference or drop "
+                      "`mutable`")
 
     def lint_entry_points(self):
         for rel, sig in ENTRY_POINTS:

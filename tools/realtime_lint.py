@@ -1,0 +1,496 @@
+#!/usr/bin/env python3
+"""Real-time / allocation-discipline lint for the rfic library.
+
+Functions marked RFIC_REALTIME (the HB matrix-vector apply and
+preconditioner solve, the IES3 matvec, SymbolicLU::refactor and the
+allocation-free solve, fft::Plan execution and the batched transforms, the
+transient Newton inner step) are the per-iteration hot loops the
+performance PRs fought to make allocation-free. This lint keeps them that
+way: it walks the static call graph from every marked *definition* and
+rejects, in any reachable repo function:
+
+  rt-alloc   heap allocation: new / malloc / make_unique / make_shared,
+             allocating container calls (push_back, emplace_back, resize,
+             reserve, assign, insert, emplace), std::function construction,
+             string building, and container/matrix locals constructed with
+             a size or initializer.
+  rt-lock    blocking synchronization: diag::LockGuard / diag::UniqueLock,
+             std::lock_guard / unique_lock / scoped_lock, raw .lock() /
+             .try_lock(), and condition-variable .wait().
+  rt-throw   explicit `throw` / std::rethrow_exception. (RFIC_REQUIRE and
+             the diag::fail* helpers are exempt: they are the sanctioned
+             abort path for broken invariants, cold by definition.)
+  rt-io      stream / stdio I/O: std::cout / cerr / clog, printf family,
+             fstream / stringstream construction, fopen / fwrite / fread,
+             and std::getline.
+
+Suppression — every intentional exception must be auditable in review:
+
+    code();  // rt: allow(<rule>) <justification>
+
+or on its own line immediately above the flagged statement. The
+justification is mandatory; an empty one is itself a violation
+(rt-suppression). Suppressing a *call* line also prunes the walk into that
+callee (the suppression vouches for the whole cold subtree, e.g. the
+Repivoted refactor fallback).
+
+Honest limits (documented, not hidden): calls are resolved textually —
+by unqualified name, then disambiguated by trailing qualifier and argument
+count. Virtual dispatch (device stamps), operator overloads, and calls
+that stay ambiguous after disambiguation are not walked; --verbose lists
+every skipped callee so the residue is reviewable.
+
+Usage: realtime_lint.py [repo_root] [--report FILE] [--verbose]
+       (exit 0 = clean, 1 = violations)
+When repo_root has no src/ directory the tree is scanned as-is — this is
+how the seeded-violation fixture under tests/static/ lints itself.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINT_DIRS = ("src",)
+CPP_EXTS = {".cpp", ".hpp", ".h", ".cc"}
+MARKER = "RFIC_REALTIME"
+RULES = ("rt-alloc", "rt-lock", "rt-throw", "rt-io")
+
+# The sanctioned contract-abort machinery: reachable calls to these are the
+# approved way for a hot loop to bail out on a broken invariant.
+EXEMPT_CALLS = {
+    "RFIC_REQUIRE", "RFIC_CHECK", "failNumerical", "failInvalid",
+    "failUnsupported", "failConvergence",
+}
+
+# Control-flow keywords that look like calls to the extractor.
+NOT_CALLS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "throw",
+    "alignof", "alignas", "decltype", "static_cast", "const_cast",
+    "dynamic_cast", "reinterpret_cast", "static_assert", "defined",
+    "noexcept", "operator", "assert",
+}
+
+ALLOC_RES = [
+    (re.compile(r"(?<![\w.])new\s+[A-Za-z_:<(]"), "raw `new`"),
+    (re.compile(r"\b(?:malloc|calloc|realloc|strdup)\s*\("), "C allocation"),
+    (re.compile(r"\bmake_(?:unique|shared)\b"), "smart-pointer allocation"),
+    (re.compile(r"[.>]\s*(?:push_back|emplace_back|resize|reserve|assign|"
+                r"insert|emplace|append)\s*\("),
+     "allocating container call"),
+    (re.compile(r"\bstd::function\s*<"), "std::function construction"),
+    (re.compile(r"\bstd::to_string\s*\(|\bstd::(?:o|i)?stringstream\b"),
+     "string building"),
+    # Container/matrix local constructed with a size or initializer (a bare
+    # `RVec r;` declaration is fine — it allocates nothing until used).
+    (re.compile(r"^\s*(?:const\s+)?"
+                r"(?:std::vector\s*<[^;&=]*>|std::string|"
+                r"(?:numeric::)?[RC](?:Vec|Mat)|Vec<[^;&=]*>)"
+                r"\s+\w+\s*(?:\(|\{|=[^=])"),
+     "container local constructed with contents"),
+]
+LOCK_RES = [
+    (re.compile(r"\bdiag::(?:LockGuard|UniqueLock)\b|"
+                r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\b"),
+     "scoped lock acquisition"),
+    (re.compile(r"[.>]\s*(?:lock|try_lock)\s*\(\s*\)"), "explicit lock"),
+    (re.compile(r"[.>]\s*wait(?:_for|_until)?\s*\("),
+     "condition-variable wait"),
+]
+THROW_RES = [
+    (re.compile(r"(?<![\w.])throw\b(?!\s*;|\s*\()"), "explicit throw"),
+    (re.compile(r"\bstd::rethrow_exception\b"), "rethrow"),
+]
+IO_RES = [
+    (re.compile(r"\bstd::c(?:out|err|log)\b"), "stream I/O"),
+    (re.compile(r"\b(?:printf|fprintf|sprintf|snprintf|puts|fputs)\s*\("),
+     "stdio I/O"),
+    (re.compile(r"\bstd::[io]?fstream\b|\bfopen\s*\(|\bfwrite\s*\(|"
+                r"\bfread\s*\(|\bstd::getline\s*\("),
+     "file I/O"),
+]
+RULE_TABLE = [("rt-alloc", ALLOC_RES), ("rt-lock", LOCK_RES),
+              ("rt-throw", THROW_RES), ("rt-io", IO_RES)]
+
+ALLOW_RE = re.compile(r"//\s*rt:\s*allow\(([\w-]+)\)\s*(.*)$")
+CALL_RE = re.compile(r"([A-Za-z_]\w*(?:\s*::\s*[A-Za-z_~]\w*)*)\s*\(")
+CTOR_RE = re.compile(r"\b((?:\w+\s*::\s*)*[A-Z]\w*)\s+\w+\s*\(")
+
+
+def strip_comments_and_strings(text):
+    """Blank comments and string/char literals, preserving line structure.
+    Directives are collected separately from the raw text, so nothing needs
+    to survive the stripping here."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append(re.sub(r"[^\n]", " ", text[i:j + 2]))
+            i = j + 2
+        elif c in "\"'":
+            q = c
+            j = i + 1
+            while j < n and text[j] != q:
+                j += 2 if text[j] == "\\" else 1
+            out.append(q + " " * max(0, j - i - 1) + (q if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def top_level_args(argtext):
+    """Number of top-level comma-separated arguments in `argtext` (the text
+    between a call's parentheses)."""
+    if not argtext.strip():
+        return 0
+    depth = 0
+    count = 1
+    for c in argtext:
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            count += 1
+    return count
+
+
+class Function:
+    def __init__(self, path, qname, start_line, sig_text, body, body_line):
+        self.path = path
+        self.qname = qname          # e.g. "SymbolicLU::solve" (templates cut)
+        self.name = qname.split("::")[-1]
+        self.start_line = start_line
+        self.body = body            # stripped text incl. outer braces
+        self.body_line = body_line  # line number of the opening brace
+        params = top_level_args(sig_text)
+        defaults = sig_text.count("=")
+        self.max_args = params
+        self.min_args = max(0, params - defaults)
+        self.marked = False
+
+
+def extract_functions(path, text):
+    """Heuristic definition extractor: for every block-opening `{`, walk back
+    over const/noexcept/override/ctor-initializers to the parameter list and
+    take the qualified token before it as the function name."""
+    funcs = []
+    n = len(text)
+    line_of = [0] * (n + 1)
+    ln = 1
+    for i, c in enumerate(text):
+        line_of[i] = ln
+        if c == "\n":
+            ln += 1
+    line_of[n] = ln
+
+    name_re = re.compile(
+        r"([A-Za-z_~]\w*(?:\s*<[^<>]*>)?(?:\s*::\s*~?[A-Za-z_]\w*"
+        r"(?:\s*<[^<>]*>)?)*)\s*$")
+
+    for m in re.finditer(r"\{", text):
+        brace = m.start()
+        j = brace - 1
+        while j >= 0 and text[j] in " \t\n":
+            j -= 1
+        # Walk back over trailing qualifiers and the whole ctor initializer
+        # list (entries look like `name(args)` preceded by ':' or ',') until
+        # the parameter list's ')' is reached.
+        nm = None
+        k = -1
+        guard = 0
+        while j >= 0 and guard < 200:
+            guard += 1
+            tail = text[max(0, j - 20):j + 1]
+            tm = re.search(r"(const|noexcept|override|final|mutable)\s*$",
+                           tail)
+            if tm:
+                j -= len(tm.group(1))
+                while j >= 0 and text[j] in " \t\n":
+                    j -= 1
+                continue
+            if text[j] != ")":
+                nm = None
+                break
+            # Match this ')' back to its '(' and read the name before it.
+            depth = 0
+            k = j
+            while k >= 0:
+                if text[k] == ")":
+                    depth += 1
+                elif text[k] == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            if k < 0:
+                nm = None
+                break
+            nm = name_re.search(text[:k])
+            if not nm:
+                break
+            p = nm.start(1) - 1
+            while p >= 0 and text[p] in " \t\n":
+                p -= 1
+            if p >= 0 and (text[p] == "," or
+                           (text[p] == ":" and
+                            (p == 0 or text[p - 1] != ":"))):
+                # `name(args)` was a member initializer — keep walking.
+                j = p - 1
+                while j >= 0 and text[j] in " \t\n":
+                    j -= 1
+                nm = None
+                continue
+            break
+        if not nm or k < 0:
+            continue
+        sig_text = text[k + 1:j]
+        qname = re.sub(r"<[^<>]*>", "", nm.group(1))
+        qname = re.sub(r"\s+", "", qname)
+        last = qname.split("::")[-1]
+        if last in NOT_CALLS or not last or last.startswith("~"):
+            continue
+        # Find the matching closing brace of the body.
+        depth = 0
+        end = brace
+        while end < n:
+            if text[end] == "{":
+                depth += 1
+            elif text[end] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        if end >= n:
+            continue
+        f = Function(path, qname, line_of[nm.start(1)], sig_text,
+                     text[brace:end + 1], line_of[brace])
+        # A definition is a seed if RFIC_REALTIME appears between the end of
+        # the previous statement and the function name.
+        head = text[:nm.start(1)]
+        decl_start = max(head.rfind(";"), head.rfind("}"), head.rfind("{"))
+        if MARKER in head[decl_start + 1:]:
+            f.marked = True
+        funcs.append(f)
+    return funcs
+
+
+class Suppressions:
+    """Per-file map of line -> (rule, justification). A directive on its own
+    line covers the next non-blank code line; an inline directive covers its
+    own line. Continuation comment lines extend the justification."""
+
+    def __init__(self, raw_lines):
+        self.by_line = {}
+        self.bad = []  # (lineno, rule) with empty justification
+        pending = None
+        for num, raw in enumerate(raw_lines, 1):
+            m = ALLOW_RE.search(raw)
+            code = raw[:m.start()].strip() if m else raw.strip()
+            if m:
+                rule = m.group(1)
+                just = m.group(2).strip()
+                if not just:
+                    # Justification may continue on the next comment line.
+                    self.bad.append((num, rule))
+                if code:
+                    self.by_line[num] = rule
+                    pending = None
+                else:
+                    pending = (rule, num)
+            elif pending is not None:
+                if code.startswith("//") or not code:
+                    continue  # comment continuation / blank line
+                self.by_line[num] = pending[0]
+                pending = None
+
+    def covers(self, lineno, rule):
+        return self.by_line.get(lineno) == rule
+
+    def covers_any(self, lineno):
+        return lineno in self.by_line
+
+
+class RealtimeLint:
+    def __init__(self, root, verbose=False):
+        self.root = Path(root)
+        self.verbose = verbose
+        self.functions = []       # all repo Function defs
+        self.by_name = {}         # last name -> [Function]
+        self.suppressions = {}    # path -> Suppressions
+        self.findings = []
+        self.skipped = []         # (qname, callee) ambiguous/virtual calls
+        self.walked = set()
+
+    def load(self):
+        dirs = [self.root / d for d in LINT_DIRS if (self.root / d).is_dir()]
+        if not dirs:
+            dirs = [self.root]  # fixture mode: lint the tree as given
+        for base in dirs:
+            for path in sorted(base.rglob("*")):
+                if path.suffix not in CPP_EXTS or not path.is_file():
+                    continue
+                raw = path.read_text()
+                self.suppressions[path] = Suppressions(raw.splitlines())
+                stripped = strip_comments_and_strings(raw)
+                for f in extract_functions(path, stripped):
+                    self.functions.append(f)
+                    self.by_name.setdefault(f.name, []).append(f)
+
+    def resolve(self, callee_qname, nargs):
+        """Resolve a textual call to repo definitions: unqualified-name
+        lookup, longest-trailing-qualifier match, then an arity filter.
+        Returns [] when nothing matches (an external/std call — the textual
+        rules still see the call site), None when irreducibly ambiguous."""
+        parts = callee_qname.split("::")
+        cands = self.by_name.get(parts[-1], [])
+        if not cands:
+            return []
+        if len(parts) > 1:
+            best, best_len = [], 0
+            for f in cands:
+                fp = f.qname.split("::")
+                overlap = 0
+                if fp == parts[-len(fp):] or parts == fp[-len(parts):]:
+                    overlap = min(len(fp), len(parts))
+                if overlap > best_len:
+                    best, best_len = [f], overlap
+                elif overlap == best_len and overlap > 0:
+                    best.append(f)
+            if not best:
+                return []
+            cands = best
+        by_arity = [f for f in cands
+                    if f.min_args <= nargs <= f.max_args]
+        # Defaults often live only in the header declaration, so an arity
+        # miss against a *unique* name still resolves to it.
+        if not by_arity:
+            by_arity = cands if len(cands) == 1 else []
+        uniq = {(f.path, f.body_line): f for f in by_arity}
+        cands = list(uniq.values())
+        if len(cands) == 1:
+            return cands
+        return None if cands else []
+
+    def check_function(self, func, chain):
+        key = (func.path, func.body_line)
+        if key in self.walked:
+            return
+        self.walked.add(key)
+        sup = self.suppressions[func.path]
+        body_lines = func.body.splitlines()
+        for off, line in enumerate(body_lines):
+            lineno = func.body_line + off
+            if func.name in EXEMPT_CALLS:
+                continue
+            for rule, patterns in RULE_TABLE:
+                for rx, what in patterns:
+                    if rx.search(line) and not sup.covers(lineno, rule):
+                        self.findings.append(
+                            (func.path, lineno, rule,
+                             f"{what} in real-time path "
+                             f"[{' -> '.join(chain + [func.qname])}]"))
+        # Walk callees: plain calls plus `Type var(...)` constructor locals.
+        self.walk_calls(func, chain, body_lines)
+
+    def walk_calls(self, func, chain, body_lines):
+        sup = self.suppressions[func.path]
+        text = func.body
+        for m in list(CALL_RE.finditer(text)) + list(CTOR_RE.finditer(text)):
+            name = re.sub(r"\s+", "", m.group(1))
+            last = name.split("::")[-1]
+            if last in NOT_CALLS or last in EXEMPT_CALLS:
+                continue
+            lineno = func.body_line + text[:m.start()].count("\n")
+            # A suppressed call line vouches for the whole callee subtree.
+            if sup.covers_any(lineno):
+                continue
+            # Count arguments of this call.
+            op = text.find("(", m.end() - 1)
+            depth, q = 0, op
+            while q < len(text):
+                if text[q] == "(":
+                    depth += 1
+                elif text[q] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                q += 1
+            nargs = top_level_args(text[op + 1:q]) if q < len(text) else 0
+            resolved = self.resolve(name, nargs)
+            if resolved is None:
+                self.skipped.append((func.qname, name))
+                continue
+            for callee in resolved:
+                if callee is func:
+                    continue
+                self.check_function(callee, chain + [func.qname])
+
+    def run(self):
+        self.load()
+        for path, sup in sorted(self.suppressions.items()):
+            for lineno, rule in sup.bad:
+                # A justification that wraps to the next comment line is
+                # fine; truly empty ones are flagged.
+                raw = path.read_text().splitlines()
+                nxt = raw[lineno].strip() if lineno < len(raw) else ""
+                if not (nxt.startswith("//") and
+                        len(nxt.lstrip("/ ").strip()) > 0):
+                    self.findings.append(
+                        (path, lineno, "rt-suppression",
+                         f"rt: allow({rule}) without a justification — "
+                         "say why the exception is safe"))
+        seeds = [f for f in self.functions if f.marked]
+        for f in seeds:
+            self.check_function(f, [])
+        return seeds
+
+
+def main():
+    argv = sys.argv[1:]
+    verbose = "--verbose" in argv
+    report_path = None
+    if "--report" in argv:
+        i = argv.index("--report")
+        report_path = argv[i + 1]
+        del argv[i:i + 2]
+    argv = [a for a in argv if a != "--verbose"]
+    root = argv[0] if argv else "."
+
+    lint = RealtimeLint(root, verbose)
+    seeds = lint.run()
+
+    lines = []
+    lines.append(f"realtime_lint: {len(seeds)} RFIC_REALTIME root(s), "
+                 f"{len(lint.walked)} function(s) walked, "
+                 f"{len(lint.findings)} finding(s)")
+    for path, lineno, rule, msg in sorted(lint.findings):
+        rel = path.relative_to(lint.root) if path.is_relative_to(lint.root) \
+            else path
+        lines.append(f"  {rel}:{lineno}: [{rule}] {msg}")
+    if verbose and lint.skipped:
+        lines.append(f"  not walked (ambiguous/virtual): "
+                     f"{len(set(lint.skipped))} distinct callee(s)")
+        for caller, callee in sorted(set(lint.skipped)):
+            lines.append(f"    {caller} -> {callee}")
+    out = "\n".join(lines)
+    print(out)
+    if report_path:
+        Path(report_path).write_text(out + "\n")
+    if not seeds:
+        print("realtime_lint: error: no RFIC_REALTIME definitions found")
+        return 1
+    return 1 if lint.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
