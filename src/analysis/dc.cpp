@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 
 namespace rfic::analysis {
 
@@ -133,8 +134,14 @@ DCResult dcOperatingPoint(const MnaSystem& sys, const DCOptions& opts) {
   res.x = RVec(sys.dim(), 0.0);
 
   // One workspace for all strategies: the circuit's pattern and pivot order
-  // carry across Newton restarts and continuation ramps.
-  circuit::MnaWorkspace ws(sys);
+  // carry across Newton restarts and continuation ramps. A caller-supplied
+  // workspace extends that reuse across whole solves (engine context cache).
+  std::optional<circuit::MnaWorkspace> local;
+  if (opts.workspace != nullptr)
+    RFIC_REQUIRE(&opts.workspace->system() == &sys,
+                 "dcOperatingPoint: workspace bound to a different system");
+  circuit::MnaWorkspace& ws =
+      opts.workspace != nullptr ? *opts.workspace : local.emplace(sys);
 
   diag::SolverStatus status = diag::SolverStatus::NotRun;
   const auto budgetAbort = [&](const RVec& partial, const char* strategy) {

@@ -26,6 +26,11 @@ struct DCOptions {
   /// and the solve returns SolverStatus::BudgetExceeded (instead of
   /// escalating strategies or throwing) once it trips.
   diag::RunBudget* budget = nullptr;
+  /// Optional caller-owned workspace (must be built on the same MnaSystem).
+  /// When set, the solve reuses its cached sparsity pattern and SymbolicLU
+  /// pivot order — this is how the engine layer makes repeat-topology jobs
+  /// refactor instead of re-discovering the pattern from scratch.
+  circuit::MnaWorkspace* workspace = nullptr;
 };
 
 struct DCResult {

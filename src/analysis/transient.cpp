@@ -315,8 +315,17 @@ TransientResult runTransient(const MnaSystem& sys, const RVec& x0,
 
   // One workspace for the whole sweep: the sparsity pattern is discovered
   // on the first step and every later Newton iteration refactors in place.
-  std::optional<circuit::MnaWorkspace> ws;
-  if (opts.patternCache) ws.emplace(sys);
+  // A caller-owned workspace (engine context cache) extends the reuse
+  // across runs — repeat jobs refactor instead of re-discovering.
+  std::optional<circuit::MnaWorkspace> local;
+  circuit::MnaWorkspace* ws = nullptr;
+  if (opts.workspace != nullptr) {
+    RFIC_REQUIRE(&opts.workspace->system() == &sys,
+                 "runTransient: workspace bound to a different system");
+    ws = opts.workspace;
+  } else if (opts.patternCache) {
+    ws = &local.emplace(sys);
+  }
 
   const std::size_t n = x0.size();
   Real t = opts.tstart;

@@ -44,6 +44,11 @@ struct TransientOptions {
   /// symbolic/numeric LU split). Off = the original rebuild-everything
   /// path, kept for A/B benchmarking.
   bool patternCache = true;
+  /// Optional caller-owned workspace (must be built on the same MnaSystem;
+  /// implies the pattern-cached path). The engine layer passes a per-
+  /// topology cached workspace here so repeat jobs skip pattern discovery
+  /// and reuse the recorded SymbolicLU pivot order.
+  circuit::MnaWorkspace* workspace = nullptr;
   /// Optional cooperative budget, polled at every step boundary and charged
   /// with the Newton iterations of each attempt. On trip the run saves a
   /// checkpoint (if checkpointPath is set) and returns the partial

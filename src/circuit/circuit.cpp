@@ -22,11 +22,16 @@ int Circuit::allocBranch(const std::string& label) {
 }
 
 int Circuit::findNode(const std::string& name) const {
-  if (name == "0" || name == "gnd" || name == "GND") return -1;
+  const int idx = lookupNode(name);
+  RFIC_REQUIRE(idx != kNoSuchNode, "Circuit::findNode: unknown node " + name);
+  return idx;
+}
+
+int Circuit::lookupNode(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
   const auto it = std::find_if(nodeIndex_.begin(), nodeIndex_.end(),
                                [&](const auto& p) { return p.first == name; });
-  RFIC_REQUIRE(it != nodeIndex_.end(), "Circuit::findNode: unknown node " + name);
-  return it->second;
+  return it != nodeIndex_.end() ? it->second : kNoSuchNode;
 }
 
 }  // namespace rfic::circuit

@@ -186,6 +186,14 @@ class Circuit {
   }
   /// Index of an existing named node; throws if absent.
   int findNode(const std::string& name) const;
+  /// Non-throwing lookup: the node's unknown index, kGround (-1) for the
+  /// ground aliases, or kNoSuchNode (-2) when absent. Validation layers
+  /// (the engine's .print/.noise checks) use this to reject unknown nodes
+  /// with a diagnostic instead of an exception or an out-of-bounds index.
+  int lookupNode(const std::string& name) const;
+
+  static constexpr int kGround = -1;
+  static constexpr int kNoSuchNode = -2;
 
   /// Construct a device in place and take ownership.
   template <class D, class... Args>

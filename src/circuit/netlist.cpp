@@ -71,13 +71,16 @@ class Parser {
       }
     }
     // Two passes: models first so element cards can reference them in any
-    // order.
+    // order. Every per-card parse — including nested throws from
+    // parseSpiceNumber and device-constructor validation — is converted to
+    // a structured NetlistError carrying the line number and card text, so
+    // no malformed input can escape as an unlocated exception.
     int num = 0;
     for (const auto& l : lines) {
       ++num;
       const auto toks = tokenize(stripComment(l));
       if (toks.empty()) continue;
-      if (lower(toks[0]) == ".model") parseModel(toks, num);
+      if (lower(toks[0]) == ".model") guarded(num, l, [&] { parseModel(toks, num); });
     }
     num = 0;
     for (const auto& l : lines) {
@@ -86,7 +89,7 @@ class Parser {
       if (toks.empty()) continue;
       const std::string head = lower(toks[0]);
       if (head[0] == '.' || head[0] == '*') continue;
-      parseElement(toks, num);
+      guarded(num, l, [&] { parseElement(toks, num); });
     }
   }
 
@@ -97,8 +100,26 @@ class Parser {
     return pos == std::string::npos ? l : l.substr(0, pos);
   }
 
+  /// Run one card's parse; rethrow anything that is not already a
+  /// NetlistError as one, attaching this card's location and text.
+  template <class F>
+  void guarded(int lineNum, const std::string& cardText, F&& f) {
+    curCard_ = &cardText;
+    try {
+      f();
+    } catch (const NetlistError&) {
+      curCard_ = nullptr;
+      throw;
+    } catch (const std::exception& e) {
+      curCard_ = nullptr;
+      throw NetlistError(lineNum, cardText, e.what());
+    }
+    curCard_ = nullptr;
+  }
+
   [[noreturn]] void fail(int lineNum, const std::string& msg) const {
-    failInvalid("netlist line " + std::to_string(lineNum) + ": " + msg);
+    throw NetlistError(lineNum, curCard_ != nullptr ? *curCard_ : std::string(),
+                       msg);
   }
 
   void parseModel(const std::vector<std::string>& toks, int lineNum) {
@@ -323,12 +344,28 @@ class Parser {
   }
 
   Circuit& ckt_;
+  const std::string* curCard_ = nullptr;  ///< card under parse (for fail())
   std::map<std::string, ModelCard> models_;
   std::map<std::string, const Inductor*> inductors_;
   std::map<std::string, int> vsourceBranches_;
 };
 
 }  // namespace
+
+namespace {
+std::string renderNetlistError(int line, const std::string& card,
+                               const std::string& detail) {
+  std::string msg = "netlist line " + std::to_string(line) + ": " + detail;
+  if (!card.empty()) msg += " [card: " + card + "]";
+  return msg;
+}
+}  // namespace
+
+NetlistError::NetlistError(int line, std::string card, std::string detail)
+    : InvalidArgument(renderNetlistError(line, card, detail)),
+      line_(line),
+      card_(std::move(card)),
+      detail_(std::move(detail)) {}
 
 Real parseSpiceNumber(const std::string& token) {
   RFIC_REQUIRE(!token.empty(), "parseSpiceNumber: empty token");

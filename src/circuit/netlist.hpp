@@ -16,8 +16,31 @@
 
 namespace rfic::circuit {
 
-/// Parse a netlist from text into a Circuit. Throws InvalidArgument with a
-/// line-numbered message on malformed input.
+/// Structured netlist diagnostic: every parse failure carries the 1-based
+/// source line number and the offending card's text, so a long-lived server
+/// (rficd) can reject a bad job per-request with an actionable message
+/// instead of a bare string. Derives from InvalidArgument, so existing
+/// catch sites keep working; what() renders
+/// "netlist line <N>: <detail> [card: <text>]".
+class NetlistError : public InvalidArgument {
+ public:
+  NetlistError(int line, std::string card, std::string detail);
+
+  int line() const { return line_; }
+  const std::string& card() const { return card_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  int line_;
+  std::string card_;
+  std::string detail_;
+};
+
+/// Parse a netlist from text into a Circuit. Throws NetlistError (an
+/// InvalidArgument) with the line number and card text on malformed input.
+/// Never aborts: every malformed card — including nested device-parameter
+/// validation failures (e.g. a non-positive resistance) — surfaces as a
+/// structured NetlistError a caller can catch per-job.
 void parseNetlist(const std::string& text, Circuit& ckt);
 
 /// Parse a numeric field with SPICE engineering suffixes ("2.2k", "1MEG",

@@ -26,26 +26,22 @@
 // --checkpoint and --resume serialize and restore transient integrator state
 // (see diag/resilience.hpp); --inject-fault arms a fault point
 // ("name" or "name:count", same spec as RFIC_INJECT_FAULT).
-#include <cmath>
-#include <memory>
+//
+// Since the engine refactor this file is a thin client: it parses flags
+// into an engine::JobSpec, runs it through engine::Engine, and replays the
+// Stdout/Stderr events onto stdio. All analysis dispatch, rendering, and
+// resilience plumbing lives in src/engine/ — shared with the rficd daemon.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
-#include <vector>
 
-#include "analysis/ac.hpp"
-#include "analysis/dc.hpp"
-#include "analysis/noise.hpp"
-#include "analysis/transient.hpp"
-#include "circuit/netlist.hpp"
-#include "circuit/sources.hpp"
 #include "diag/fe_trap.hpp"
 #include "diag/resilience.hpp"
-#include "hb/harmonic_balance.hpp"
-#include "hb/spectrum.hpp"
+#include "engine/engine.hpp"
 #include "perf/perf.hpp"
 #include "perf/thread_pool.hpp"
 
@@ -53,207 +49,23 @@ namespace {
 
 using namespace rfic;
 
-std::vector<std::string> splitTokens(const std::string& line) {
-  std::istringstream in(line);
-  std::vector<std::string> toks;
-  std::string t;
-  while (in >> t) toks.push_back(t);
-  return toks;
-}
-
-struct Job {
-  std::vector<std::string> tokens;
-};
-
-// Resilience settings shared by every analysis card in the run.
-struct CliResilience {
-  diag::RunBudget* budget = nullptr;  ///< non-null with --timeout
-  std::string checkpointPath;         ///< --checkpoint
-  bool resume = false;                ///< --resume
-};
-
-int runFile(const std::string& text, const CliResilience& rz) {
-  circuit::Circuit ckt;
-  circuit::parseNetlist(text, ckt);
-  analysis::MnaSystem sys(ckt);
-
-  // Collect analysis and print cards (parseNetlist ignores them).
-  std::vector<Job> jobs;
-  std::vector<std::string> printNodes;
-  {
-    std::istringstream in(text);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty() || line[0] != '.') continue;
-      auto toks = splitTokens(line);
-      if (toks.empty()) continue;
-      std::string head = toks[0];
-      for (auto& ch : head) ch = static_cast<char>(std::tolower(ch));
-      if (head == ".model" || head == ".end") continue;
-      if (head == ".print") {
-        printNodes.assign(toks.begin() + 1, toks.end());
-        continue;
-      }
-      toks[0] = head;
-      jobs.push_back({std::move(toks)});
+/// Replays the engine's event stream onto stdout/stderr — the bytes are
+/// already rendered, so this is write-through.
+class StdioSink : public engine::EventSink {
+ public:
+  void onEvent(const engine::Event& e) override {
+    switch (e.kind) {
+      case engine::Event::Kind::Stdout:
+        std::fwrite(e.text.data(), 1, e.text.size(), stdout);
+        break;
+      case engine::Event::Kind::Stderr:
+        std::fwrite(e.text.data(), 1, e.text.size(), stderr);
+        break;
+      default:
+        break;  // structured events are for queue clients
     }
   }
-  if (jobs.empty()) {
-    std::fprintf(stderr, "no analysis cards (.op/.tran/.ac/.noise/.hb)\n");
-    return 2;
-  }
-
-  // Output selection.
-  std::vector<std::pair<std::string, std::size_t>> outs;
-  if (printNodes.empty()) {
-    for (std::size_t i = 0; i < sys.dim(); ++i)
-      outs.emplace_back(ckt.unknownName(i), i);
-  } else {
-    for (const auto& name : printNodes)
-      outs.emplace_back("V(" + name + ")",
-                        static_cast<std::size_t>(ckt.findNode(name)));
-  }
-
-  analysis::DCOptions dco;
-  dco.budget = rz.budget;
-  const auto dc = analysis::dcOperatingPoint(sys, dco);
-  if (dc.status == diag::SolverStatus::BudgetExceeded) {
-    std::fprintf(stderr, "budget exceeded during .op (%s)\n",
-                 rz.budget ? rz.budget->reason() : "");
-    return 4;
-  }
-
-  for (const auto& job : jobs) {
-    const auto& t = job.tokens;
-    if (t[0] == ".op") {
-      std::printf("* .op (%s, %zu iterations)\n", dc.strategy.c_str(),
-                  dc.iterations);
-      for (const auto& [name, idx] : outs)
-        std::printf("%-14s %16.9e\n", name.c_str(), dc.x[idx]);
-    } else if (t[0] == ".tran" && t.size() >= 3) {
-      analysis::TransientOptions to;
-      to.dt = circuit::parseSpiceNumber(t[1]);
-      to.tstop = circuit::parseSpiceNumber(t[2]);
-      to.budget = rz.budget;
-      to.checkpointPath = rz.checkpointPath;
-      if (!rz.checkpointPath.empty()) to.checkpointInterval = 30.0;
-      to.resume = rz.resume;
-      const auto tr = analysis::runTransient(sys, dc.x, to);
-      std::printf("* .tran dt=%g tstop=%g ok=%d status=%s steps=%zu "
-                  "retries=%zu\n",
-                  to.dt, to.tstop, tr.ok ? 1 : 0, diag::toString(tr.status),
-                  tr.steps, tr.retries);
-      std::printf("%-16s", "time");
-      for (const auto& [name, idx] : outs) std::printf(" %-14s", name.c_str());
-      std::printf("\n");
-      const std::size_t stride = std::max<std::size_t>(1, tr.time.size() / 50);
-      for (std::size_t k = 0; k < tr.time.size(); k += stride) {
-        std::printf("%-16.8e", tr.time[k]);
-        for (const auto& [name, idx] : outs)
-          std::printf(" %-14.6e", tr.x[k][idx]);
-        std::printf("\n");
-      }
-      if (tr.status == diag::SolverStatus::BudgetExceeded) {
-        std::fprintf(stderr, "budget exceeded during .tran (%s)%s\n",
-                     rz.budget ? rz.budget->reason() : "",
-                     rz.checkpointPath.empty() ? ""
-                                               : "; checkpoint saved");
-        return 4;
-      }
-    } else if (t[0] == ".ac" && t.size() >= 5) {
-      const auto pts = static_cast<std::size_t>(
-          circuit::parseSpiceNumber(t[2]));
-      const Real f0 = circuit::parseSpiceNumber(t[3]);
-      const Real f1 = circuit::parseSpiceNumber(t[4]);
-      const Real decades = std::log10(f1 / f0);
-      const auto freqs = analysis::logspace(
-          f0, f1,
-          std::max<std::size_t>(2, static_cast<std::size_t>(
-                                       std::lround(pts * decades)) + 1));
-      // Drive through the first voltage source in the netlist.
-      const circuit::VSource* src = nullptr;
-      for (const auto& dev : ckt.devices())
-        if ((src = dynamic_cast<const circuit::VSource*>(dev.get()))) break;
-      if (!src) {
-        std::fprintf(stderr, ".ac: no voltage source to drive\n");
-        return 2;
-      }
-      const auto sweep = analysis::acSweep(sys, dc.x, freqs,
-                                           analysis::acStimulusVSource(sys, *src));
-      std::printf("* .ac %zu points (driving %s)\n", freqs.size(),
-                  src->name().c_str());
-      std::printf("%-16s", "freq");
-      for (const auto& [name, idx] : outs)
-        std::printf(" %-14s %-10s", ("|" + name + "|").c_str(), "phase");
-      std::printf("\n");
-      for (std::size_t k = 0; k < freqs.size(); ++k) {
-        std::printf("%-16.8e", freqs[k]);
-        for (const auto& [name, idx] : outs) {
-          const Complex v = sweep.x[k][idx];
-          std::printf(" %-14.6e %-10.3f", std::abs(v),
-                      std::arg(v) * 180.0 / kPi);
-        }
-        std::printf("\n");
-      }
-    } else if (t[0] == ".noise" && t.size() >= 6) {
-      const int node = ckt.findNode(t[1]);
-      const auto pts = static_cast<std::size_t>(
-          circuit::parseSpiceNumber(t[3]));
-      const Real f0 = circuit::parseSpiceNumber(t[4]);
-      const Real f1 = circuit::parseSpiceNumber(t[5]);
-      const Real decades = std::log10(f1 / f0);
-      const auto freqs = analysis::logspace(
-          f0, f1,
-          std::max<std::size_t>(2, static_cast<std::size_t>(
-                                       std::lround(pts * decades)) + 1));
-      const auto nr = analysis::noiseAnalysis(sys, dc.x, node, freqs);
-      std::printf("* .noise at V(%s)\n", t[1].c_str());
-      std::printf("%-16s %-14s\n", "freq", "PSD (V^2/Hz)");
-      for (std::size_t k = 0; k < freqs.size(); ++k)
-        std::printf("%-16.8e %-14.6e\n", nr.freq[k], nr.totalPsd[k]);
-    } else if (t[0] == ".hb" && t.size() >= 3) {
-      std::vector<hb::Tone> tones;
-      tones.push_back({circuit::parseSpiceNumber(t[1]),
-                       static_cast<std::size_t>(
-                           circuit::parseSpiceNumber(t[2]))});
-      if (t.size() >= 5)
-        tones.push_back({circuit::parseSpiceNumber(t[3]),
-                         static_cast<std::size_t>(
-                             circuit::parseSpiceNumber(t[4]))});
-      hb::HBOptions ho;
-      ho.continuationSteps = 3;
-      ho.budget = rz.budget;
-      hb::HarmonicBalance eng(sys, tones, ho);
-      const auto sol = eng.solve(dc.x);
-      std::printf("* .hb converged=%d status=%s strategy=%s unknowns=%zu "
-                  "newton=%zu gmres=%zu retries=%zu\n",
-                  sol.converged ? 1 : 0, diag::toString(sol.status),
-                  sol.strategy.c_str(), sol.realUnknowns,
-                  sol.newtonIterations, sol.gmresIterations, sol.retries);
-      if (sol.status == diag::SolverStatus::BudgetExceeded) {
-        std::fprintf(stderr, "budget exceeded during .hb (%s)\n",
-                     rz.budget ? rz.budget->reason() : "");
-        return 4;
-      }
-      if (!sol.converged) return 3;
-      for (const auto& [name, idx] : outs) {
-        std::printf("spectrum of %s:\n", name.c_str());
-        std::printf("  %-14s %-6s %-6s %-14s %-8s\n", "freq", "k1", "k2",
-                    "amp (V)", "dBc");
-        for (const auto& l : hb::spectrumOf(sol, idx)) {
-          if (l.amplitude < 1e-15) continue;
-          std::printf("  %-14.6e %-6d %-6d %-14.6e %-8.1f\n", l.freq, l.k1,
-                      l.k2, l.amplitude, l.dbc);
-        }
-      }
-    } else {
-      std::fprintf(stderr, "unrecognized analysis card: %s\n",
-                   t[0].c_str());
-      return 2;
-    }
-  }
-  return 0;
-}
+};
 
 }  // namespace
 
@@ -263,8 +75,7 @@ int main(int argc, char** argv) {
   // numerics-contract layer.
   std::unique_ptr<diag::ScopedFeTrap> feTrap;
   bool stats = false;
-  diag::RunBudget budget;
-  CliResilience rz;
+  engine::JobSpec spec;
   // Flags taking a value consume argv[2] as well.
   const auto takeValue = [&argc, &argv](const std::string& flag) {
     if (argc < 3) {
@@ -295,12 +106,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--timeout: positive seconds required\n");
         return 1;
       }
-      budget.setWallLimit(sec);
-      rz.budget = &budget;
+      spec.timeoutSeconds = sec;
     } else if (flag == "--checkpoint") {
-      rz.checkpointPath = takeValue(flag);
+      spec.checkpointPath = takeValue(flag);
     } else if (flag == "--resume") {
-      rz.resume = true;
+      spec.resume = true;
     } else if (flag == "--inject-fault") {
       try {
         diag::FaultInjector::global().arm(takeValue(flag));
@@ -323,15 +133,14 @@ int main(int argc, char** argv) {
                  "<netlist-file | ->\n");
     return 1;
   }
-  if (rz.resume && rz.checkpointPath.empty()) {
+  if (spec.resume && spec.checkpointPath.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint <file>\n");
     return 1;
   }
-  std::string text;
   if (std::string(argv[1]) == "-") {
     std::ostringstream buf;
     buf << std::cin.rdbuf();
-    text = buf.str();
+    spec.netlist = buf.str();
   } else {
     std::ifstream in(argv[1]);
     if (!in) {
@@ -340,17 +149,16 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    text = buf.str();
+    spec.netlist = buf.str();
   }
-  try {
-    const int rc = runFile(text, rz);
-    if (stats) {
-      const std::string report = perf::format(perf::global().snapshot());
-      std::fprintf(stderr, "%s", report.c_str());
-    }
-    return rc;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  // Engine::run never throws: parse and solver failures arrive as Stderr
+  // events with the same text and exit codes the monolithic CLI produced.
+  engine::Engine eng;
+  StdioSink sink;
+  const engine::JobResult res = eng.run(spec, sink);
+  if (stats) {
+    const std::string report = perf::format(perf::global().snapshot());
+    std::fprintf(stderr, "%s", report.c_str());
   }
+  return res.exitCode;
 }

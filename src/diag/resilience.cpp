@@ -31,6 +31,7 @@ const char* RunBudget::reason() const {
     case 2: return "newton-iterations";
     case 3: return "krylov-iterations";
     case 4: return "injected";
+    case 5: return "cancelled";
     default: return "";
   }
 }

@@ -86,8 +86,20 @@ class RunBudget {
   /// True once any limit has been hit; sticky. Safe to call concurrently.
   bool exceeded() const;
 
+  /// Cooperative cancellation: trips the budget immediately (sticky), so
+  /// every engine polling budgetExceeded() unwinds with partial results at
+  /// its next step boundary. Safe to call from any thread — this is how
+  /// the engine::Scheduler cancels a running job.
+  void requestCancel() const { trip(5); }
+
+  /// True when the trip came from requestCancel() rather than a limit.
+  bool cancelled() const {
+    return tripped_.load(std::memory_order_relaxed) == 5;
+  }
+
   /// Which limit tripped: "wall-clock", "newton-iterations",
-  /// "krylov-iterations", "injected", or "" while within budget.
+  /// "krylov-iterations", "injected", "cancelled", or "" while within
+  /// budget.
   const char* reason() const;
 
  private:
@@ -107,7 +119,8 @@ class RunBudget {
   std::atomic<std::uint64_t> newtonUsed_{0};
   std::atomic<std::uint64_t> krylovUsed_{0};
   mutable std::atomic<int> tripped_{0};  // 0 ok, 1 wall, 2 newton, 3 krylov,
-                                         // 4 injected (budget-expiry fault)
+                                         // 4 injected (budget-expiry fault),
+                                         // 5 cancelled (requestCancel)
 };
 
 /// The one budget poll every engine uses: true when the (optional) budget

@@ -1,0 +1,512 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "analysis/ac.hpp"
+#include "analysis/dc.hpp"
+#include "analysis/noise.hpp"
+#include "analysis/transient.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/sources.hpp"
+#include "hb/harmonic_balance.hpp"
+#include "hb/spectrum.hpp"
+#include "perf/perf.hpp"
+#include "perf/thread_pool.hpp"
+
+namespace rfic::engine {
+
+const char* toString(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RFIC_PRINTF_ARGS(fmtIdx, firstArg) \
+  __attribute__((format(printf, fmtIdx, firstArg)))
+#else
+#define RFIC_PRINTF_ARGS(fmtIdx, firstArg)
+#endif
+
+void vappendf(std::string& dst, const char* fmt, va_list ap) {
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int need = std::vsnprintf(nullptr, 0, fmt, ap2);
+  va_end(ap2);
+  if (need <= 0) return;
+  const std::size_t base = dst.size();
+  dst.resize(base + static_cast<std::size_t>(need) + 1);
+  std::vsnprintf(&dst[base], static_cast<std::size_t>(need) + 1, fmt, ap);
+  dst.resize(base + static_cast<std::size_t>(need));
+}
+
+RFIC_PRINTF_ARGS(1, 2) std::string strprintf(const char* fmt, ...) {
+  std::string s;
+  va_list ap;
+  va_start(ap, fmt);
+  vappendf(s, fmt, ap);
+  va_end(ap);
+  return s;
+}
+
+/// Renders the job's textual output into Stdout/Stderr events, preserving
+/// the exact bytes (and the stdout/stderr interleaving) the monolithic CLI
+/// produced with printf/fprintf. Stdout text is coalesced until a flush
+/// point (a stderr line, an analysis boundary, or job end) so the event
+/// stream stays coarse-grained.
+class Renderer {
+ public:
+  Renderer(EventSink& sink, JobId id) : sink_(sink), id_(id) {}
+  ~Renderer() { flush(); }
+
+  RFIC_PRINTF_ARGS(2, 3) void outf(const char* fmt, ...) {
+    va_list ap;
+    va_start(ap, fmt);
+    vappendf(pending_, fmt, ap);
+    va_end(ap);
+  }
+
+  RFIC_PRINTF_ARGS(2, 3) void errf(const char* fmt, ...) {
+    flush();  // keep relative stdout/stderr order for merged-stream clients
+    std::string s;
+    va_list ap;
+    va_start(ap, fmt);
+    vappendf(s, fmt, ap);
+    va_end(ap);
+    emit(Event::Kind::Stderr, std::move(s));
+  }
+
+  void flush() {
+    if (pending_.empty()) return;
+    std::string s;
+    s.swap(pending_);
+    emit(Event::Kind::Stdout, std::move(s));
+  }
+
+  void analysisDone(const AnalysisOutcome& a) {
+    flush();
+    Event e;
+    e.kind = Event::Kind::AnalysisDone;
+    e.job = id_;
+    e.analysis = a;
+    sink_.onEvent(e);
+  }
+
+ private:
+  void emit(Event::Kind kind, std::string text) {
+    if (text.empty()) return;
+    Event e;
+    e.kind = kind;
+    e.job = id_;
+    e.text = std::move(text);
+    sink_.onEvent(e);
+  }
+
+  EventSink& sink_;
+  JobId id_;
+  std::string pending_;
+};
+
+std::vector<std::string> splitTokens(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (in >> t) toks.push_back(t);
+  return toks;
+}
+
+std::string lowered(std::string s) {
+  for (auto& ch : s)
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return s;
+}
+
+bool isAnalysisHead(const std::string& head) {
+  return head == ".op" || head == ".tran" || head == ".ac" ||
+         head == ".noise" || head == ".hb" || head == ".print" ||
+         head == ".end";
+}
+
+/// The ported body of the old rficsim runFile(): runs every analysis card
+/// against an acquired context, renders byte-identical output, and fills
+/// the structured per-analysis outcomes. Returns the process exit code.
+int runCards(const JobSpec& spec, circuit::Circuit& ckt,
+             circuit::MnaSystem& sys, circuit::MnaWorkspace& ws,
+             diag::RunBudget* budget, Renderer& r, JobResult& res) {
+  // Collect analysis and print cards (parseNetlist ignores them).
+  struct Card {
+    std::vector<std::string> tokens;
+  };
+  std::vector<Card> cards;
+  std::vector<std::string> printNodes;
+  {
+    std::istringstream in(spec.netlist);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] != '.') continue;
+      auto toks = splitTokens(line);
+      if (toks.empty()) continue;
+      const std::string head = lowered(toks[0]);
+      if (head == ".model" || head == ".end") continue;
+      if (head == ".print") {
+        printNodes.assign(toks.begin() + 1, toks.end());
+        continue;
+      }
+      toks[0] = head;
+      cards.push_back({std::move(toks)});
+    }
+  }
+  if (cards.empty()) {
+    res.error = "no analysis cards";
+    r.errf("no analysis cards (.op/.tran/.ac/.noise/.hb)\n");
+    return 2;
+  }
+
+  // Output selection. Unknown or ground nodes in .print are a usage error
+  // (exit 2) with a diagnostic naming the card — the old CLI either threw
+  // (unknown → exit 1) or indexed out of bounds (ground alias → UB).
+  std::vector<std::pair<std::string, std::size_t>> outs;
+  if (printNodes.empty()) {
+    for (std::size_t i = 0; i < sys.dim(); ++i)
+      outs.emplace_back(ckt.unknownName(i), i);
+  } else {
+    for (const auto& name : printNodes) {
+      const int id = ckt.lookupNode(name);
+      if (id == circuit::Circuit::kNoSuchNode) {
+        res.error = ".print: unknown node '" + name + "'";
+        r.errf(".print: unknown node '%s' (not in the netlist)\n",
+              name.c_str());
+        return 2;
+      }
+      if (id == circuit::Circuit::kGround) {
+        res.error = ".print: node '" + name + "' is ground";
+        r.errf(".print: node '%s' is ground (identically 0 V, not an "
+              "unknown)\n",
+              name.c_str());
+        return 2;
+      }
+      outs.emplace_back("V(" + name + ")", static_cast<std::size_t>(id));
+    }
+  }
+
+  analysis::DCOptions dco;
+  dco.budget = budget;
+  dco.workspace = &ws;
+  const auto dc = analysis::dcOperatingPoint(sys, dco);
+  if (dc.status == diag::SolverStatus::BudgetExceeded) {
+    if (budget->cancelled()) {
+      r.errf("job cancelled during .op\n");
+      return 5;
+    }
+    r.errf("budget exceeded during .op (%s)\n", budget->reason());
+    return 4;
+  }
+
+  for (const auto& card : cards) {
+    const auto& t = card.tokens;
+    if (budget->cancelled()) {
+      r.errf("job cancelled\n");
+      return 5;
+    }
+    if (t[0] == ".op") {
+      AnalysisOutcome a;
+      a.card = ".op";
+      a.summary = strprintf("* .op (%s, %zu iterations)", dc.strategy.c_str(),
+                            dc.iterations);
+      a.status = dc.status;
+      a.ok = dc.converged;
+      r.outf("%s\n", a.summary.c_str());
+      for (const auto& [name, idx] : outs)
+        r.outf("%-14s %16.9e\n", name.c_str(), dc.x[idx]);
+      res.analyses.push_back(a);
+      r.analysisDone(a);
+    } else if (t[0] == ".tran" && t.size() >= 3) {
+      analysis::TransientOptions to;
+      to.dt = circuit::parseSpiceNumber(t[1]);
+      to.tstop = circuit::parseSpiceNumber(t[2]);
+      to.workspace = &ws;
+      to.budget = budget;
+      to.checkpointPath = spec.checkpointPath;
+      if (!spec.checkpointPath.empty()) to.checkpointInterval = 30.0;
+      to.resume = spec.resume;
+      const auto tr = analysis::runTransient(sys, dc.x, to);
+      AnalysisOutcome a;
+      a.card = ".tran";
+      a.summary = strprintf(
+          "* .tran dt=%g tstop=%g ok=%d status=%s steps=%zu retries=%zu",
+          to.dt, to.tstop, tr.ok ? 1 : 0, diag::toString(tr.status), tr.steps,
+          tr.retries);
+      a.status = tr.status;
+      a.ok = tr.ok;
+      r.outf("%s\n", a.summary.c_str());
+      r.outf("%-16s", "time");
+      for (const auto& [name, idx] : outs) r.outf(" %-14s", name.c_str());
+      r.outf("\n");
+      const std::size_t stride = std::max<std::size_t>(1, tr.time.size() / 50);
+      for (std::size_t k = 0; k < tr.time.size(); k += stride) {
+        r.outf("%-16.8e", tr.time[k]);
+        for (const auto& [name, idx] : outs) r.outf(" %-14.6e", tr.x[k][idx]);
+        r.outf("\n");
+      }
+      res.analyses.push_back(a);
+      r.analysisDone(a);
+      if (tr.status == diag::SolverStatus::BudgetExceeded) {
+        if (budget->cancelled()) {
+          r.errf("job cancelled during .tran%s\n",
+                spec.checkpointPath.empty() ? "" : "; checkpoint saved");
+          return 5;
+        }
+        r.errf("budget exceeded during .tran (%s)%s\n", budget->reason(),
+              spec.checkpointPath.empty() ? "" : "; checkpoint saved");
+        return 4;
+      }
+    } else if (t[0] == ".ac" && t.size() >= 5) {
+      const auto pts =
+          static_cast<std::size_t>(circuit::parseSpiceNumber(t[2]));
+      const Real f0 = circuit::parseSpiceNumber(t[3]);
+      const Real f1 = circuit::parseSpiceNumber(t[4]);
+      const Real decades = std::log10(f1 / f0);
+      const auto freqs = analysis::logspace(
+          f0, f1,
+          std::max<std::size_t>(
+              2, static_cast<std::size_t>(std::lround(pts * decades)) + 1));
+      // Drive through the first voltage source in the netlist.
+      const circuit::VSource* src = nullptr;
+      for (const auto& dev : ckt.devices())
+        if ((src = dynamic_cast<const circuit::VSource*>(dev.get()))) break;
+      if (!src) {
+        res.error = ".ac: no voltage source to drive";
+        r.errf(".ac: no voltage source to drive\n");
+        return 2;
+      }
+      const auto sweep = analysis::acSweep(
+          sys, dc.x, freqs, analysis::acStimulusVSource(sys, *src));
+      AnalysisOutcome a;
+      a.card = ".ac";
+      a.summary = strprintf("* .ac %zu points (driving %s)", freqs.size(),
+                            src->name().c_str());
+      a.status = diag::SolverStatus::Converged;
+      a.ok = true;
+      r.outf("%s\n", a.summary.c_str());
+      r.outf("%-16s", "freq");
+      for (const auto& [name, idx] : outs)
+        r.outf(" %-14s %-10s", ("|" + name + "|").c_str(), "phase");
+      r.outf("\n");
+      for (std::size_t k = 0; k < freqs.size(); ++k) {
+        r.outf("%-16.8e", freqs[k]);
+        for (const auto& [name, idx] : outs) {
+          const Complex v = sweep.x[k][idx];
+          r.outf(" %-14.6e %-10.3f", std::abs(v), std::arg(v) * 180.0 / kPi);
+        }
+        r.outf("\n");
+      }
+      res.analyses.push_back(a);
+      r.analysisDone(a);
+    } else if (t[0] == ".noise" && t.size() >= 6) {
+      const int node = ckt.lookupNode(t[1]);
+      if (node < 0) {
+        res.error = ".noise: unknown or ground node '" + t[1] + "'";
+        r.errf(".noise: unknown or ground node '%s'\n", t[1].c_str());
+        return 2;
+      }
+      const auto pts =
+          static_cast<std::size_t>(circuit::parseSpiceNumber(t[3]));
+      const Real f0 = circuit::parseSpiceNumber(t[4]);
+      const Real f1 = circuit::parseSpiceNumber(t[5]);
+      const Real decades = std::log10(f1 / f0);
+      const auto freqs = analysis::logspace(
+          f0, f1,
+          std::max<std::size_t>(
+              2, static_cast<std::size_t>(std::lround(pts * decades)) + 1));
+      const auto nr = analysis::noiseAnalysis(sys, dc.x, node, freqs);
+      AnalysisOutcome a;
+      a.card = ".noise";
+      a.summary = strprintf("* .noise at V(%s)", t[1].c_str());
+      a.status = diag::SolverStatus::Converged;
+      a.ok = true;
+      r.outf("%s\n", a.summary.c_str());
+      r.outf("%-16s %-14s\n", "freq", "PSD (V^2/Hz)");
+      for (std::size_t k = 0; k < freqs.size(); ++k)
+        r.outf("%-16.8e %-14.6e\n", nr.freq[k], nr.totalPsd[k]);
+      res.analyses.push_back(a);
+      r.analysisDone(a);
+    } else if (t[0] == ".hb" && t.size() >= 3) {
+      std::vector<hb::Tone> tones;
+      tones.push_back(
+          {circuit::parseSpiceNumber(t[1]),
+           static_cast<std::size_t>(circuit::parseSpiceNumber(t[2]))});
+      if (t.size() >= 5)
+        tones.push_back(
+            {circuit::parseSpiceNumber(t[3]),
+             static_cast<std::size_t>(circuit::parseSpiceNumber(t[4]))});
+      hb::HBOptions ho;
+      ho.continuationSteps = 3;
+      ho.budget = budget;
+      hb::HarmonicBalance eng(sys, tones, ho);
+      const auto sol = eng.solve(dc.x);
+      AnalysisOutcome a;
+      a.card = ".hb";
+      a.summary = strprintf(
+          "* .hb converged=%d status=%s strategy=%s unknowns=%zu newton=%zu "
+          "gmres=%zu retries=%zu",
+          sol.converged ? 1 : 0, diag::toString(sol.status),
+          sol.strategy.c_str(), sol.realUnknowns, sol.newtonIterations,
+          sol.gmresIterations, sol.retries);
+      a.status = sol.status;
+      a.ok = sol.converged;
+      r.outf("%s\n", a.summary.c_str());
+      if (sol.status == diag::SolverStatus::BudgetExceeded) {
+        res.analyses.push_back(a);
+        r.analysisDone(a);
+        if (budget->cancelled()) {
+          r.errf("job cancelled during .hb\n");
+          return 5;
+        }
+        r.errf("budget exceeded during .hb (%s)\n", budget->reason());
+        return 4;
+      }
+      if (!sol.converged) {
+        res.analyses.push_back(a);
+        r.analysisDone(a);
+        return 3;
+      }
+      for (const auto& [name, idx] : outs) {
+        r.outf("spectrum of %s:\n", name.c_str());
+        r.outf("  %-14s %-6s %-6s %-14s %-8s\n", "freq", "k1", "k2", "amp (V)",
+              "dBc");
+        for (const auto& l : hb::spectrumOf(sol, idx)) {
+          if (l.amplitude < 1e-15) continue;
+          r.outf("  %-14.6e %-6d %-6d %-14.6e %-8.1f\n", l.freq, l.k1, l.k2,
+                l.amplitude, l.dbc);
+        }
+      }
+      res.analyses.push_back(a);
+      r.analysisDone(a);
+    } else {
+      res.error = "unrecognized analysis card: " + t[0];
+      r.errf("unrecognized analysis card: %s\n", t[0].c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string topologyKey(const std::string& netlist) {
+  std::string key;
+  key.reserve(netlist.size());
+  std::istringstream in(netlist);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+      line.pop_back();
+    if (line.empty() || line[0] == '*') continue;  // blank / comment
+    if (line[0] == '.') {
+      const auto toks = splitTokens(line);
+      if (toks.empty() || isAnalysisHead(lowered(toks[0]))) continue;
+    }
+    key += line;
+    key += '\n';
+  }
+  return key;
+}
+
+std::uint64_t topologyHash(const std::string& key) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a 64
+  for (const unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::size_t Engine::pooledContexts() {
+  diag::LockGuard lock(mu_);
+  return pool_.size();
+}
+
+std::unique_ptr<Engine::Context> Engine::acquireContext(const std::string& netlist) {
+  const std::string key = topologyKey(netlist);
+  const std::uint64_t h = topologyHash(key);
+  {
+    diag::LockGuard lock(mu_);
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+      if ((*it)->hash == h && (*it)->key == key) {
+        auto ctx = std::move(*it);
+        pool_.erase(it);
+        perf::global().addCtxHit();
+        return ctx;
+      }
+    }
+  }
+  perf::global().addCtxMiss();
+  auto ctx = std::make_unique<Context>();
+  ctx->key = key;
+  ctx->hash = h;
+  circuit::parseNetlist(netlist, ctx->ckt);
+  ctx->sys = std::make_unique<circuit::MnaSystem>(ctx->ckt);
+  ctx->ws = std::make_unique<circuit::MnaWorkspace>(*ctx->sys);
+  return ctx;
+}
+
+void Engine::releaseContext(std::unique_ptr<Context> ctx) {
+  if (ctx == nullptr) return;
+  diag::LockGuard lock(mu_);
+  if (pool_.size() < opts_.contextCacheCap) pool_.push_back(std::move(ctx));
+}
+
+JobResult Engine::run(const JobSpec& spec, EventSink& sink,
+                      diag::RunBudget* budget) {
+  JobResult res;
+  diag::RunBudget local;
+  if (budget == nullptr) {
+    if (spec.timeoutSeconds > 0) local.setWallLimit(spec.timeoutSeconds);
+    if (spec.newtonLimit > 0) local.setNewtonLimit(spec.newtonLimit);
+    if (spec.krylovLimit > 0) local.setKrylovLimit(spec.krylovLimit);
+    budget = &local;
+  }
+  Renderer r(sink, spec.id);
+  {
+    // Per-job attribution: every counter event on this thread (and on pool
+    // workers running this job's parallel sections) lands in jobCounters,
+    // then folds into the process totals when the scope exits.
+    perf::Counters jobCounters;
+    perf::CounterScope scope(jobCounters);
+    std::optional<perf::ThreadPool::ScopedLaneCap> lanes;
+    if (spec.threadShare > 0) lanes.emplace(spec.threadShare);
+    std::unique_ptr<Context> ctx;
+    try {
+      ctx = acquireContext(spec.netlist);
+      res.exitCode = runCards(spec, ctx->ckt, *ctx->sys, *ctx->ws, budget, r,
+                              res);
+    } catch (const std::exception& e) {
+      // Parse errors, bad card arguments, solver non-convergence throws:
+      // same rendering and exit code as the old CLI's catch-all in main().
+      res.error = e.what();
+      r.errf("error: %s\n", e.what());
+      res.exitCode = 1;
+    }
+    releaseContext(std::move(ctx));
+    res.perf = jobCounters.snapshot();
+  }
+  r.flush();
+  res.cancelled = res.exitCode == 5;
+  return res;
+}
+
+}  // namespace rfic::engine

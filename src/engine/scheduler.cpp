@@ -1,0 +1,197 @@
+#include "engine/scheduler.hpp"
+
+#include <string>
+#include <utility>
+
+namespace rfic::engine {
+
+Scheduler::Scheduler(Options opts) : opts_(opts), engine_(opts.engine) {
+  if (opts_.workers == 0) opts_.workers = 1;
+  if (opts_.queueDepth == 0) opts_.queueDepth = 1;
+  workers_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i)
+    // lint: allow-detached-thread — joined in shutdown()/~Scheduler.
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+JobId Scheduler::submit(JobSpec spec, std::shared_ptr<EventSink> sink) {
+  RFIC_REQUIRE(sink != nullptr, "Scheduler::submit: null sink");
+  diag::UniqueLock lock(mu_);
+  if (stop_ || active_ >= opts_.queueDepth) return 0;  // admission refused
+  const JobId id = nextId_++;
+  spec.id = id;
+  auto e = std::make_unique<Entry>();
+  e->spec = std::move(spec);
+  e->sink = std::move(sink);
+  // The budget is armed at admission, not at start: a wall-clock limit
+  // covers time spent waiting in the queue as well, so a stale job can
+  // expire mid-queue and never occupy a worker.
+  if (e->spec.timeoutSeconds > 0)
+    e->budget.setWallLimit(e->spec.timeoutSeconds);
+  if (e->spec.newtonLimit > 0) e->budget.setNewtonLimit(e->spec.newtonLimit);
+  if (e->spec.krylovLimit > 0) e->budget.setKrylovLimit(e->spec.krylovLimit);
+  jobs_.emplace(id, std::move(e));
+  fifo_.push_back(id);
+  ++active_;
+  cvWork_.notify_one();
+  return id;
+}
+
+bool Scheduler::cancel(JobId id) {
+  diag::UniqueLock lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Entry& e = *it->second;
+  if (e.finished || e.state == JobState::Done ||
+      e.state == JobState::Cancelled)
+    return false;
+  e.budget.requestCancel();
+  if (e.state == JobState::Running) return true;  // unwinds at next poll
+  // Queued: finalize right here so the client hears promptly instead of
+  // waiting for a worker to drain down to this entry.
+  e.state = JobState::Cancelled;
+  JobResult res;
+  res.exitCode = 5;
+  res.cancelled = true;
+  res.error = "cancelled while queued";
+  finalize(e, std::move(res), lock, "job cancelled while queued\n");
+  return true;
+}
+
+std::optional<JobInfo> Scheduler::info(JobId id) {
+  diag::LockGuard lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Entry& e = *it->second;
+  return JobInfo{id, e.spec.label, e.state, e.result.exitCode};
+}
+
+std::vector<JobInfo> Scheduler::list() {
+  diag::LockGuard lock(mu_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, ep] : jobs_)
+    out.push_back(JobInfo{id, ep->spec.label, ep->state,
+                          ep->result.exitCode});
+  return out;
+}
+
+JobResult Scheduler::wait(JobId id) {
+  diag::UniqueLock lock(mu_);
+  const auto it = jobs_.find(id);
+  RFIC_REQUIRE(it != jobs_.end(), "Scheduler::wait: unknown job id");
+  Entry& e = *it->second;
+  while (!e.finished) cvDone_.wait(lock.native());
+  return e.result;
+}
+
+void Scheduler::drain() {
+  diag::UniqueLock lock(mu_);
+  while (active_ != 0) cvDone_.wait(lock.native());
+}
+
+void Scheduler::shutdown() {
+  {
+    diag::UniqueLock lock(mu_);
+    stop_ = true;  // no further submissions; workers exit once fifo_ drains
+    // jobs_ is never erased from and stop_ blocks inserts, so iterating
+    // while finalize() drops the lock per entry is safe; a concurrent
+    // cancel() of the same entry loses the state race and backs off.
+    for (auto& [id, ep] : jobs_) {
+      Entry& e = *ep;
+      if (e.finished || e.state == JobState::Done ||
+          e.state == JobState::Cancelled)
+        continue;
+      e.budget.requestCancel();
+      if (e.state != JobState::Queued) continue;  // running: unwinds itself
+      e.state = JobState::Cancelled;
+      JobResult res;
+      res.exitCode = 5;
+      res.cancelled = true;
+      res.error = "cancelled: scheduler shutdown";
+      finalize(e, std::move(res), lock, "job cancelled: scheduler shutdown\n");
+    }
+    cvWork_.notify_all();
+  }
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+void Scheduler::finalize(Entry& e, JobResult result, diag::UniqueLock& lock,
+                         const std::string& stderrText) {
+  e.result = std::move(result);
+  std::shared_ptr<EventSink> sink = std::move(e.sink);
+  Event fin;
+  fin.kind = Event::Kind::Finished;
+  fin.job = e.spec.id;
+  fin.result = e.result;
+  // Deliver outside the lock: a sink may block on socket I/O, and holding
+  // mu_ there would stall every worker and submit(). The entry stays valid
+  // (jobs_ never erases) and no other thread touches it while its state is
+  // already terminal and `finished` is still false.
+  lock.native().unlock();
+  if (sink) {
+    if (!stderrText.empty()) {
+      Event se;
+      se.kind = Event::Kind::Stderr;
+      se.job = fin.job;
+      se.text = stderrText;
+      sink->onEvent(se);
+    }
+    sink->onEvent(fin);
+  }
+  lock.native().lock();
+  e.finished = true;
+  --active_;
+  cvDone_.notify_all();
+}
+
+void Scheduler::workerLoop() {
+  for (;;) {
+    Entry* e = nullptr;
+    std::shared_ptr<EventSink> sink;
+    {
+      diag::UniqueLock lock(mu_);
+      while (!stop_ && fifo_.empty()) cvWork_.wait(lock.native());
+      if (fifo_.empty()) return;  // stop_ set and nothing left to drain
+      const JobId id = fifo_.front();
+      fifo_.pop_front();
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end()) continue;
+      e = it->second.get();
+      if (e->state != JobState::Queued) continue;  // cancelled while queued
+      if (diag::budgetExceeded(&e->budget) && !e->budget.cancelled()) {
+        // Expired while waiting in the queue: never run it.
+        e->state = JobState::Done;
+        JobResult res;
+        res.exitCode = 4;
+        res.error = std::string("budget exceeded while queued (") +
+                    e->budget.reason() + ")";
+        finalize(*e, std::move(res), lock,
+                 std::string("budget exceeded while queued (") +
+                     e->budget.reason() + ")\n");
+        continue;
+      }
+      e->state = JobState::Running;
+      sink = e->sink;  // keep alive across the run without the lock
+    }
+
+    Event started;
+    started.kind = Event::Kind::Started;
+    started.job = e->spec.id;
+    sink->onEvent(started);
+
+    JobResult res = engine_.run(e->spec, *sink, &e->budget);
+
+    {
+      diag::UniqueLock lock(mu_);
+      e->state = res.cancelled ? JobState::Cancelled : JobState::Done;
+      finalize(*e, std::move(res), lock);
+    }
+  }
+}
+
+}  // namespace rfic::engine

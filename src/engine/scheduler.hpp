@@ -1,0 +1,130 @@
+// Scheduler: a FIFO job queue running admitted JobSpecs on its own worker
+// threads, all sharing one Engine (and therefore one context pool, one
+// perf::ThreadPool, one fft::PlanCache).
+//
+// Design points, in the order the ISSUE names them:
+//
+//  * Admission control — submit() rejects (returns 0) once
+//    queued + running reaches Options::queueDepth, giving clients
+//    immediate backpressure instead of an unbounded queue. Each job's
+//    RunBudget is armed at admission, so its wall-clock limit covers queue
+//    wait too: a job can expire mid-queue and is then finalized with exit
+//    code 4 without ever running.
+//
+//  * Cooperative cancellation — cancel() trips the job's RunBudget
+//    (requestCancel). A queued job is finalized immediately from the
+//    cancelling thread; a running one unwinds at the engines' next budget
+//    poll and finishes with exit code 5. There is no thread kill anywhere.
+//
+//  * FIFO fairness — workers pop strictly in submission order; a job's
+//    threadShare limits how many perf::ThreadPool lanes its parallel
+//    sections may occupy, so one wide job can't starve the queue.
+//
+// Event delivery: the Scheduler emits Started and Finished itself and
+// forwards everything the Engine streams in between. Events for one job
+// arrive in order from one thread at a time, but a sink shared by several
+// jobs sees interleaved calls from different workers — sinks serialize
+// internally (engine/job.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "diag/resilience.hpp"
+#include "diag/thread_annotations.hpp"
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
+
+namespace rfic::engine {
+
+/// Status-listing view of one job (daemon `status` command, tests).
+struct JobInfo {
+  JobId id = 0;
+  std::string label;
+  JobState state = JobState::Queued;
+  int exitCode = 0;  ///< valid once state is Done/Cancelled
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    std::size_t workers = 1;     ///< concurrent jobs
+    std::size_t queueDepth = 64; ///< admission cap: queued + running jobs
+    Engine::Options engine;
+  };
+
+  Scheduler() : Scheduler(Options{}) {}
+  explicit Scheduler(Options opts);
+  ~Scheduler();  ///< shutdown(): cancels everything and joins the workers
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admit a job: assigns and returns its JobId (>= 1), arms its RunBudget
+  /// from the spec's limits, and queues it. Returns 0 — admission refused —
+  /// when the queue is at queueDepth or the scheduler is shutting down.
+  /// `sink` receives the job's whole event stream (Started .. Finished) and
+  /// is kept alive by the scheduler until the Finished event is delivered.
+  JobId submit(JobSpec spec, std::shared_ptr<EventSink> sink)
+      RFIC_EXCLUDES(mu_);
+
+  /// Request cancellation. Queued jobs finalize immediately (Finished with
+  /// exit 5 is emitted from this thread); running jobs unwind at their next
+  /// budget poll. Returns false for unknown or already-finished jobs.
+  bool cancel(JobId id) RFIC_EXCLUDES(mu_);
+
+  std::optional<JobInfo> info(JobId id) RFIC_EXCLUDES(mu_);
+  std::vector<JobInfo> list() RFIC_EXCLUDES(mu_);
+
+  /// Block until the job finishes and return its result. Throws
+  /// InvalidArgument for an unknown id.
+  JobResult wait(JobId id) RFIC_EXCLUDES(mu_);
+
+  /// Block until every admitted job has finished.
+  void drain() RFIC_EXCLUDES(mu_);
+
+  /// Stop admitting, cancel every queued and running job, join the
+  /// workers. Idempotent.
+  void shutdown() RFIC_EXCLUDES(mu_);
+
+  Engine& engine() { return engine_; }
+
+ private:
+  struct Entry {
+    JobSpec spec;
+    std::shared_ptr<EventSink> sink;
+    JobState state = JobState::Queued;
+    diag::RunBudget budget;  ///< armed at submit; cancel() trips it
+    JobResult result;
+    bool finished = false;  ///< result valid + Finished event delivered
+  };
+
+  void workerLoop();
+  /// Emits (optionally a Stderr line and) Finished, then marks the entry
+  /// done. Called with mu_ held and the entry's state already terminal;
+  /// drops the lock around the sink calls (sinks may block on I/O).
+  void finalize(Entry& e, JobResult result, diag::UniqueLock& lock,
+                const std::string& stderrText = {}) RFIC_REQUIRES(mu_);
+
+  Options opts_;
+  Engine engine_;
+
+  diag::Mutex mu_;
+  std::condition_variable cvWork_;   ///< workers: queue became non-empty
+  std::condition_variable cvDone_;   ///< waiters: some job finished
+  std::map<JobId, std::unique_ptr<Entry>> jobs_ RFIC_GUARDED_BY(mu_);
+  std::deque<JobId> fifo_ RFIC_GUARDED_BY(mu_);
+  JobId nextId_ RFIC_GUARDED_BY(mu_) = 1;
+  std::size_t active_ RFIC_GUARDED_BY(mu_) = 0;  ///< queued + running
+  bool stop_ RFIC_GUARDED_BY(mu_) = false;
+
+  // allow-detached-thread: scheduler workers, joined in shutdown().
+  std::vector<std::thread> workers_;  // lint: allow-detached-thread (joined)
+};
+
+}  // namespace rfic::engine

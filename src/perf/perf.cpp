@@ -4,13 +4,42 @@
 
 namespace rfic::perf {
 
-Counters& global() {
+namespace {
+// Innermost CounterScope on this thread; null = bumps go to process().
+thread_local Counters* tlScope = nullptr;
+}  // namespace
+
+Counters& process() {
   static Counters instance;
   return instance;
 }
 
+Counters& global() {
+  Counters* s = tlScope;
+  return s != nullptr ? *s : process();
+}
+
+CounterScope::CounterScope(Counters& c) : mine_(c), prev_(tlScope) {
+  tlScope = &c;
+}
+
+CounterScope::~CounterScope() {
+  tlScope = prev_;
+  // Fold the scope's totals into the enclosing attribution target so the
+  // process-wide numbers are unchanged by scoping.
+  (prev_ != nullptr ? *prev_ : process()).addSnapshot(mine_.snapshot());
+}
+
+Counters* CounterScope::current() { return tlScope; }
+
+Counters* CounterScope::exchange(Counters* c) {
+  Counters* prev = tlScope;
+  tlScope = c;
+  return prev;
+}
+
 std::string format(const Snapshot& s) {
-  char buf[1024];
+  char buf[1536];
   const auto ms = [](std::uint64_t ns) {
     return static_cast<double>(ns) * 1e-6;
   };
@@ -23,6 +52,7 @@ std::string format(const Snapshot& s) {
                 "plan cache       %10llu hits / %llu misses\n"
                 "matvecs          %10llu  (%10.3f ms)\n"
                 "extract builds   %10llu  (%10.3f ms, %10.3f ms compress)\n"
+                "engine ctx cache %10llu hits / %llu misses\n"
                 "retries          %10llu\n"
                 "fallbacks        %10llu\n",
                 static_cast<unsigned long long>(s.evals), ms(s.evalNs),
@@ -37,6 +67,8 @@ std::string format(const Snapshot& s) {
                 static_cast<unsigned long long>(s.matvecs), ms(s.matvecNs),
                 static_cast<unsigned long long>(s.extractBuilds),
                 ms(s.extractBuildNs), ms(s.extractCompressNs),
+                static_cast<unsigned long long>(s.ctxHits),
+                static_cast<unsigned long long>(s.ctxMisses),
                 static_cast<unsigned long long>(s.retries),
                 static_cast<unsigned long long>(s.fallbacks));
   return buf;

@@ -37,6 +37,11 @@ struct Snapshot {
   std::uint64_t planCacheMisses = 0;   ///< fft::PlanCache plan builds
   std::uint64_t matvecs = 0;           ///< compressed-operator applications
   std::uint64_t extractBuilds = 0;     ///< IES³ matrix constructions
+  std::uint64_t ctxHits = 0;           ///< engine circuit-context cache hits
+                                       ///< (warm SymbolicLU pattern reused
+                                       ///< across jobs)
+  std::uint64_t ctxMisses = 0;         ///< engine context builds (cold parse
+                                       ///< + pattern discovery)
   std::uint64_t evalNs = 0;
   std::uint64_t factorNs = 0;
   std::uint64_t refactorNs = 0;
@@ -58,6 +63,8 @@ struct Snapshot {
     planCacheMisses += o.planCacheMisses;
     matvecs += o.matvecs;
     extractBuilds += o.extractBuilds;
+    ctxHits += o.ctxHits;
+    ctxMisses += o.ctxMisses;
     evalNs += o.evalNs;
     factorNs += o.factorNs;
     refactorNs += o.refactorNs;
@@ -100,6 +107,38 @@ class Counters {
   void addExtractionCompress(std::uint64_t ns) {
     extractCompressNs_.fetch_add(ns, std::memory_order_relaxed);
   }
+  /// Engine circuit-context cache outcome for one job (see engine/engine.hpp):
+  /// a hit means the job reused a warm MnaWorkspace — SymbolicLU pattern and
+  /// pivot order included — from an earlier job with the same topology.
+  void addCtxHit() { ctxHits_.fetch_add(1, std::memory_order_relaxed); }
+  void addCtxMiss() { ctxMisses_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Fold a snapshot's totals in (used by CounterScope to merge a job's
+  /// counters into its parent scope / the process totals on scope exit).
+  void addSnapshot(const Snapshot& s) {
+    evals_.fetch_add(s.evals, std::memory_order_relaxed);
+    factor_.fetch_add(s.factorizations, std::memory_order_relaxed);
+    refactor_.fetch_add(s.refactorizations, std::memory_order_relaxed);
+    solves_.fetch_add(s.solves, std::memory_order_relaxed);
+    retries_.fetch_add(s.retries, std::memory_order_relaxed);
+    fallbacks_.fetch_add(s.fallbacks, std::memory_order_relaxed);
+    ffts_.fetch_add(s.fftCount, std::memory_order_relaxed);
+    planHits_.fetch_add(s.planCacheHits, std::memory_order_relaxed);
+    planMisses_.fetch_add(s.planCacheMisses, std::memory_order_relaxed);
+    matvecs_.fetch_add(s.matvecs, std::memory_order_relaxed);
+    extractBuilds_.fetch_add(s.extractBuilds, std::memory_order_relaxed);
+    ctxHits_.fetch_add(s.ctxHits, std::memory_order_relaxed);
+    ctxMisses_.fetch_add(s.ctxMisses, std::memory_order_relaxed);
+    evalNs_.fetch_add(s.evalNs, std::memory_order_relaxed);
+    factorNs_.fetch_add(s.factorNs, std::memory_order_relaxed);
+    refactorNs_.fetch_add(s.refactorNs, std::memory_order_relaxed);
+    solveNs_.fetch_add(s.solveNs, std::memory_order_relaxed);
+    fftNs_.fetch_add(s.fftNs, std::memory_order_relaxed);
+    matvecNs_.fetch_add(s.matvecNs, std::memory_order_relaxed);
+    extractBuildNs_.fetch_add(s.extractBuildNs, std::memory_order_relaxed);
+    extractCompressNs_.fetch_add(s.extractCompressNs,
+                                 std::memory_order_relaxed);
+  }
 
   Snapshot snapshot() const {
     Snapshot s;
@@ -114,6 +153,8 @@ class Counters {
     s.planCacheMisses = planMisses_.load(std::memory_order_relaxed);
     s.matvecs = matvecs_.load(std::memory_order_relaxed);
     s.extractBuilds = extractBuilds_.load(std::memory_order_relaxed);
+    s.ctxHits = ctxHits_.load(std::memory_order_relaxed);
+    s.ctxMisses = ctxMisses_.load(std::memory_order_relaxed);
     s.evalNs = evalNs_.load(std::memory_order_relaxed);
     s.factorNs = factorNs_.load(std::memory_order_relaxed);
     s.refactorNs = refactorNs_.load(std::memory_order_relaxed);
@@ -128,9 +169,9 @@ class Counters {
   void reset() {
     for (auto* a : {&evals_, &factor_, &refactor_, &solves_, &retries_,
                     &fallbacks_, &ffts_, &planHits_, &planMisses_, &matvecs_,
-                    &extractBuilds_, &evalNs_, &factorNs_, &refactorNs_,
-                    &solveNs_, &fftNs_, &matvecNs_, &extractBuildNs_,
-                    &extractCompressNs_})
+                    &extractBuilds_, &ctxHits_, &ctxMisses_, &evalNs_,
+                    &factorNs_, &refactorNs_, &solveNs_, &fftNs_, &matvecNs_,
+                    &extractBuildNs_, &extractCompressNs_})
       a->store(0, std::memory_order_relaxed);
   }
 
@@ -145,14 +186,50 @@ class Counters {
   std::atomic<std::uint64_t> retries_{0}, fallbacks_{0};
   std::atomic<std::uint64_t> ffts_{0}, planHits_{0}, planMisses_{0};
   std::atomic<std::uint64_t> matvecs_{0}, extractBuilds_{0};
+  std::atomic<std::uint64_t> ctxHits_{0}, ctxMisses_{0};
   std::atomic<std::uint64_t> evalNs_{0}, factorNs_{0}, refactorNs_{0},
       solveNs_{0}, fftNs_{0}, matvecNs_{0}, extractBuildNs_{0},
       extractCompressNs_{0};
 };
 
-/// Process-wide counters: every MnaWorkspace contributes here in addition
-/// to its local instance. Read by `rficsim --stats` and the benches.
+/// The true process-wide accumulator. Scoped contributions (see
+/// CounterScope) fold in here when their scope ends, so after all jobs
+/// finish this holds the same totals it always did. Read by
+/// `rficsim --stats`, `rficd`'s stats command, and the benches.
+Counters& process();
+
+/// The counters the pipeline bumps: the innermost CounterScope installed on
+/// this thread, or process() when none is. Every call site in the library
+/// goes through here, which is what makes per-job attribution work — the
+/// engine installs a scope per job and parallelFor propagates it to worker
+/// threads for the duration of each batch.
 Counters& global();
+
+/// RAII per-scope counter attribution. While alive on a thread, every
+/// perf::global() bump on that thread (and on ThreadPool workers executing
+/// its batches) lands in the given Counters instead of the process totals;
+/// on destruction the scope's totals fold into the enclosing scope (or the
+/// process instance), so process-wide accounting is preserved. Used by
+/// engine::Engine to give each job its own perf::Snapshot even when jobs
+/// run concurrently.
+class CounterScope {
+ public:
+  explicit CounterScope(Counters& c);
+  ~CounterScope();
+  CounterScope(const CounterScope&) = delete;
+  CounterScope& operator=(const CounterScope&) = delete;
+
+  /// The innermost scope installed on the calling thread (nullptr = none).
+  static Counters* current();
+  /// Install `c` (may be null) as the calling thread's scope, returning the
+  /// previous one. ThreadPool uses this to propagate the dispatching
+  /// thread's scope into its workers around each batch.
+  static Counters* exchange(Counters* c);
+
+ private:
+  Counters& mine_;
+  Counters* prev_;
+};
 
 /// Monotonic wall-clock stamp for the pipeline timers.
 class Timer {

@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "common.hpp"
+#include "perf/perf.hpp"
 
 namespace rfic::perf {
 
@@ -14,6 +15,9 @@ namespace {
 // parallelFor from such a thread must run inline to avoid deadlocking on
 // the pool it is itself draining.
 thread_local bool tlInPool = false;
+
+// ScopedLaneCap state for the calling thread; 0 = uncapped.
+thread_local std::size_t tlLaneCap = 0;
 
 // setGlobalThreads() override; 0 = none. The created flag makes a late
 // override a visible error instead of a silent no-op.
@@ -37,6 +41,14 @@ struct ThreadPool::Batch {
   std::size_t grain = 1;
   FunctionRef<void(std::size_t)> fn;
   std::atomic<std::size_t> next{0};  // next chunk index (not element index)
+  /// The dispatching thread's per-job counter scope, installed on each
+  /// worker for the duration of its participation so fan-out work stays
+  /// attributed to the job that issued it.
+  Counters* counterScope = nullptr;
+  /// Lane budget: the caller always counts as lane 1; workers claim a lane
+  /// under the pool mutex before running and stay out once the cap is hit.
+  std::size_t maxLanes = 0;  // 0 = uncapped
+  std::size_t lanes = 1;     // claimed lanes incl. the caller (under mu_)
   diag::Mutex errMu;
   std::exception_ptr error RFIC_GUARDED_BY(errMu);  // first exception
 
@@ -46,6 +58,7 @@ struct ThreadPool::Batch {
 
   void run() {
     tlInPool = true;
+    Counters* prevScope = CounterScope::exchange(counterScope);
     const std::size_t nChunks = chunks();
     for (;;) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
@@ -61,6 +74,7 @@ struct ThreadPool::Batch {
         if (!error) error = std::current_exception();
       }
     }
+    CounterScope::exchange(prevScope);
     tlInPool = false;
   }
 
@@ -97,9 +111,15 @@ void ThreadPool::workerLoop() {
     Batch* b = nullptr;
     {
       diag::UniqueLock lock(mu_);
-      while (!stop_ && batch_ == nullptr) cv_.wait(lock.native());
+      // A batch whose lane cap is exhausted looks like no batch at all: the
+      // worker sleeps until a new dispatch (every parallelFor notifies).
+      while (!stop_ && (batch_ == nullptr ||
+                        (batch_->maxLanes != 0 &&
+                         batch_->lanes >= batch_->maxLanes)))
+        cv_.wait(lock.native());
       if (stop_) return;
       b = batch_;
+      ++b->lanes;  // claim a lane under the lock
       ++busy_;
     }
     b->run();
@@ -117,9 +137,10 @@ void ThreadPool::parallelFor(std::size_t n, FunctionRef<void(std::size_t)> fn,
   if (n == 0) return;
   if (grain == 0) grain = 1;
   // Serial fast paths: batches at or below the grain (the dispatch
-  // overhead would dominate), no workers, or a nested call from inside a
-  // worker thread.
-  if (n <= grain || workers_.empty() || tlInPool) {
+  // overhead would dominate), no workers, a nested call from inside a
+  // worker thread, or a lane cap of 1 (the job's whole thread share is the
+  // calling thread).
+  if (n <= grain || workers_.empty() || tlInPool || tlLaneCap == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -127,6 +148,8 @@ void ThreadPool::parallelFor(std::size_t n, FunctionRef<void(std::size_t)> fn,
   Batch b(fn);
   b.n = n;
   b.grain = grain;
+  b.counterScope = CounterScope::current();
+  b.maxLanes = tlLaneCap;
   {
     // rt: allow(rt-lock) dispatch handshake — one uncontended round-trip
     // per batch, amortized over `n` iterations; the inline fast path above
@@ -156,6 +179,12 @@ ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
 }
+
+ThreadPool::ScopedLaneCap::ScopedLaneCap(std::size_t lanes) : prev_(tlLaneCap) {
+  tlLaneCap = lanes;
+}
+
+ThreadPool::ScopedLaneCap::~ScopedLaneCap() { tlLaneCap = prev_; }
 
 void ThreadPool::setGlobalThreads(std::size_t threads) {
   RFIC_REQUIRE(threads > 0, "setGlobalThreads: positive thread count");

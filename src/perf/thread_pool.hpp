@@ -87,8 +87,29 @@ class ThreadPool {
   /// calling thread (no wake-up), and workers claim `grain` consecutive
   /// indices per atomic round-trip — size it so one chunk amortizes the
   /// dispatch cost (~1 µs) against the per-index work.
+  ///
+  /// Two thread-local properties of the calling thread propagate into the
+  /// batch: its perf::CounterScope (so per-job counters stay attributed
+  /// when work fans out) and its ScopedLaneCap (so a capped job's batches
+  /// never occupy more than its share of lanes).
   void parallelFor(std::size_t n, FunctionRef<void(std::size_t)> fn,
                    std::size_t grain = 1) RFIC_EXCLUDES(mu_);
+
+  /// Per-thread cap on how many pool lanes (caller + workers) a batch
+  /// dispatched from this thread may occupy — the cooperative "thread
+  /// share" of a multi-tenant job (engine::JobSpec::threadShare). A cap of
+  /// 1 runs every parallelFor from this thread inline; 0 means uncapped.
+  /// RAII: the previous cap is restored on destruction.
+  class ScopedLaneCap {
+   public:
+    explicit ScopedLaneCap(std::size_t lanes);
+    ~ScopedLaneCap();
+    ScopedLaneCap(const ScopedLaneCap&) = delete;
+    ScopedLaneCap& operator=(const ScopedLaneCap&) = delete;
+
+   private:
+    std::size_t prev_;
+  };
 
   /// Process-wide pool, sized from setGlobalThreads() > RFIC_THREADS >
   /// hardware concurrency, in that precedence order.

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Command-line client for rficd, the simulation daemon.
+
+Speaks the newline-delimited JSON protocol over a unix-domain socket
+(one flat object per line in both directions; see DESIGN.md section 10).
+
+  rficd_client.py --socket /tmp/rfic.sock submit lpf.cir --wait
+  rficd_client.py --socket /tmp/rfic.sock submit lpf.cir --label lpf \
+      --timeout 10 --threads 1
+  rficd_client.py --socket /tmp/rfic.sock status
+  rficd_client.py --socket /tmp/rfic.sock cancel 7
+  rficd_client.py --socket /tmp/rfic.sock stats
+  rficd_client.py --socket /tmp/rfic.sock shutdown
+
+`submit --wait` streams the job's stdout to this terminal as it arrives
+and exits with the job's exit code, so it is a drop-in remote rficsim.
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+class Client:
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.buf = b""
+
+    def send(self, obj):
+        self.sock.sendall(json.dumps(obj).encode() + b"\n")
+
+    def recv(self):
+        """Read one NDJSON object (blocking)."""
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+
+def cmd_submit(cli, args):
+    with open(args.netlist) as f:
+        netlist = f.read()
+    req = {"cmd": "submit", "netlist": netlist}
+    if args.label:
+        req["label"] = args.label
+    if args.timeout is not None:
+        req["timeout"] = args.timeout
+    if args.newton is not None:
+        req["newton"] = args.newton
+    if args.krylov is not None:
+        req["krylov"] = args.krylov
+    if args.threads is not None:
+        req["threads"] = args.threads
+    cli.send(req)
+    msg = cli.recv()
+    if msg.get("event") != "accepted":
+        print(f"rejected: {msg.get('reason', msg)}", file=sys.stderr)
+        return 1
+    job = msg["job"]
+    if not args.wait:
+        print(job)
+        return 0
+    # Stream this job's events until it finishes.
+    while True:
+        msg = cli.recv()
+        if msg.get("job") != job:
+            continue
+        ev = msg.get("event")
+        if ev == "stdout":
+            sys.stdout.write(msg.get("text", ""))
+        elif ev == "stderr":
+            sys.stderr.write(msg.get("text", ""))
+        elif ev == "finished":
+            return int(msg.get("exit", 1))
+
+
+def cmd_status(cli, args):
+    cli.send({"cmd": "status"})
+    while True:
+        msg = cli.recv()
+        if msg.get("event") == "status-end":
+            print(f"{msg.get('jobs', 0)} job(s)")
+            return 0
+        if msg.get("event") == "job":
+            print(f"job {msg['job']:>4}  {msg.get('state', '?'):<10} "
+                  f"exit={msg.get('exit', '')} {msg.get('label', '')}")
+
+
+def cmd_cancel(cli, args):
+    cli.send({"cmd": "cancel", "job": args.job})
+    msg = cli.recv()
+    ok = msg.get("ok")
+    print("cancelled" if ok else "not cancellable (unknown or finished)")
+    return 0 if ok else 1
+
+
+def cmd_result(cli, args):
+    cli.send({"cmd": "result", "job": args.job})
+    while True:
+        msg = cli.recv()
+        if msg.get("event") == "result" and msg.get("job") == args.job:
+            print(json.dumps(msg, indent=2))
+            return int(msg.get("exit", 1))
+        if msg.get("event") == "error":
+            print(msg.get("error"), file=sys.stderr)
+            return 1
+
+
+def cmd_stats(cli, args):
+    cli.send({"cmd": "stats"})
+    while True:
+        msg = cli.recv()
+        if msg.get("event") == "stats":
+            sys.stdout.write(msg.get("text", ""))
+            return 0
+
+
+def cmd_shutdown(cli, args):
+    cli.send({"cmd": "shutdown"})
+    msg = cli.recv()
+    print("daemon shutting down" if msg.get("event") == "bye" else msg)
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--socket", required=True, help="daemon socket path")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("submit", help="submit a netlist")
+    p.add_argument("netlist")
+    p.add_argument("--label", default="")
+    p.add_argument("--timeout", type=float)
+    p.add_argument("--newton", type=int)
+    p.add_argument("--krylov", type=int)
+    p.add_argument("--threads", type=int)
+    p.add_argument("--wait", action="store_true",
+                   help="stream output and exit with the job's exit code")
+    p.set_defaults(fn=cmd_submit)
+
+    sub.add_parser("status", help="list jobs").set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("cancel", help="cancel a job")
+    p.add_argument("job", type=int)
+    p.set_defaults(fn=cmd_cancel)
+
+    p = sub.add_parser("result", help="wait for a job's result")
+    p.add_argument("job", type=int)
+    p.set_defaults(fn=cmd_result)
+
+    sub.add_parser("stats", help="process perf counters").set_defaults(
+        fn=cmd_stats)
+    sub.add_parser("shutdown", help="stop the daemon").set_defaults(
+        fn=cmd_shutdown)
+
+    args = ap.parse_args()
+    cli = Client(args.socket)
+    return args.fn(cli, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
