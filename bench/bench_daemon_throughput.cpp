@@ -9,6 +9,12 @@
 // topologies must produce, and a zero-failures flag. A cancellation slice
 // (every 17th job is cancelled right after submit) checks that
 // cancellation under load neither fails jobs nor wedges the queue.
+//
+// Jobs are spread across the three priority classes cyclically (the
+// mixed-priority load rficd serves); the scheduler runs with shedding
+// disabled (highWater = queueDepth) and the bench gates on zero shed
+// below the high-water mark, plus reports the aging-promotion count and
+// the peak per-job workspace bytes.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -67,6 +73,9 @@ std::vector<engine::JobSpec> makeWorkload(std::size_t jobs) {
         break;
     }
     s.threadShare = 1;  // scheduler-level parallelism only: jobs are small
+    // Mixed-priority load: every class exercised; output must not depend
+    // on class, so done/failed gates are unchanged by this assignment.
+    s.priority = static_cast<engine::Priority>(i % 3);
     specs.push_back(std::move(s));
   }
   return specs;
@@ -76,6 +85,7 @@ struct RunStats {
   Real seconds = 0;
   std::size_t done = 0, cancelled = 0, failed = 0;
   std::size_t ctxHits = 0, ctxMisses = 0, planCacheHits = 0;
+  std::uint64_t shed = 0, promoted = 0, memPeakBytes = 0;
 };
 
 RunStats runWorkload(std::size_t workers,
@@ -83,6 +93,7 @@ RunStats runWorkload(std::size_t workers,
   engine::Scheduler::Options o;
   o.workers = workers;
   o.queueDepth = specs.size() + 8;  // admission never the bottleneck here
+  o.highWater = o.queueDepth;       // shedding off: every job must run
   engine::Scheduler sched(o);
   auto sink = std::make_shared<engine::NullSink>();
 
@@ -108,6 +119,7 @@ RunStats runWorkload(std::size_t workers,
     st.ctxHits += r.perf.ctxHits;
     st.ctxMisses += r.perf.ctxMisses;
     st.planCacheHits += r.perf.planCacheHits;
+    if (r.peakBytes > st.memPeakBytes) st.memPeakBytes = r.peakBytes;
     if (r.cancelled && wantCancel[k])
       ++st.cancelled;
     else if (r.exitCode == 0)
@@ -116,6 +128,9 @@ RunStats runWorkload(std::size_t workers,
       ++st.failed;
   }
   st.seconds = sw.seconds();
+  const engine::SchedulerStats ss = sched.stats();
+  st.shed = ss.shed;
+  st.promoted = ss.promoted;
   return st;
 }
 
@@ -157,10 +172,24 @@ int main() {
   const bool zeroFailures = serial.failed == 0 && par.failed == 0;
   const bool cacheReuse = serial.ctxHits >= 1 && par.ctxHits >= 1 &&
                           serial.planCacheHits >= 1;
+  // With highWater == queueDepth nothing may ever be shed: a nonzero
+  // count means the load shedder fired below its high-water mark.
+  const bool zeroShed = serial.shed == 0 && par.shed == 0;
   if (!zeroFailures)
     std::printf("FAILURE: %zu serial / %zu parallel jobs failed\n",
                 serial.failed, par.failed);
   if (!cacheReuse) std::printf("FAILURE: expected cross-job cache hits\n");
+  if (!zeroShed)
+    std::printf("FAILURE: %llu serial / %llu parallel jobs shed below "
+                "high water\n",
+                static_cast<unsigned long long>(serial.shed),
+                static_cast<unsigned long long>(par.shed));
+  std::printf("aging promotions: %llu serial, %llu parallel; "
+              "mem peak %llu bytes\n",
+              static_cast<unsigned long long>(serial.promoted),
+              static_cast<unsigned long long>(par.promoted),
+              static_cast<unsigned long long>(
+                  std::max(serial.memPeakBytes, par.memPeakBytes)));
 
   rep.count("jobs", jobs);
   rep.count("workers_wide", wide);
@@ -179,10 +208,18 @@ int main() {
   rep.count("ctx_hits_parallel", par.ctxHits);
   rep.count("ctx_misses_serial", serial.ctxMisses);
   rep.count("plan_cache_hits_serial", serial.planCacheHits);
+  rep.count("shed_serial", static_cast<std::size_t>(serial.shed));
+  rep.count("shed_parallel", static_cast<std::size_t>(par.shed));
+  rep.count("promoted_serial", static_cast<std::size_t>(serial.promoted));
+  rep.count("promoted_parallel", static_cast<std::size_t>(par.promoted));
+  rep.count("job_mem_peak_bytes",
+            static_cast<std::size_t>(
+                std::max(serial.memPeakBytes, par.memPeakBytes)));
   rep.flag("zero_failures", zeroFailures);
   rep.flag("cache_reuse", cacheReuse);
+  rep.flag("zero_shed", zeroShed);
   rep.count("threads", perf::ThreadPool::global().concurrency());
   rep.counters("perf", perf::global().snapshot());
 
-  return zeroFailures && cacheReuse ? 0 : 1;
+  return zeroFailures && cacheReuse && zeroShed ? 0 : 1;
 }

@@ -98,6 +98,8 @@ class JsonReporter {
           static_cast<std::size_t>(s.extractBuildNs));
     count(prefix + ".extract_compress_ns",
           static_cast<std::size_t>(s.extractCompressNs));
+    count(prefix + ".mem_peak_bytes",
+          static_cast<std::size_t>(s.memPeakBytes));
   }
 
   void write() {

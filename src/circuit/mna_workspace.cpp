@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "diag/resilience.hpp"
+
 namespace rfic::circuit {
 
 // First-time pattern discovery: one triplet-mode evaluation at the caller's
@@ -39,6 +41,11 @@ void MnaWorkspace::ensurePattern(const RVec& x, Real t1, Real t2,
   cVals_.assign(pattern_.nnz(), 0.0);
   gOv_.reset(n_, n_);
   cOv_.reset(n_, n_);
+  // Memory budget: pattern discovery is this workspace's dominant
+  // allocation — charge the CSR index arrays, both value arrays, and the
+  // diagonal slot map against the owning job's account (no-op without one).
+  diag::memCharge(pattern_.nnz() * (2 * sizeof(Real) + sizeof(std::size_t)) +
+                  (2 * n_ + 1) * sizeof(std::size_t));
 }
 
 // A device stamped a position outside the cached pattern (conditional
@@ -73,6 +80,10 @@ void MnaWorkspace::growPattern() {
 
   gVals_.assign(pattern_.nnz(), 0.0);
   cVals_.assign(pattern_.nnz(), 0.0);
+  // Memory budget: a grown pattern is a fresh allocation of the same
+  // shape as ensurePattern's — charge it in full (charge-only contract).
+  diag::memCharge(pattern_.nnz() * (2 * sizeof(Real) + sizeof(std::size_t)) +
+                  (2 * n_ + 1) * sizeof(std::size_t));
 }
 
 void MnaWorkspace::evalBivariate(const RVec& x, Real t1, Real t2,
@@ -131,6 +142,8 @@ diag::SolverStatus MnaWorkspace::factorJacobian(Real cCoeff, Real gCoeff,
   RFIC_REQUIRE(pattern_.rows() == n_,
                "MnaWorkspace::factorJacobian before matrix evaluation");
   const std::size_t nnz = pattern_.nnz();
+  if (jVals_.size() < nnz)
+    diag::memCharge((nnz - jVals_.size()) * sizeof(Real));
   jVals_.resize(nnz);  // rt: allow(rt-alloc) grow-once — nnz only changes
                        // when the pattern grows
   for (std::size_t p = 0; p < nnz; ++p)

@@ -5,20 +5,34 @@
 // engine/json.hpp and DESIGN.md §10). Requests:
 //
 //   {"cmd":"submit","netlist":"...","label":"lna","timeout":5,
-//    "newton":0,"krylov":0,"threads":1}
-//       → {"event":"accepted","job":7}   (or {"event":"rejected",...})
+//    "newton":0,"krylov":0,"threads":1,"priority":"high|normal|batch",
+//    "maxbytes":0}
+//       → {"event":"accepted","job":7}
+//         (or {"event":"rejected","reason":"queue-full|shutting-down|
+//          spec-invalid|shed","detail":"...","degraded":false})
 //       then the job's streamed events on this connection:
 //       {"event":"started","job":7}
 //       {"event":"stdout","job":7,"text":"* .op (newton, 5 iterations)\n..."}
 //       {"event":"analysis","job":7,"card":".op","ok":true,...}
 //       {"event":"finished","job":7,"exit":0,"cancelled":false,
-//        "ctxHits":1,"ctxMisses":0,"planCacheHits":42,...}
+//        "peakBytes":18432,"ctxHits":1,"ctxMisses":0,"planCacheHits":42,...}
 //   {"cmd":"status"}            → one {"event":"job",...} line per job,
 //                                 then {"event":"status-end","jobs":N}
 //   {"cmd":"cancel","job":7}    → {"event":"cancel","job":7,"ok":true}
 //   {"cmd":"result","job":7}    → blocks, then {"event":"result","job":7,...}
-//   {"cmd":"stats"}             → {"event":"stats","text":"..."}
+//   {"cmd":"stats"}             → {"event":"stats","queued":0,"running":1,
+//                                  "queueDepth":64,"highWater":48,
+//                                  "degraded":false,"shed":0,...,"text":"..."}
 //   {"cmd":"shutdown"}          → {"event":"bye"}, daemon drains and exits
+//
+// Overload behavior (DESIGN.md §11): submissions carry a priority class;
+// the scheduler dispatches high > normal > batch with deterministic aging
+// so no class starves. Above the high-water mark batch submissions are
+// shed with a structured rejection and stats reports degraded=true —
+// clients are expected to retry with backoff (tools/rficd_client.py does).
+// A request line longer than 1 MiB is a protocol violation: the daemon
+// replies with a structured error and drops the connection rather than
+// buffering without bound.
 //
 // Closing a connection cancels the jobs it submitted (their events have
 // nowhere to go); the daemon itself keeps running. Jobs from different
@@ -27,7 +41,8 @@
 // hit the warm caches whichever client sends them.
 //
 // Usage: rficd --socket <path> [--workers <n>] [--queue-depth <n>]
-//              [--threads <n>]
+//              [--threads <n>] [--high-water <n>] [--aging <n>]
+//              [--max-devices <n>] [--max-nodes <n>]
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -75,7 +90,15 @@ extern "C" void onSignal(int) {
 /// scheduler workers still delivering Finished events included — drops.
 class ConnectionSink : public engine::EventSink {
  public:
-  explicit ConnectionSink(int fd) : fd_(fd) {}
+  explicit ConnectionSink(int fd) : fd_(fd) {
+    // Slow-reader protection: a peer that stops draining its socket must
+    // not wedge a scheduler worker inside send(). After the timeout the
+    // send fails, the sink marks itself closed, and the job's remaining
+    // events are dropped — the job itself runs to completion.
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
   ~ConnectionSink() override { ::close(fd_); }
 
   void onEvent(const engine::Event& e) override {
@@ -174,11 +197,13 @@ class ConnectionSink : public engine::EventSink {
         s += "\"cancelled\":";
         s += r.cancelled ? "true" : "false";
         if (!r.error.empty()) s += ",\"error\":" + jsonString(r.error);
-        char perf[256];
+        char perf[320];
         std::snprintf(
             perf, sizeof perf,
+            ",\"peakBytes\":%llu"
             ",\"ctxHits\":%llu,\"ctxMisses\":%llu,\"planCacheHits\":%llu,"
             "\"factorizations\":%llu,\"refactorizations\":%llu}",
+            static_cast<unsigned long long>(r.peakBytes),
             static_cast<unsigned long long>(r.perf.ctxHits),
             static_cast<unsigned long long>(r.perf.ctxMisses),
             static_cast<unsigned long long>(r.perf.planCacheHits),
@@ -202,6 +227,11 @@ std::uint64_t toU64(const std::string& s) {
   return std::strtoull(s.c_str(), nullptr, 10);
 }
 
+/// NDJSON line cap: a request line that exceeds this without a newline is
+/// a protocol violation (or an attack) — the daemon refuses to buffer it
+/// and drops the connection after a structured error.
+constexpr std::size_t kMaxRequestLine = 1u << 20;  // 1 MiB
+
 void handleConnection(engine::Scheduler& sched,
                       std::shared_ptr<ConnectionSink> sink) {
   std::vector<engine::JobId> myJobs;
@@ -212,6 +242,16 @@ void handleConnection(engine::Scheduler& sched,
     const ssize_t n = ::recv(sink->fd(), tmp, sizeof tmp, 0);
     if (n <= 0) break;
     buf.append(tmp, static_cast<std::size_t>(n));
+    if (buf.find('\n') == std::string::npos &&
+        buf.size() > kMaxRequestLine) {
+      char out[128];
+      std::snprintf(out, sizeof out,
+                    "{\"event\":\"error\",\"error\":\"request line exceeds "
+                    "%zu bytes; closing connection\"}",
+                    kMaxRequestLine);
+      sink->writeLine(out);
+      break;
+    }
     std::size_t pos;
     while (!bye && (pos = buf.find('\n')) != std::string::npos) {
       const std::string line = buf.substr(0, pos);
@@ -235,18 +275,30 @@ void handleConnection(engine::Scheduler& sched,
         if (req.count("krylov")) spec.krylovLimit = toU64(req["krylov"]);
         if (req.count("threads"))
           spec.threadShare = static_cast<std::size_t>(toU64(req["threads"]));
-        if (spec.netlist.empty()) {
+        if (req.count("maxbytes")) spec.maxBytes = toU64(req["maxbytes"]);
+        if (req.count("priority") &&
+            !engine::parsePriority(req["priority"], spec.priority)) {
           sink->writeLine(
-              "{\"event\":\"rejected\",\"reason\":\"empty netlist\"}");
+              "{\"event\":\"rejected\",\"reason\":\"spec-invalid\","
+              "\"detail\":" +
+              engine::jsonString("unknown priority: " + req["priority"]) +
+              ",\"degraded\":false}");
           continue;
         }
+        // Empty/malformed netlists are refused by the scheduler's
+        // pre-flight check and arrive below as a SpecInvalid rejection.
         // Hold job events until the accepted line is on the wire: a worker
         // may pick the job up (and emit Started) before submit() returns.
         sink->holdEvents();
-        const engine::JobId id = sched.submit(std::move(spec), sink);
+        engine::Rejection rej;
+        const engine::JobId id = sched.submit(std::move(spec), sink, &rej);
         if (id == 0) {
+          const bool degraded = sched.stats().degraded;
           sink->writeLine(
-              "{\"event\":\"rejected\",\"reason\":\"queue full\"}");
+              std::string("{\"event\":\"rejected\",\"reason\":\"") +
+              engine::toString(rej.reason) +
+              "\",\"detail\":" + engine::jsonString(rej.detail) +
+              ",\"degraded\":" + (degraded ? "true" : "false") + "}");
           sink->releaseEvents();
           continue;
         }
@@ -297,10 +349,31 @@ void handleConnection(engine::Scheduler& sched,
                           engine::jsonString(ex.what()) + "}");
         }
       } else if (cmd == "stats") {
-        sink->writeLine(
-            "{\"event\":\"stats\",\"text\":" +
-            engine::jsonString(perf::format(perf::process().snapshot())) +
-            "}");
+        const engine::SchedulerStats st = sched.stats();
+        const perf::Snapshot snap = perf::process().snapshot();
+        char head[512];
+        std::snprintf(
+            head, sizeof head,
+            "{\"event\":\"stats\",\"queued\":%zu,\"running\":%zu,"
+            "\"queueDepth\":%zu,\"highWater\":%zu,\"degraded\":%s,"
+            "\"maxQueueAge\":%.3f,\"submitted\":%llu,\"admitted\":%llu,"
+            "\"finished\":%llu,\"shed\":%llu,\"rejectedFull\":%llu,"
+            "\"rejectedInvalid\":%llu,\"promoted\":%llu,"
+            "\"memPeakBytes\":%llu,",
+            st.queued, st.running, st.queueDepth, st.highWater,
+            st.degraded ? "true" : "false",
+            static_cast<double>(st.maxQueueAgeSeconds),
+            static_cast<unsigned long long>(st.submitted),
+            static_cast<unsigned long long>(st.admitted),
+            static_cast<unsigned long long>(st.finished),
+            static_cast<unsigned long long>(st.shed),
+            static_cast<unsigned long long>(st.rejectedFull),
+            static_cast<unsigned long long>(st.rejectedInvalid),
+            static_cast<unsigned long long>(st.promoted),
+            static_cast<unsigned long long>(snap.memPeakBytes));
+        sink->writeLine(std::string(head) +
+                        "\"text\":" + engine::jsonString(perf::format(snap)) +
+                        "}");
       } else if (cmd == "shutdown") {
         sink->writeLine("{\"event\":\"bye\"}");
         gStop.store(true);
@@ -360,10 +433,39 @@ int main(int argc, char** argv) {
         return 1;
       }
       perf::ThreadPool::setGlobalThreads(static_cast<std::size_t>(n));
+    } else if (flag == "--high-water") {
+      const long n = std::atol(value().c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--high-water: positive count required\n");
+        return 1;
+      }
+      sopts.highWater = static_cast<std::size_t>(n);
+    } else if (flag == "--aging") {
+      const long n = std::atol(value().c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--aging: positive pop count required\n");
+        return 1;
+      }
+      sopts.agingThreshold = static_cast<std::size_t>(n);
+    } else if (flag == "--max-devices") {
+      const long n = std::atol(value().c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--max-devices: positive count required\n");
+        return 1;
+      }
+      sopts.preflight.maxDevices = static_cast<std::size_t>(n);
+    } else if (flag == "--max-nodes") {
+      const long n = std::atol(value().c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--max-nodes: positive count required\n");
+        return 1;
+      }
+      sopts.preflight.maxNodes = static_cast<std::size_t>(n);
     } else {
       std::fprintf(stderr,
                    "usage: rficd --socket <path> [--workers <n>] "
-                   "[--queue-depth <n>] [--threads <n>]\n");
+                   "[--queue-depth <n>] [--threads <n>] [--high-water <n>] "
+                   "[--aging <n>] [--max-devices <n>] [--max-nodes <n>]\n");
       return 1;
     }
   }

@@ -11,7 +11,8 @@
 //   .print <node> [<node>...]    selects output nodes (default: all)
 //
 // Usage: rficsim [--fe-trap] [--stats] [--threads <n>] [--timeout <sec>]
-//                [--checkpoint <file>] [--resume] [--inject-fault <spec>]
+//                [--max-bytes <n>] [--checkpoint <file>] [--resume]
+//                [--inject-fault <spec>]
 //                <netlist-file>   (or stdin with "-")
 // --fe-trap arms floating-point exception trapping (SIGFPE at the first
 // invalid operation) for debugging NaN propagation.
@@ -23,6 +24,9 @@
 // (equivalent to RFIC_THREADS=<n>; 1 disables worker threads entirely).
 // --timeout arms a wall-clock RunBudget threaded through every analysis;
 // on expiry the run stops with partial results and exit code 4.
+// --max-bytes arms the workspace byte budget (diag::MemAccount); a run
+// whose grow-once workspaces charge past it stops cooperatively with
+// partial results and exit code 6.
 // --checkpoint and --resume serialize and restore transient integrator state
 // (see diag/resilience.hpp); --inject-fault arms a fault point
 // ("name" or "name:count", same spec as RFIC_INJECT_FAULT).
@@ -107,6 +111,13 @@ int main(int argc, char** argv) {
         return 1;
       }
       spec.timeoutSeconds = sec;
+    } else if (flag == "--max-bytes") {
+      const long long n = std::atoll(takeValue(flag).c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--max-bytes: positive byte count required\n");
+        return 1;
+      }
+      spec.maxBytes = static_cast<std::uint64_t>(n);
     } else if (flag == "--checkpoint") {
       spec.checkpointPath = takeValue(flag);
     } else if (flag == "--resume") {
@@ -128,7 +139,7 @@ int main(int argc, char** argv) {
   if (argc != 2) {
     std::fprintf(stderr,
                  "usage: rficsim [--fe-trap] [--stats] [--threads <n>] "
-                 "[--timeout <sec>] "
+                 "[--timeout <sec>] [--max-bytes <n>] "
                  "[--checkpoint <file>] [--resume] [--inject-fault <spec>] "
                  "<netlist-file | ->\n");
     return 1;

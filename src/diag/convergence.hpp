@@ -26,6 +26,11 @@ enum class SolverStatus {
                   ///< iteration cap) tripped; partial results returned
   StepLimit,      ///< step control collapsed (dt cut below dtMin with the
                   ///< Newton solve still failing)
+  BudgetExceededMemory, ///< the RunBudget's byte budget tripped (a workspace
+                        ///< grow site crossed maxBytes); partial results
+                        ///< returned, job exit code 6. Solvers report plain
+                        ///< BudgetExceeded — the engine refines it to this
+                        ///< via RunBudget::memoryExceeded().
 };
 
 /// Stable human-readable name for logs and error messages.
@@ -40,6 +45,8 @@ inline const char* toString(SolverStatus s) {
     case SolverStatus::Repivoted: return "repivoted";
     case SolverStatus::BudgetExceeded: return "budget-exceeded";
     case SolverStatus::StepLimit: return "step-limit";
+    case SolverStatus::BudgetExceededMemory:
+      return "budget-exceeded-memory";
   }
   return "unknown";
 }

@@ -6,6 +6,31 @@
 
 namespace rfic::diag {
 
+// ------------------------------------------------------------ MemAccount
+
+namespace {
+/// The innermost account installed on this thread; memCharge() targets it.
+thread_local MemAccount* tlMemAccount = nullptr;
+}  // namespace
+
+MemScope::MemScope(MemAccount& account) : prev_(tlMemAccount) {
+  tlMemAccount = &account;
+}
+
+MemScope::~MemScope() { tlMemAccount = prev_; }
+
+MemAccount* MemScope::current() { return tlMemAccount; }
+
+MemAccount* MemScope::exchange(MemAccount* account) {
+  MemAccount* prev = tlMemAccount;
+  tlMemAccount = account;
+  return prev;
+}
+
+void memCharge(std::uint64_t bytes) {
+  if (MemAccount* a = tlMemAccount) a->charge(bytes);
+}
+
 // ------------------------------------------------------------- RunBudget
 
 bool RunBudget::exceeded() const {
@@ -19,6 +44,8 @@ bool RunBudget::exceeded() const {
     } else if (krylovLimit_ != 0 &&
                krylovUsed_.load(std::memory_order_relaxed) >= krylovLimit_) {
       trip(3);
+    } else if (mem_.overLimit()) {
+      trip(6);
     }
     why = tripped_.load(std::memory_order_relaxed);
   }
@@ -32,6 +59,7 @@ const char* RunBudget::reason() const {
     case 3: return "krylov-iterations";
     case 4: return "injected";
     case 5: return "cancelled";
+    case 6: return "memory-bytes";
     default: return "";
   }
 }
@@ -39,6 +67,10 @@ const char* RunBudget::reason() const {
 bool budgetExceeded(const RunBudget* b) {
   if (FaultInjector::global().fire(FaultPoint::BudgetExpiry)) {
     if (b) b->trip(4);
+    return true;
+  }
+  if (FaultInjector::global().fire(FaultPoint::MemSpike)) {
+    if (b) b->tripMemory();
     return true;
   }
   return b != nullptr && b->exceeded();
@@ -53,6 +85,7 @@ const char* toString(FaultPoint p) {
     case FaultPoint::KrylovStall: return "krylov-stall";
     case FaultPoint::FactorRepivot: return "factor-repivot";
     case FaultPoint::BudgetExpiry: return "budget-expiry";
+    case FaultPoint::MemSpike: return "mem-spike";
     case FaultPoint::kCount: break;
   }
   return "unknown";
@@ -116,7 +149,7 @@ void FaultInjector::arm(const std::string& spec) {
   }
   failInvalid("FaultInjector: unknown fault point '" + name +
               "' (expected nan-in-residual, singular-jacobian, krylov-stall, "
-              "factor-repivot, or budget-expiry)");
+              "factor-repivot, budget-expiry, or mem-spike)");
 }
 
 void FaultInjector::reset() {

@@ -17,7 +17,7 @@
 //
 //  * FaultInjector — named injection points compiled into the solvers
 //    (nan-in-residual, singular-jacobian, krylov-stall, factor-repivot,
-//    budget-expiry), armed via RFIC_INJECT_FAULT or `rficsim
+//    budget-expiry, mem-spike), armed via RFIC_INJECT_FAULT or `rficsim
 //    --inject-fault`. When disarmed the per-site cost is one relaxed atomic
 //    load. The fault-injection test matrix arms each point against each
 //    engine and asserts structured recovery or clean failure.
@@ -40,6 +40,89 @@
 #include "diag/convergence.hpp"
 
 namespace rfic::diag {
+
+// ------------------------------------------------------------ MemAccount
+
+/// Counting allocator hook for per-job memory budgets. The grow-once
+/// workspaces (MnaWorkspace pattern growth, HBWorkspace::need, IES³
+/// acquireWorkspace pool misses) charge the bytes they allocate against
+/// the account installed on the calling thread (see MemScope / memCharge);
+/// the account tracks the running total and a CAS-max peak, and once the
+/// total crosses the armed limit every subsequent RunBudget::exceeded()
+/// poll trips with code 6 ("memory-bytes") so the job unwinds
+/// cooperatively through the same SolverStatus::BudgetExceeded path as a
+/// wall-clock expiry — no allocation is ever failed mid-flight, no thread
+/// is killed. Charges are relaxed atomics: safe from ThreadPool workers.
+///
+/// The accounting is deliberately charge-only (no release pairing): an
+/// account lives exactly as long as its job, and the contract reported to
+/// clients is the *peak*, which release-tracking would not change.
+class MemAccount {
+ public:
+  MemAccount() = default;
+  MemAccount(const MemAccount&) = delete;
+  MemAccount& operator=(const MemAccount&) = delete;
+
+  /// Arm a byte limit (0 disarms). Not thread-safe against concurrent
+  /// charge() — arm before the job starts, like the other budget limits.
+  void setLimit(std::uint64_t maxBytes) { limit_ = maxBytes; }
+  std::uint64_t limit() const { return limit_; }
+
+  /// Charge `bytes` of workspace growth; updates the peak.
+  void charge(std::uint64_t bytes) {
+    const std::uint64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t p = peak_.load(std::memory_order_relaxed);
+    while (now > p &&
+           !peak_.compare_exchange_weak(p, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t currentBytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peakBytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  /// True when an armed limit has been crossed.
+  bool overLimit() const {
+    return limit_ != 0 &&
+           current_.load(std::memory_order_relaxed) > limit_;
+  }
+
+ private:
+  std::uint64_t limit_ = 0;
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
+/// RAII installer of a thread-local "current memory account". Mirrors
+/// perf::CounterScope: the engine installs the job's account on the worker
+/// thread, ThreadPool batches propagate it into pool workers via
+/// exchange(), and memCharge() below charges the innermost installation.
+class MemScope {
+ public:
+  explicit MemScope(MemAccount& account);
+  ~MemScope();
+  MemScope(const MemScope&) = delete;
+  MemScope& operator=(const MemScope&) = delete;
+
+  /// The account installed on this thread (nullptr when none).
+  static MemAccount* current();
+  /// Replace this thread's account, returning the previous one. Used by
+  /// ThreadPool workers to adopt the dispatching thread's account for the
+  /// duration of a batch.
+  static MemAccount* exchange(MemAccount* account);
+
+ private:
+  MemAccount* prev_;
+};
+
+/// Charge `bytes` against the calling thread's installed MemAccount; no-op
+/// when none is installed (standalone library use, tests without budgets).
+/// Cheap enough for grow sites inside RFIC_REALTIME-audited paths: one
+/// thread-local read plus two relaxed atomic ops.
+void memCharge(std::uint64_t bytes);
 
 // ------------------------------------------------------------- RunBudget
 
@@ -68,6 +151,15 @@ class RunBudget {
   void setKrylovLimit(std::uint64_t maxIterations) {
     krylovLimit_ = maxIterations;
   }
+  /// Cap the workspace bytes charged via the attached MemAccount
+  /// (0 disarms). Crossing the cap trips the budget with code 6 at the
+  /// next exceeded() poll — allocation itself never fails.
+  void setMemoryLimit(std::uint64_t maxBytes) { mem_.setLimit(maxBytes); }
+
+  /// The budget's memory account; install it with MemScope on the thread
+  /// running the job so workspace grow sites charge it.
+  MemAccount& memAccount() { return mem_; }
+  const MemAccount& memAccount() const { return mem_; }
 
   void chargeNewton(std::uint64_t n = 1) {
     newtonUsed_.fetch_add(n, std::memory_order_relaxed);
@@ -97,9 +189,18 @@ class RunBudget {
     return tripped_.load(std::memory_order_relaxed) == 5;
   }
 
+  /// True when the trip came from the memory budget (exit code 6).
+  bool memoryExceeded() const {
+    return tripped_.load(std::memory_order_relaxed) == 6;
+  }
+
+  /// Trip the memory limit directly (sticky). Used by the `mem-spike`
+  /// fault point and by MemAccount once its armed limit is crossed.
+  void tripMemory() const { trip(6); }
+
   /// Which limit tripped: "wall-clock", "newton-iterations",
-  /// "krylov-iterations", "injected", "cancelled", or "" while within
-  /// budget.
+  /// "krylov-iterations", "injected", "cancelled", "memory-bytes", or ""
+  /// while within budget.
   const char* reason() const;
 
  private:
@@ -118,9 +219,11 @@ class RunBudget {
   std::uint64_t krylovLimit_ = 0;
   std::atomic<std::uint64_t> newtonUsed_{0};
   std::atomic<std::uint64_t> krylovUsed_{0};
+  MemAccount mem_;
   mutable std::atomic<int> tripped_{0};  // 0 ok, 1 wall, 2 newton, 3 krylov,
                                          // 4 injected (budget-expiry fault),
-                                         // 5 cancelled (requestCancel)
+                                         // 5 cancelled (requestCancel),
+                                         // 6 memory-bytes (MemAccount)
 };
 
 /// The one budget poll every engine uses: true when the (optional) budget
@@ -140,6 +243,8 @@ enum class FaultPoint : int {
   FactorRepivot,      ///< force one numeric refactorization down the
                       ///< repivot (fresh-factorization) fallback
   BudgetExpiry,       ///< make one budgetExceeded() poll return true
+  MemSpike,           ///< make one budgetExceeded() poll trip the memory
+                      ///< budget (exit 6), as if a grow site blew the cap
   kCount,
 };
 

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <optional>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 
 #include "analysis/ac.hpp"
@@ -30,6 +31,28 @@ const char* toString(JobState s) {
     case JobState::Cancelled: return "cancelled";
   }
   return "?";
+}
+
+const char* toString(Priority p) {
+  switch (p) {
+    case Priority::High: return "high";
+    case Priority::Normal: return "normal";
+    case Priority::Batch: return "batch";
+  }
+  return "?";
+}
+
+bool parsePriority(const std::string& s, Priority& out) {
+  if (s == "high") {
+    out = Priority::High;
+  } else if (s == "normal") {
+    out = Priority::Normal;
+  } else if (s == "batch") {
+    out = Priority::Batch;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace {
@@ -146,6 +169,19 @@ bool isAnalysisHead(const std::string& head) {
 int runCards(const JobSpec& spec, circuit::Circuit& ckt,
              circuit::MnaSystem& sys, circuit::MnaWorkspace& ws,
              diag::RunBudget* budget, Renderer& r, JobResult& res) {
+  // Solvers report a generic BudgetExceeded; refine it to the memory
+  // flavor (and exit code 6) when the trip came from the byte budget.
+  // Non-budgeted jobs never take these paths, so rendered output stays
+  // byte-identical to the pre-memory-budget engine.
+  const auto effStatus = [budget](diag::SolverStatus st) {
+    return st == diag::SolverStatus::BudgetExceeded &&
+                   budget->memoryExceeded()
+               ? diag::SolverStatus::BudgetExceededMemory
+               : st;
+  };
+  const auto budgetExit = [budget]() {
+    return budget->cancelled() ? 5 : budget->memoryExceeded() ? 6 : 4;
+  };
   // Collect analysis and print cards (parseNetlist ignores them).
   struct Card {
     std::vector<std::string> tokens;
@@ -212,7 +248,7 @@ int runCards(const JobSpec& spec, circuit::Circuit& ckt,
       return 5;
     }
     r.errf("budget exceeded during .op (%s)\n", budget->reason());
-    return 4;
+    return budgetExit();
   }
 
   for (const auto& card : cards) {
@@ -245,11 +281,11 @@ int runCards(const JobSpec& spec, circuit::Circuit& ckt,
       const auto tr = analysis::runTransient(sys, dc.x, to);
       AnalysisOutcome a;
       a.card = ".tran";
+      a.status = effStatus(tr.status);
       a.summary = strprintf(
           "* .tran dt=%g tstop=%g ok=%d status=%s steps=%zu retries=%zu",
-          to.dt, to.tstop, tr.ok ? 1 : 0, diag::toString(tr.status), tr.steps,
+          to.dt, to.tstop, tr.ok ? 1 : 0, diag::toString(a.status), tr.steps,
           tr.retries);
-      a.status = tr.status;
       a.ok = tr.ok;
       r.outf("%s\n", a.summary.c_str());
       r.outf("%-16s", "time");
@@ -271,7 +307,7 @@ int runCards(const JobSpec& spec, circuit::Circuit& ckt,
         }
         r.errf("budget exceeded during .tran (%s)%s\n", budget->reason(),
               spec.checkpointPath.empty() ? "" : "; checkpoint saved");
-        return 4;
+        return budgetExit();
       }
     } else if (t[0] == ".ac" && t.size() >= 5) {
       const auto pts =
@@ -359,13 +395,13 @@ int runCards(const JobSpec& spec, circuit::Circuit& ckt,
       const auto sol = eng.solve(dc.x);
       AnalysisOutcome a;
       a.card = ".hb";
+      a.status = effStatus(sol.status);
       a.summary = strprintf(
           "* .hb converged=%d status=%s strategy=%s unknowns=%zu newton=%zu "
           "gmres=%zu retries=%zu",
-          sol.converged ? 1 : 0, diag::toString(sol.status),
+          sol.converged ? 1 : 0, diag::toString(a.status),
           sol.strategy.c_str(), sol.realUnknowns, sol.newtonIterations,
           sol.gmresIterations, sol.retries);
-      a.status = sol.status;
       a.ok = sol.converged;
       r.outf("%s\n", a.summary.c_str());
       if (sol.status == diag::SolverStatus::BudgetExceeded) {
@@ -376,7 +412,7 @@ int runCards(const JobSpec& spec, circuit::Circuit& ckt,
           return 5;
         }
         r.errf("budget exceeded during .hb (%s)\n", budget->reason());
-        return 4;
+        return budgetExit();
       }
       if (!sol.converged) {
         res.analyses.push_back(a);
@@ -435,6 +471,48 @@ std::uint64_t topologyHash(const std::string& key) {
   return h;
 }
 
+std::string preflightCheck(const std::string& netlist,
+                           const PreflightLimits& limits) {
+  if (limits.maxNetlistBytes != 0 && netlist.size() > limits.maxNetlistBytes)
+    return "netlist is " + std::to_string(netlist.size()) +
+           " bytes (cap " + std::to_string(limits.maxNetlistBytes) + ")";
+
+  std::size_t devices = 0;
+  std::unordered_set<std::string> nodes;
+  std::size_t lineNo = 0;
+  bool sawAnything = false;
+  std::istringstream in(netlist);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+      line.pop_back();
+    if (line.empty()) continue;
+    sawAnything = true;
+    // Comments, control cards, and '+' continuations (value fields of the
+    // previous card) carry no new devices or terminals.
+    if (line[0] == '*' || line[0] == '.' || line[0] == '+') continue;
+    const auto toks = splitTokens(line);
+    if (toks.size() < 3)
+      return "malformed element card at line " + std::to_string(lineNo) +
+             ": '" + line + "' (expected name + two nodes at least)";
+    ++devices;
+    if (limits.maxDevices != 0 && devices > limits.maxDevices)
+      return "too many devices (> cap " + std::to_string(limits.maxDevices) +
+             ")";
+    if (limits.maxNodes != 0) {
+      nodes.insert(toks[1]);
+      nodes.insert(toks[2]);
+      if (nodes.size() > limits.maxNodes)
+        return "too many nodes (> cap " + std::to_string(limits.maxNodes) +
+               ")";
+    }
+  }
+  if (!sawAnything) return "empty netlist";
+  return "";
+}
+
 std::size_t Engine::pooledContexts() {
   diag::LockGuard lock(mu_);
   return pool_.size();
@@ -461,6 +539,11 @@ std::unique_ptr<Engine::Context> Engine::acquireContext(const std::string& netli
   circuit::parseNetlist(netlist, ctx->ckt);
   ctx->sys = std::make_unique<circuit::MnaSystem>(ctx->ckt);
   ctx->ws = std::make_unique<circuit::MnaWorkspace>(*ctx->sys);
+  // Memory budget: a cold context's parse footprint, estimated by the
+  // netlist text size (device and node tables scale with it); the
+  // workspace's pattern memory is charged precisely at its grow sites.
+  // A warm checkout charges nothing — reuse is the cheap path.
+  diag::memCharge(netlist.size());
   return ctx;
 }
 
@@ -478,15 +561,19 @@ JobResult Engine::run(const JobSpec& spec, EventSink& sink,
     if (spec.timeoutSeconds > 0) local.setWallLimit(spec.timeoutSeconds);
     if (spec.newtonLimit > 0) local.setNewtonLimit(spec.newtonLimit);
     if (spec.krylovLimit > 0) local.setKrylovLimit(spec.krylovLimit);
+    if (spec.maxBytes > 0) local.setMemoryLimit(spec.maxBytes);
     budget = &local;
   }
   Renderer r(sink, spec.id);
   {
     // Per-job attribution: every counter event on this thread (and on pool
     // workers running this job's parallel sections) lands in jobCounters,
-    // then folds into the process totals when the scope exits.
+    // then folds into the process totals when the scope exits. The memory
+    // scope does the same for workspace-growth charges — ThreadPool batches
+    // carry both into their workers.
     perf::Counters jobCounters;
     perf::CounterScope scope(jobCounters);
+    diag::MemScope memScope(budget->memAccount());
     std::optional<perf::ThreadPool::ScopedLaneCap> lanes;
     if (spec.threadShare > 0) lanes.emplace(spec.threadShare);
     std::unique_ptr<Context> ctx;
@@ -502,6 +589,8 @@ JobResult Engine::run(const JobSpec& spec, EventSink& sink,
       res.exitCode = 1;
     }
     releaseContext(std::move(ctx));
+    res.peakBytes = budget->memAccount().peakBytes();
+    jobCounters.noteMemPeak(res.peakBytes);
     res.perf = jobCounters.snapshot();
   }
   r.flush();

@@ -49,6 +49,24 @@ std::string topologyKey(const std::string& netlist);
 /// FNV-1a 64-bit hash of topologyKey(netlist) — the context-cache index.
 std::uint64_t topologyHash(const std::string& key);
 
+/// Caps for preflightCheck(). A zero cap disarms that check; the
+/// empty-netlist and malformed-card checks are always on.
+struct PreflightLimits {
+  std::size_t maxDevices = 0;       ///< element-card count cap
+  std::size_t maxNodes = 0;         ///< distinct node-name cap (lower bound:
+                                    ///< the first two terminals per card)
+  std::size_t maxNetlistBytes = 0;  ///< raw netlist text size cap
+};
+
+/// Cheap parse-only validation run at submit, before a job occupies a
+/// worker: a single line scan counting element cards and node names — no
+/// device construction, no allocation proportional to circuit size beyond
+/// the node-name set. Returns "" when the spec passes, else a diagnostic
+/// suitable for a rejection reply. Violations are the exit-2 class of
+/// error (bad input, not engine failure).
+std::string preflightCheck(const std::string& netlist,
+                           const PreflightLimits& limits);
+
 /// Executes jobs; owns the cross-job CircuitContext pool. Thread-safe:
 /// any number of threads may call run() concurrently (the Scheduler's
 /// workers all share one Engine).

@@ -23,6 +23,19 @@ namespace rfic::engine {
 
 using JobId = std::uint64_t;
 
+/// Scheduling class of a job. The Scheduler keeps one FIFO queue per
+/// class; High pops before Normal before Batch at dispatch time, with
+/// deterministic aging so lower classes are never starved, and Batch is
+/// the first class shed when the queue crosses its high-water mark
+/// (scheduler.hpp has the full semantics). Running jobs are never
+/// preempted — priority acts only at pop time.
+enum class Priority : int { High = 0, Normal = 1, Batch = 2 };
+
+/// Stable wire name: "high", "normal", "batch".
+const char* toString(Priority p);
+/// Parse a wire name; false (out untouched) for anything unrecognized.
+bool parsePriority(const std::string& s, Priority& out);
+
 /// One simulation request. The netlist text carries both the element cards
 /// and the analysis control cards (.op/.tran/.ac/.noise/.hb/.print), same
 /// dialect as the rficsim CLI; the remaining fields are the per-job
@@ -32,10 +45,18 @@ struct JobSpec {
   std::string label;      ///< client-chosen tag echoed in status listings
   std::string netlist;    ///< full netlist text (elements + analysis cards)
 
+  /// Scheduling class (see Priority above). Affects only dispatch order
+  /// and shedding — a job's output is bitwise identical in every class.
+  Priority priority = Priority::Normal;
+
   // --- per-job RunBudget ----------------------------------------------
   Real timeoutSeconds = 0;        ///< wall-clock budget (0 = none)
   std::uint64_t newtonLimit = 0;  ///< total Newton iterations (0 = none)
   std::uint64_t krylovLimit = 0;  ///< total Krylov iterations (0 = none)
+  /// Workspace byte budget (diag::MemAccount; 0 = none). A job whose
+  /// grow-once workspaces charge past this unwinds cooperatively with
+  /// exit code 6 — the allocation itself never fails.
+  std::uint64_t maxBytes = 0;
 
   /// Cooperative thread share: max perf::ThreadPool lanes (caller +
   /// workers) this job's parallel sections may occupy; 0 = uncapped, 1 =
@@ -69,9 +90,12 @@ const char* toString(JobState s);
 struct JobResult {
   /// Same contract as the rficsim process exit codes: 0 ok, 1 usage/parse/
   /// internal error, 2 bad cards or unknown nodes, 3 HB non-convergence,
-  /// 4 budget expiry, 5 cancelled.
+  /// 4 budget expiry, 5 cancelled, 6 memory-budget expiry (maxBytes).
   int exitCode = 0;
   bool cancelled = false;
+  /// Peak workspace bytes charged against the job's diag::MemAccount
+  /// (0 when the job never grew a budget-tracked workspace).
+  std::uint64_t peakBytes = 0;
   /// Set when the job failed before or outside analysis execution (parse
   /// error, no analysis cards, ...): the rendered diagnostic.
   std::string error;

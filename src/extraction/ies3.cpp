@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "diag/resilience.hpp"
 #include "extraction/panel_kernel.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/qr.hpp"
@@ -411,6 +412,9 @@ std::unique_ptr<IES3Matrix::Workspace> IES3Matrix::acquireWorkspace() const {
   ws->xt.resize(n_);            // rt: allow(rt-alloc) pool-miss sizing
   ws->yt.resize(n_);            // rt: allow(rt-alloc) pool-miss sizing
   ws->scratch.resize(scratchSize_);  // rt: allow(rt-alloc) pool-miss sizing
+  // Memory budget: one pool miss = one workspace allocation, charged
+  // against the owning job's account (no-op outside a budgeted job).
+  diag::memCharge((2 * n_ + scratchSize_) * sizeof(Real));
   return ws;
 }
 

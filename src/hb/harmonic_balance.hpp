@@ -178,26 +178,36 @@ class HarmonicBalance {
     sparse::GmresWorkspace<Real> gmres;  ///< Krylov basis + small solves
     std::uint64_t grows = 0;             ///< growth events (steady state: 0)
 
+    // Each grow charges the byte delta against the owning job's memory
+    // budget (diag::memCharge; no-op when no MemAccount is installed), so
+    // an HB spectrum too big for the job's maxBytes trips exit 6 here
+    // instead of OOMing the daemon.
     void need(numeric::CVec& v, std::size_t n) {
       if (v.size() < n) {
+        diag::memCharge((n - v.size()) * sizeof(Complex));
         v.resize(n);
         ++grows;
       }
     }
     void need(numeric::RVec& v, std::size_t n) {
       if (v.size() < n) {
+        diag::memCharge((n - v.size()) * sizeof(Real));
         v.resize(n);
         ++grows;
       }
     }
     void need(numeric::CMat& m, std::size_t r, std::size_t c) {
       if (m.rows() != r || m.cols() != c) {
+        const std::size_t have = m.rows() * m.cols();
+        if (r * c > have) diag::memCharge((r * c - have) * sizeof(Complex));
         m.resize(r, c);
         ++grows;
       }
     }
     void need(numeric::RMat& m, std::size_t r, std::size_t c) {
       if (m.rows() != r || m.cols() != c) {
+        const std::size_t have = m.rows() * m.cols();
+        if (r * c > have) diag::memCharge((r * c - have) * sizeof(Real));
         m.resize(r, c);
         ++grows;
       }

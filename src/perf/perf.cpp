@@ -53,6 +53,7 @@ std::string format(const Snapshot& s) {
                 "matvecs          %10llu  (%10.3f ms)\n"
                 "extract builds   %10llu  (%10.3f ms, %10.3f ms compress)\n"
                 "engine ctx cache %10llu hits / %llu misses\n"
+                "mem peak bytes   %10llu\n"
                 "retries          %10llu\n"
                 "fallbacks        %10llu\n",
                 static_cast<unsigned long long>(s.evals), ms(s.evalNs),
@@ -69,6 +70,7 @@ std::string format(const Snapshot& s) {
                 ms(s.extractBuildNs), ms(s.extractCompressNs),
                 static_cast<unsigned long long>(s.ctxHits),
                 static_cast<unsigned long long>(s.ctxMisses),
+                static_cast<unsigned long long>(s.memPeakBytes),
                 static_cast<unsigned long long>(s.retries),
                 static_cast<unsigned long long>(s.fallbacks));
   return buf;

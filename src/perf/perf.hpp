@@ -42,6 +42,9 @@ struct Snapshot {
                                        ///< across jobs)
   std::uint64_t ctxMisses = 0;         ///< engine context builds (cold parse
                                        ///< + pattern discovery)
+  std::uint64_t memPeakBytes = 0;      ///< largest per-job workspace peak
+                                       ///< observed (diag::MemAccount);
+                                       ///< merges by max, not sum
   std::uint64_t evalNs = 0;
   std::uint64_t factorNs = 0;
   std::uint64_t refactorNs = 0;
@@ -65,6 +68,9 @@ struct Snapshot {
     extractBuilds += o.extractBuilds;
     ctxHits += o.ctxHits;
     ctxMisses += o.ctxMisses;
+    // A peak is a high-water mark, not a flow: folding two scopes keeps
+    // the larger peak rather than summing.
+    if (o.memPeakBytes > memPeakBytes) memPeakBytes = o.memPeakBytes;
     evalNs += o.evalNs;
     factorNs += o.factorNs;
     refactorNs += o.refactorNs;
@@ -112,6 +118,14 @@ class Counters {
   /// pivot order included — from an earlier job with the same topology.
   void addCtxHit() { ctxHits_.fetch_add(1, std::memory_order_relaxed); }
   void addCtxMiss() { ctxMisses_.fetch_add(1, std::memory_order_relaxed); }
+  /// Record one job's workspace peak (CAS-max: the counter keeps the
+  /// largest peak seen, mirroring Snapshot's max-merge for this field).
+  void noteMemPeak(std::uint64_t bytes) {
+    std::uint64_t cur = memPeak_.load(std::memory_order_relaxed);
+    while (bytes > cur && !memPeak_.compare_exchange_weak(
+                              cur, bytes, std::memory_order_relaxed)) {
+    }
+  }
 
   /// Fold a snapshot's totals in (used by CounterScope to merge a job's
   /// counters into its parent scope / the process totals on scope exit).
@@ -129,6 +143,7 @@ class Counters {
     extractBuilds_.fetch_add(s.extractBuilds, std::memory_order_relaxed);
     ctxHits_.fetch_add(s.ctxHits, std::memory_order_relaxed);
     ctxMisses_.fetch_add(s.ctxMisses, std::memory_order_relaxed);
+    noteMemPeak(s.memPeakBytes);
     evalNs_.fetch_add(s.evalNs, std::memory_order_relaxed);
     factorNs_.fetch_add(s.factorNs, std::memory_order_relaxed);
     refactorNs_.fetch_add(s.refactorNs, std::memory_order_relaxed);
@@ -155,6 +170,7 @@ class Counters {
     s.extractBuilds = extractBuilds_.load(std::memory_order_relaxed);
     s.ctxHits = ctxHits_.load(std::memory_order_relaxed);
     s.ctxMisses = ctxMisses_.load(std::memory_order_relaxed);
+    s.memPeakBytes = memPeak_.load(std::memory_order_relaxed);
     s.evalNs = evalNs_.load(std::memory_order_relaxed);
     s.factorNs = factorNs_.load(std::memory_order_relaxed);
     s.refactorNs = refactorNs_.load(std::memory_order_relaxed);
@@ -169,9 +185,9 @@ class Counters {
   void reset() {
     for (auto* a : {&evals_, &factor_, &refactor_, &solves_, &retries_,
                     &fallbacks_, &ffts_, &planHits_, &planMisses_, &matvecs_,
-                    &extractBuilds_, &ctxHits_, &ctxMisses_, &evalNs_,
-                    &factorNs_, &refactorNs_, &solveNs_, &fftNs_, &matvecNs_,
-                    &extractBuildNs_, &extractCompressNs_})
+                    &extractBuilds_, &ctxHits_, &ctxMisses_, &memPeak_,
+                    &evalNs_, &factorNs_, &refactorNs_, &solveNs_, &fftNs_,
+                    &matvecNs_, &extractBuildNs_, &extractCompressNs_})
       a->store(0, std::memory_order_relaxed);
   }
 
@@ -187,6 +203,7 @@ class Counters {
   std::atomic<std::uint64_t> ffts_{0}, planHits_{0}, planMisses_{0};
   std::atomic<std::uint64_t> matvecs_{0}, extractBuilds_{0};
   std::atomic<std::uint64_t> ctxHits_{0}, ctxMisses_{0};
+  std::atomic<std::uint64_t> memPeak_{0};
   std::atomic<std::uint64_t> evalNs_{0}, factorNs_{0}, refactorNs_{0},
       solveNs_{0}, fftNs_{0}, matvecNs_{0}, extractBuildNs_{0},
       extractCompressNs_{0};

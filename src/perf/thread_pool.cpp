@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "common.hpp"
+#include "diag/resilience.hpp"
 #include "perf/perf.hpp"
 
 namespace rfic::perf {
@@ -45,6 +46,9 @@ struct ThreadPool::Batch {
   /// worker for the duration of its participation so fan-out work stays
   /// attributed to the job that issued it.
   Counters* counterScope = nullptr;
+  /// Likewise the dispatching thread's memory account (diag::MemScope):
+  /// workspace growth inside fan-out work charges the owning job's budget.
+  diag::MemAccount* memScope = nullptr;
   /// Lane budget: the caller always counts as lane 1; workers claim a lane
   /// under the pool mutex before running and stay out once the cap is hit.
   std::size_t maxLanes = 0;  // 0 = uncapped
@@ -59,6 +63,7 @@ struct ThreadPool::Batch {
   void run() {
     tlInPool = true;
     Counters* prevScope = CounterScope::exchange(counterScope);
+    diag::MemAccount* prevMem = diag::MemScope::exchange(memScope);
     const std::size_t nChunks = chunks();
     for (;;) {
       const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
@@ -74,6 +79,7 @@ struct ThreadPool::Batch {
         if (!error) error = std::current_exception();
       }
     }
+    diag::MemScope::exchange(prevMem);
     CounterScope::exchange(prevScope);
     tlInPool = false;
   }
@@ -149,6 +155,7 @@ void ThreadPool::parallelFor(std::size_t n, FunctionRef<void(std::size_t)> fn,
   b.n = n;
   b.grain = grain;
   b.counterScope = CounterScope::current();
+  b.memScope = diag::MemScope::current();
   b.maxLanes = tlLaneCap;
   {
     // rt: allow(rt-lock) dispatch handshake — one uncontended round-trip

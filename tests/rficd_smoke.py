@@ -110,12 +110,15 @@ def main():
                  ".print out\n.tran 5e-8 1e-1\n")
         job3 = cli.submit(heavy, label="heavy")
         cli.send({"cmd": "cancel", "job": job3})
-        states, fin3 = [], None
-        while fin3 is None:
+        # The cancel ack (connection thread) and the finished event
+        # (worker thread) may land on the wire in either order; wait for
+        # both so no stray ack leaks into the next command's replies.
+        acked, fin3 = False, None
+        while fin3 is None or not acked:
             msg = cli.recv()
             if msg.get("event") == "cancel":
                 assert msg["ok"] is True, msg
-                states.append("cancel-acked")
+                acked = True
             elif msg.get("job") == job3 and msg["event"] == "finished":
                 fin3 = msg
         assert fin3["exit"] == 5 and fin3["cancelled"], fin3

@@ -6,7 +6,7 @@ Speaks the newline-delimited JSON protocol over a unix-domain socket
 
   rficd_client.py --socket /tmp/rfic.sock submit lpf.cir --wait
   rficd_client.py --socket /tmp/rfic.sock submit lpf.cir --label lpf \
-      --timeout 10 --threads 1
+      --timeout 10 --threads 1 --priority batch --max-bytes 67108864
   rficd_client.py --socket /tmp/rfic.sock status
   rficd_client.py --socket /tmp/rfic.sock cancel 7
   rficd_client.py --socket /tmp/rfic.sock stats
@@ -14,12 +14,20 @@ Speaks the newline-delimited JSON protocol over a unix-domain socket
 
 `submit --wait` streams the job's stdout to this terminal as it arrives
 and exits with the job's exit code, so it is a drop-in remote rficsim.
+
+Overload handling: when the daemon sheds a batch job or reports a full
+queue ("reason": "shed" / "queue-full"), submit retries with exponential
+backoff plus jitter (--retries, --backoff); the delay doubles again while
+the daemon reports itself degraded. A "spec-invalid" rejection is a bad
+netlist, never retried, and exits 2 like a local rficsim parse error.
 """
 
 import argparse
 import json
+import random
 import socket
 import sys
+import time
 
 
 class Client:
@@ -56,11 +64,38 @@ def cmd_submit(cli, args):
         req["krylov"] = args.krylov
     if args.threads is not None:
         req["threads"] = args.threads
-    cli.send(req)
-    msg = cli.recv()
-    if msg.get("event") != "accepted":
-        print(f"rejected: {msg.get('reason', msg)}", file=sys.stderr)
-        return 1
+    if args.priority:
+        req["priority"] = args.priority
+    if args.max_bytes is not None:
+        req["maxbytes"] = args.max_bytes
+
+    # Transient rejections (shed, queue-full) are retried with exponential
+    # backoff + jitter so a fleet of clients doesn't hammer a degraded
+    # daemon in lockstep; permanent ones (spec-invalid) are not.
+    delay = args.backoff
+    attempt = 0
+    while True:
+        cli.send(req)
+        msg = cli.recv()
+        if msg.get("event") == "accepted":
+            break
+        reason = msg.get("reason", "")
+        detail = msg.get("detail", "")
+        if reason == "spec-invalid":
+            print(f"rejected: {reason}: {detail}", file=sys.stderr)
+            return 2
+        if reason not in ("shed", "queue-full") or attempt >= args.retries:
+            print(f"rejected: {reason}: {detail}", file=sys.stderr)
+            return 1
+        sleep = delay * (1.0 + random.random())
+        if msg.get("degraded"):
+            sleep *= 2.0
+        print(f"rejected ({reason}), retrying in {sleep:.2f}s "
+              f"[{attempt + 1}/{args.retries}]", file=sys.stderr)
+        time.sleep(sleep)
+        delay *= 2.0
+        attempt += 1
+
     job = msg["job"]
     if not args.wait:
         print(job)
@@ -116,6 +151,9 @@ def cmd_stats(cli, args):
     while True:
         msg = cli.recv()
         if msg.get("event") == "stats":
+            gauges = {k: v for k, v in msg.items()
+                      if k not in ("event", "text")}
+            print(json.dumps(gauges, indent=2))
             sys.stdout.write(msg.get("text", ""))
             return 0
 
@@ -139,6 +177,14 @@ def main():
     p.add_argument("--newton", type=int)
     p.add_argument("--krylov", type=int)
     p.add_argument("--threads", type=int)
+    p.add_argument("--priority", choices=["high", "normal", "batch"],
+                   help="scheduling class (default: normal)")
+    p.add_argument("--max-bytes", type=int,
+                   help="per-job workspace byte budget (exit 6 on breach)")
+    p.add_argument("--retries", type=int, default=5,
+                   help="retry attempts for shed/queue-full rejections")
+    p.add_argument("--backoff", type=float, default=0.25,
+                   help="initial backoff seconds (doubles per retry)")
     p.add_argument("--wait", action="store_true",
                    help="stream output and exit with the job's exit code")
     p.set_defaults(fn=cmd_submit)
@@ -153,8 +199,8 @@ def main():
     p.add_argument("job", type=int)
     p.set_defaults(fn=cmd_result)
 
-    sub.add_parser("stats", help="process perf counters").set_defaults(
-        fn=cmd_stats)
+    sub.add_parser("stats", help="scheduler gauges + perf counters"
+                   ).set_defaults(fn=cmd_stats)
     sub.add_parser("shutdown", help="stop the daemon").set_defaults(
         fn=cmd_shutdown)
 
