@@ -1,0 +1,171 @@
+// Device-evaluation engine microbench: the SoA batched flat loop against
+// the scalar virtual stamp walk, per device class and instance count. The
+// batched engine exists to make the Newton inner loop cheap — per-instance
+// cost should drop as the population grows (amortized dispatch, contiguous
+// parameter tables, prefilled linear template), while the scalar walk pays
+// virtual dispatch and per-entry pattern searches per device per eval.
+// Also measures the raw junction-exponential kernel throughput (flat-array
+// form the vectorizer sees) against a strided std::exp loop.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/dc.hpp"
+#include "bench_util.hpp"
+#include "circuit/devices.hpp"
+#include "circuit/junction_kernels.hpp"
+#include "circuit/mna_workspace.hpp"
+#include "circuit/semiconductors.hpp"
+#include "circuit/sources.hpp"
+
+using namespace rfic;
+using namespace rfic::bench;
+using namespace rfic::circuit;
+
+namespace {
+
+enum class Kind { diode, bjt, mosfet };
+
+const char* kindName(Kind k) {
+  switch (k) {
+    case Kind::diode:
+      return "diode";
+    case Kind::bjt:
+      return "bjt";
+    default:
+      return "mosfet";
+  }
+}
+
+// N independent cells hanging off a driven rail: every cell adds one
+// nonlinear device plus a series resistor, so the per-instance cost is
+// dominated by the device class under test.
+void buildPopulation(Circuit& c, Kind kind, std::size_t n) {
+  const int rail = c.node("rail");
+  const int br = c.allocBranch("V1");
+  c.add<VSource>("V1", rail, -1, br, std::make_shared<SineWave>(0.8, 1e6),
+                 TimeAxis::slow);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    const int a = c.node("a" + id);
+    c.add<Resistor>("R" + id, rail, a, 1e3);
+    switch (kind) {
+      case Kind::diode: {
+        Diode::Params dp;
+        c.add<Diode>("D" + id, a, -1, dp);
+        break;
+      }
+      case Kind::bjt: {
+        BJT::Params bp;
+        c.add<BJT>("Q" + id, rail, a, -1, bp);
+        break;
+      }
+      case Kind::mosfet: {
+        MOSFET::Params mp;
+        c.add<MOSFET>("M" + id, rail, a, -1, mp);
+        break;
+      }
+    }
+  }
+}
+
+struct Measurement {
+  Real nsPerInstance = 0;
+  std::size_t reps = 0;
+};
+
+// Time repeated full matrix evaluations at a fixed operating point.
+Measurement timeEvals(MnaWorkspace& ws, const RVec& x, std::size_t n) {
+  // Warm up: pattern discovery, batch compile, buffer growth.
+  ws.eval(x, 0.0, true, &x);
+  const std::size_t reps = quickMode() ? 50 : 400;
+  Stopwatch sw;
+  for (std::size_t r = 0; r < reps; ++r) ws.eval(x, 0.0, true, &x);
+  Measurement m;
+  m.reps = reps;
+  m.nsPerInstance = sw.seconds() * 1e9 /
+                    (static_cast<Real>(reps) * static_cast<Real>(n));
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  header("Device evaluation engine — SoA batch vs scalar virtual walk");
+  JsonReporter rep("device_eval");
+
+  std::printf("%-8s %-8s %14s %14s %10s\n", "class", "count", "scalar ns/i",
+              "batched ns/i", "speedup");
+  rule();
+
+  const std::vector<std::size_t> sizes = {10, 100, 10000};
+  for (const Kind kind : {Kind::diode, Kind::bjt, Kind::mosfet}) {
+    for (const std::size_t n : sizes) {
+      Circuit c;
+      buildPopulation(c, kind, n);
+      MnaSystem sys(c);
+      const auto dc = analysis::dcOperatingPoint(sys);
+
+      MnaWorkspace scalarWs(sys);
+      scalarWs.setBatchedEval(false);
+      MnaWorkspace batchWs(sys);
+      batchWs.setBatchedEval(true);
+
+      const Measurement ms = timeEvals(scalarWs, dc.x, n);
+      const Measurement mb = timeEvals(batchWs, dc.x, n);
+      const Real speedup = ms.nsPerInstance / mb.nsPerInstance;
+      std::printf("%-8s %-8zu %14.1f %14.1f %9.2fx\n", kindName(kind), n,
+                  ms.nsPerInstance, mb.nsPerInstance, speedup);
+      if (n == sizes.back()) {
+        const std::string p =
+            std::string("device_eval.") + kindName(kind) + "10k";
+        rep.metric(p + ".scalar_ns_per_inst", ms.nsPerInstance);
+        rep.metric(p + ".batched_ns_per_inst", mb.nsPerInstance);
+        rep.metric(p + ".speedup", speedup);
+      }
+    }
+  }
+
+  // Raw junction-kernel throughput: the flat-array form the batched engine
+  // feeds the compiler, versus calling std::exp through a strided
+  // virtual-ish accessor pattern. Reported in Mevals/s.
+  {
+    const std::size_t n = 1 << 16;
+    std::vector<Real> v(n), out(n);
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = 0.3 + 0.4 * static_cast<Real>(i) / static_cast<Real>(n);
+    const std::size_t reps = quickMode() ? 20 : 200;
+    const Real is = 1e-14, nvt = 0.025852;
+
+    Stopwatch sw;
+    Real sink = 0;
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto je = kernels::junctionCurrent(v[i], is, nvt);
+        out[i] = je.i + je.gd;
+      }
+      sink += out[n / 2];
+    }
+    const Real flatS = sw.seconds();
+
+    sw.reset();
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = is * (std::exp(v[i] / nvt) - 1.0);
+      sink += out[n / 3];
+    }
+    const Real stridedS = sw.seconds();
+
+    const Real flatRate =
+        static_cast<Real>(n) * static_cast<Real>(reps) / flatS * 1e-6;
+    const Real rawRate =
+        static_cast<Real>(n) * static_cast<Real>(reps) / stridedS * 1e-6;
+    std::printf("\njunction kernel throughput: %.1f Meval/s "
+                "(raw std::exp loop: %.1f Meval/s, sink %.3g)\n",
+                flatRate, rawRate, sink);
+    rep.metric("device_eval.junction_kernel_meval_s", flatRate);
+    rep.metric("device_eval.raw_exp_meval_s", rawRate);
+  }
+  return 0;
+}

@@ -78,6 +78,7 @@ class JsonReporter {
   /// <prefix>.refactorizations, <prefix>.solves and the per-stage times.
   void counters(const std::string& prefix, const perf::Snapshot& s) {
     count(prefix + ".evals", s.evals);
+    count(prefix + ".eval_batched", s.evalBatched);
     count(prefix + ".factorizations", s.factorizations);
     count(prefix + ".refactorizations", s.refactorizations);
     count(prefix + ".solves", s.solves);
@@ -89,6 +90,7 @@ class JsonReporter {
     count(prefix + ".matvecs", s.matvecs);
     count(prefix + ".extract_builds", s.extractBuilds);
     count(prefix + ".eval_ns", static_cast<std::size_t>(s.evalNs));
+    count(prefix + ".eval_batch_ns", static_cast<std::size_t>(s.evalBatchNs));
     count(prefix + ".factor_ns", static_cast<std::size_t>(s.factorNs));
     count(prefix + ".refactor_ns", static_cast<std::size_t>(s.refactorNs));
     count(prefix + ".solve_ns", static_cast<std::size_t>(s.solveNs));

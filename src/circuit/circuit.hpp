@@ -145,6 +145,8 @@ inline Real nodeVoltage(const RVec& x, int node) {
   return node >= 0 ? x[static_cast<std::size_t>(node)] : 0.0;
 }
 
+class BatchCompiler;  // see circuit/device_batch.hpp
+
 /// Base class of all circuit elements.
 class Device {
  public:
@@ -159,6 +161,12 @@ class Device {
   /// s.wantMatrices()). `xPrev` is the previous Newton iterate, used by
   /// junction devices for SPICE-style voltage limiting; it may be null.
   virtual void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const = 0;
+
+  /// Register this device with the batched evaluation engine (see
+  /// circuit/device_batch.hpp). A device that registers nothing keeps its
+  /// virtual stamp() — the batch engine calls it per evaluation in original
+  /// device order, so exotic devices stay correct without a compiled form.
+  virtual void compileBatch(BatchCompiler& bc) const { (void)bc; }
 
   /// Append this device's noise generators at operating point x.
   virtual void noiseSources(const RVec& x,

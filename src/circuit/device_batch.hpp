@@ -1,0 +1,315 @@
+// Batched structure-of-arrays device evaluation.
+//
+// The scalar evaluation path walks the circuit's device list through
+// virtual Device::stamp() calls; every matrix entry pays a binary search
+// into the cached CSR pattern, every instance an indirect call. For the
+// Newton-heavy steady-state analyses (HB evaluates every device at every
+// time sample of every iteration) that bookkeeping dominates the actual
+// junction math. This layer compiles the circuit once per sparsity
+// pattern into a form where the per-evaluation work is just arithmetic:
+//
+//  - Diode/BJT/MOSFET instances land in per-class structure-of-arrays
+//    tables — contiguous parameters, node indices, precomputed vcrit —
+//    and are evaluated as flat loops over the shared kernels in
+//    junction_kernels.hpp (phase A);
+//  - every G/C entry position is resolved to its CSR slot once, at
+//    compile time; evaluation scatters through int32 slot arrays with no
+//    searches (phase B);
+//  - linear devices whose matrix stamps are compile-time constants
+//    (R/L/C, VCCS, source ±1 rows) are folded into constant prefill
+//    templates copied over gVals/cVals before each scatter — they cost a
+//    memcpy, not per-device work;
+//  - independent-source waveform values can be computed once per time
+//    sample of a multi-sample sweep and reused across Newton iterations
+//    (sample times are fixed for a given HB/shooting grid).
+//
+// Bitwise contract: with the `--no-batch-eval` toggle the scalar walk is
+// the golden reference, and this engine reproduces its f/q/b/G/C output
+// bit for bit. That works because (a) both paths execute the *same*
+// inline kernels, (b) the scatter walk runs in original device order, so
+// every f/q/b vector entry and every CSR slot receives its contributions
+// in the exact scalar order, and (c) a slot is folded into the constant
+// template only when *all* of its contributions are constants — the
+// template then carries the same device-order sum the scalar path forms.
+// Devices without a compiled form (VCVS, CCCS, CCVS, mutual inductance,
+// multiplier, user-defined Device subclasses) keep their virtual stamp(),
+// invoked mid-walk at their original position; their matrix footprint is
+// probed at compile time so slots they touch are never prefilled.
+//
+// A compiled instance whose slot cannot be resolved (a conditional stamp
+// absent from the discovery pattern) is demoted to the generic walk; its
+// eventual overflow triggers MnaWorkspace's usual growPattern + recompile
+// self-healing, keeping the pattern — and therefore the factorization —
+// identical between the two evaluation modes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/junction_kernels.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace rfic::circuit {
+
+class Waveform;
+class DeviceBatch;
+
+/// Registration interface handed to Device::compileBatch(). Each call
+/// claims the device for the batch engine; the entry-registration order of
+/// each method mirrors the device's scalar stamp() emission order, which is
+/// what keeps per-slot accumulation order identical between the paths.
+class BatchCompiler {
+ public:
+  // Linear devices with compile-time-constant matrix stamps.
+  void resistor(int n1, int n2, Real g);
+  void capacitor(int n1, int n2, Real c);
+  void inductor(int n1, int n2, int branch, Real l);
+  void vccs(int outPlus, int outMinus, int ctrlPlus, int ctrlMinus, Real gm);
+  void vsource(int nPlus, int nMinus, int branch, const Waveform* w,
+               TimeAxis axis);
+  void isource(int nPlus, int nMinus, const Waveform* w, TimeAxis axis);
+  // Nonlinear devices evaluated through the shared kernels.
+  void cubicConductance(int n1, int n2, Real g1, Real g3);
+  void diode(int anode, int cathode, const kernels::DiodeParams& p);
+  void bjt(int collector, int base, int emitter, const kernels::BJTParams& p);
+  void mosfet(int drain, int gate, int source, const kernels::MOSFETParams& p);
+
+ private:
+  friend class DeviceBatch;
+  explicit BatchCompiler(DeviceBatch& b) : b_(b) {}
+  DeviceBatch& b_;
+};
+
+class DeviceBatch {
+ public:
+  /// Slot sentinel: ground row/column, dropped (scalar addG/addC semantics).
+  static constexpr std::int32_t kDropped = -1;
+  /// Slot sentinel: constant entry folded into the prefill template.
+  static constexpr std::int32_t kPrefilled = -2;
+
+  /// Per-evaluation kernel outputs. Owned by the caller (one per concurrent
+  /// evaluation) so a multi-sample sweep can run samples in parallel over
+  /// one compiled DeviceBatch; grown once by eval() to the class counts.
+  struct Scratch {
+    std::vector<kernels::DiodeOut> diode;
+    std::vector<kernels::BJTOut> bjt;
+    std::vector<kernels::MOSFETOut> mosfet;
+  };
+
+  /// Samples per kernel-sweep block: the nonlinear kernels of a multi-sample
+  /// pass are evaluated sample-major over blocks of this size, so the
+  /// junction exponentials run as flat loops over contiguous state rows.
+  /// Fixed (never derived from thread count) — chunk boundaries must not
+  /// change results, and per-sample outputs are independent anyway.
+  static constexpr std::size_t kSweepChunk = 32;
+
+  /// Kernel outputs for one sweep block: instance i's output for block
+  /// sample j lives at [i * kSweepChunk + j]. One per sweep lane.
+  struct SweepScratch {
+    std::vector<kernels::DiodeOut> diode;
+    std::vector<kernels::BJTOut> bjt;
+    std::vector<kernels::MOSFETOut> mosfet;
+  };
+
+  /// Compile (or recompile after pattern growth) against a discovered
+  /// sparsity pattern. `x`/`xPrev`/`t1`/`t2` form the probe point for the
+  /// structural footprint of generic (non-compiled) devices; pass the same
+  /// point the pattern itself was discovered at.
+  void compile(const Circuit& ckt, const sparse::RCSR& pattern,
+               std::size_t dim, const RVec& x, const RVec* xPrev, Real t1,
+               Real t2);
+  bool compiled() const { return compiled_; }
+
+  /// Approximate bytes held by the compiled tables, slot arrays, and
+  /// templates — charged to the owning job's diag::MemAccount by the
+  /// workspace after each compile.
+  std::size_t bytes() const;
+
+  /// Independent-source waveform count / values at (t1, t2), in compiled
+  /// source order. A multi-sample sweep computes these once per sample and
+  /// feeds them back through eval()'s waveVals to skip re-evaluating
+  /// sin/pwl waveforms every Newton iteration (sample times are fixed).
+  std::size_t numWaveforms() const { return waves_.size(); }
+  void evalWaveforms(Real t1, Real t2, Real* out) const;
+
+  /// One full circuit evaluation, bitwise-identical to the scalar device
+  /// walk. `s` must be a pattern-mode (or vector-only) Stamp whose targets
+  /// are `gVals`/`cVals`; when matrices are wanted the arrays are prefilled
+  /// here from the constant templates — the caller must NOT zero-fill them.
+  /// `waveVals` optionally carries evalWaveforms() output for this sample's
+  /// times; nullptr evaluates waveforms inline (scalar-identical either
+  /// way).
+  void eval(const RVec& x, const RVec* xPrev, Stamp& s,
+            std::vector<Real>* gVals, std::vector<Real>* cVals,
+            Scratch& scratch, const Real* waveVals) const;
+
+  /// Sample-major kernel phase for a sweep block: evaluate every nonlinear
+  /// instance at samples [s0, s0+count) of `xs` (states in columns, count ≤
+  /// kSweepChunk) into `sc`. No junction limiting — sweeps evaluate at the
+  /// iterate itself (xPrev == nullptr), matching the scalar sweep path.
+  /// Each (instance, sample) output is computed by the same inline kernel
+  /// call as eval()'s, so results are bitwise independent of blocking.
+  void evalKernelsSweep(const numeric::RMat& xs, std::size_t s0,
+                        std::size_t count, bool wantMatrices,
+                        SweepScratch& sc) const;
+
+  /// Assembly phase for one sample of a sweep block: the constant-template
+  /// prefill plus the device-order scatter of eval(), reading instance i's
+  /// kernel output from out[i * kSweepChunk + blockIdx] of the SweepScratch
+  /// filled by evalKernelsSweep().
+  void assemble(const RVec& x, Stamp& s, std::vector<Real>* gVals,
+                std::vector<Real>* cVals, const SweepScratch& sc,
+                std::size_t blockIdx, const Real* waveVals) const;
+
+  /// True when any device fell back to the generic virtual walk — the
+  /// vector-only block assembly below requires an all-compiled circuit.
+  bool hasGenericOps() const { return !genericDevs_.empty(); }
+
+  /// Vector-only assembly of a whole sweep block at once: accumulates
+  /// f/q/b for samples [s0, s0+count) directly into the row-major result
+  /// matrices (columns are samples), op-outer / sample-inner so the linear
+  /// ops run as flat loops over contiguous rows. Bitwise-identical to
+  /// per-sample assemble() without matrices: each (entry, sample) cell
+  /// receives the same contributions, in the same device order, from the
+  /// same expressions — only the loop nest is interchanged, and samples
+  /// never mix. Requires hasGenericOps() == false. `waveVals` is the full
+  /// waveform cache laid out sample-major with `nWave` values per sample;
+  /// when nullptr, waveforms are evaluated inline at (t1[s], t2[s]).
+  void assembleSweepVec(const numeric::RMat& xs, std::size_t s0,
+                        std::size_t count, numeric::RMat& fS,
+                        numeric::RMat& qS, numeric::RMat& bS,
+                        const SweepScratch& sc, const Real* waveVals,
+                        std::size_t nWave, const Real* t1,
+                        const Real* t2) const;
+
+ private:
+  friend class BatchCompiler;
+
+  enum class OpKind : std::uint8_t {
+    generic,
+    resistor,
+    capacitor,
+    inductor,
+    vccs,
+    vsource,
+    isource,
+    cubic,
+    diode,
+    bjt,
+    mosfet,
+  };
+
+  /// One device in original circuit order. `idx` points into the kind's
+  /// table (or genericDevs_); `slotBase`/`nEntries` into slots_/pending_.
+  struct Op {
+    OpKind kind;
+    std::uint32_t idx;
+    std::uint32_t slotBase;
+    std::uint32_t nEntries;
+  };
+
+  /// A registered matrix entry, pre-resolution. Constant entries carry
+  /// their value for the prefill-template fold.
+  struct PendingEntry {
+    std::int32_t row, col;
+    bool isC;
+    bool isConst;
+    Real constVal;
+  };
+
+  struct ResistorOp {
+    std::int32_t n1, n2;
+    Real g;
+  };
+  struct CapacitorOp {
+    std::int32_t n1, n2;
+    Real c;
+  };
+  struct InductorOp {
+    std::int32_t n1, n2, br;
+    Real l;
+  };
+  struct VccsOp {
+    std::int32_t op, om, cp, cm;
+    Real gm;
+  };
+  struct SourceOp {
+    std::int32_t np, nm, br;  ///< br unused (-1) for current sources
+    const Waveform* w;
+    TimeAxis axis;
+    std::uint32_t waveIdx;
+  };
+  struct CubicOp {
+    std::int32_t n1, n2;
+    Real g1, g3;
+  };
+  /// Structure-of-arrays diode table (kernel phase iterates these flat).
+  struct DiodeTable {
+    std::vector<Real> is, nvt, vcrit, gmin, cj0, vj, m, fc, tt;
+    std::vector<std::int32_t> na, nc;
+    std::vector<std::uint8_t> hasC;  ///< cj0>0 || tt>0: C stamps possible
+    std::size_t size() const { return na.size(); }
+  };
+  struct BJTTable {
+    std::vector<kernels::BJTParams> p;
+    std::vector<std::int32_t> nc, nb, ne;
+    std::size_t size() const { return nc.size(); }
+  };
+  struct MOSFETTable {
+    std::vector<kernels::MOSFETParams> p;
+    std::vector<std::int32_t> nd, ng, ns;
+    std::vector<std::uint8_t> hasCgs, hasCgd;
+    std::size_t size() const { return nd.size(); }
+  };
+
+  struct Wave {
+    const Waveform* w;
+    TimeAxis axis;
+  };
+
+  // --- registration helpers (called via BatchCompiler) ---
+  void beginOp(OpKind kind, std::uint32_t idx);
+  void entry(bool isC, int row, int col) {
+    pending_.push_back({row, col, isC, false, 0.0});
+  }
+  void constEntry(bool isC, int row, int col, Real v) {
+    pending_.push_back({row, col, isC, true, v});
+  }
+  std::uint32_t addWave(const Waveform* w, TimeAxis axis) {
+    waves_.push_back({w, axis});
+    return static_cast<std::uint32_t>(waves_.size() - 1);
+  }
+
+  void ensureScratch(Scratch& sc) const;
+  void ensureSweepScratch(SweepScratch& sc) const;
+  /// Shared assembly body: prefill + device-order scatter, with instance
+  /// i's kernel output at out[i * stride] (stride 1 for eval()'s Scratch,
+  /// kSweepChunk for a SweepScratch block sample).
+  void assembleImpl(const RVec& x, const RVec* xPrev, Stamp& s,
+                    std::vector<Real>* gVals, std::vector<Real>* cVals,
+                    const kernels::DiodeOut* dOut, const kernels::BJTOut* bOut,
+                    const kernels::MOSFETOut* mOut, std::size_t stride,
+                    const Real* waveVals) const;
+
+  bool compiled_ = false;
+  std::vector<Op> ops_;
+  std::vector<PendingEntry> pending_;
+  std::vector<std::int32_t> slots_;  ///< resolved, parallel to pending_
+  std::vector<Real> gTemplate_, cTemplate_;
+  std::vector<const Device*> genericDevs_;
+  std::vector<Wave> waves_;
+  bool took_ = false;  ///< current device registered something
+
+  std::vector<ResistorOp> res_;
+  std::vector<CapacitorOp> cap_;
+  std::vector<InductorOp> ind_;
+  std::vector<VccsOp> vccs_;
+  std::vector<SourceOp> vsrc_, isrc_;
+  std::vector<CubicOp> cubic_;
+  DiodeTable diode_;
+  BJTTable bjt_;
+  MOSFETTable mos_;
+};
+
+}  // namespace rfic::circuit

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "circuit/device_batch.hpp"
+
 namespace rfic::circuit {
 
 namespace {
@@ -28,6 +30,10 @@ void Resistor::stamp(const RVec& x, const RVec*, Stamp& s) const {
     s.addG(n2_, n1_, -g_);
     s.addG(n2_, n2_, g_);
   }
+}
+
+void Resistor::compileBatch(BatchCompiler& bc) const {
+  bc.resistor(n1_, n2_, g_);
 }
 
 void Resistor::noiseSources(const RVec&, std::vector<NoiseSource>& out) const {
@@ -57,6 +63,10 @@ void Capacitor::stamp(const RVec& x, const RVec*, Stamp& s) const {
   }
 }
 
+void Capacitor::compileBatch(BatchCompiler& bc) const {
+  bc.capacitor(n1_, n2_, c_);
+}
+
 Inductor::Inductor(std::string name, int n1, int n2, int branch, Real henries)
     : Device(std::move(name)), n1_(n1), n2_(n2), br_(branch), l_(henries) {
   RFIC_REQUIRE(henries > 0, "Inductor: inductance must be positive");
@@ -77,6 +87,10 @@ void Inductor::stamp(const RVec& x, const RVec*, Stamp& s) const {
     s.addG(br_, n1_, -1.0);
     s.addG(br_, n2_, 1.0);
   }
+}
+
+void Inductor::compileBatch(BatchCompiler& bc) const {
+  bc.inductor(n1_, n2_, br_, l_);
 }
 
 MutualInductance::MutualInductance(std::string name, const Inductor& l1,
@@ -120,6 +134,10 @@ void VCCS::stamp(const RVec& x, const RVec*, Stamp& s) const {
     s.addG(om_, cp_, -gm_);
     s.addG(om_, cm_, gm_);
   }
+}
+
+void VCCS::compileBatch(BatchCompiler& bc) const {
+  bc.vccs(op_, om_, cp_, cm_, gm_);
 }
 
 VCVS::VCVS(std::string name, int outPlus, int outMinus, int ctrlPlus,
@@ -246,6 +264,10 @@ void CubicConductance::stamp(const RVec& x, const RVec*, Stamp& s) const {
     s.addG(n2_, n1_, -di);
     s.addG(n2_, n2_, di);
   }
+}
+
+void CubicConductance::compileBatch(BatchCompiler& bc) const {
+  bc.cubicConductance(n1_, n2_, g1_, g3_);
 }
 
 }  // namespace rfic::circuit

@@ -10,6 +10,7 @@ class Resistor final : public Device {
  public:
   Resistor(std::string name, int n1, int n2, Real ohms);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
   void noiseSources(const RVec& x, std::vector<NoiseSource>& out) const override;
   Real resistance() const { return r_; }
 
@@ -23,6 +24,7 @@ class Capacitor final : public Device {
  public:
   Capacitor(std::string name, int n1, int n2, Real farads);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
 
  private:
   int n1_, n2_;
@@ -35,6 +37,7 @@ class Inductor final : public Device {
  public:
   Inductor(std::string name, int n1, int n2, int branch, Real henries);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
   int branch() const { return br_; }
   Real inductance() const { return l_; }
 
@@ -62,6 +65,7 @@ class VCCS final : public Device {
   VCCS(std::string name, int outPlus, int outMinus, int ctrlPlus,
        int ctrlMinus, Real gm);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
 
  private:
   int op_, om_, cp_, cm_;
@@ -130,6 +134,7 @@ class CubicConductance final : public Device {
  public:
   CubicConductance(std::string name, int n1, int n2, Real g1, Real g3);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
 
  private:
   int n1_, n2_;

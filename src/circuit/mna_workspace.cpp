@@ -1,10 +1,25 @@
 #include "circuit/mna_workspace.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "diag/resilience.hpp"
 
 namespace rfic::circuit {
+
+namespace {
+// Process-wide default for new workspaces; `rficsim --no-batch-eval` and
+// the daemon flip it at startup, tests flip it per-case.
+std::atomic<bool> gBatchedDefault{true};
+}  // namespace
+
+void MnaWorkspace::setBatchedEvalDefault(bool on) {
+  gBatchedDefault.store(on, std::memory_order_relaxed);
+}
+
+bool MnaWorkspace::batchedEvalDefault() {
+  return gBatchedDefault.load(std::memory_order_relaxed);
+}
 
 // First-time pattern discovery: one triplet-mode evaluation at the caller's
 // point, unioned with the diagonal (analyses add gshunt/gDiag terms there,
@@ -41,6 +56,7 @@ void MnaWorkspace::ensurePattern(const RVec& x, Real t1, Real t2,
   cVals_.assign(pattern_.nnz(), 0.0);
   gOv_.reset(n_, n_);
   cOv_.reset(n_, n_);
+  ++growth_;
   // Memory budget: pattern discovery is this workspace's dominant
   // allocation — charge the CSR index arrays, both value arrays, and the
   // diagonal slot map against the owning job's account (no-op without one).
@@ -80,10 +96,25 @@ void MnaWorkspace::growPattern() {
 
   gVals_.assign(pattern_.nnz(), 0.0);
   cVals_.assign(pattern_.nnz(), 0.0);
+  ++growth_;
   // Memory budget: a grown pattern is a fresh allocation of the same
   // shape as ensurePattern's — charge it in full (charge-only contract).
   diag::memCharge(pattern_.nnz() * (2 * sizeof(Real) + sizeof(std::size_t)) +
                   (2 * n_ + 1) * sizeof(std::size_t));
+}
+
+// (Re)compile the SoA device batch against the current pattern. The compile
+// is itself an allocation event — it happens once per pattern version, never
+// in steady state, and its footprint is charged like the pattern's.
+void MnaWorkspace::maybeCompileBatch(const RVec& x, const RVec* xPrev, Real t1,
+                                     Real t2) {
+  if (!batched_) return;
+  if (batch_.compiled() && batchVersion_ == patternVersion_) return;
+  // rt: allow(rt-alloc) once-per-pattern-version batch compile
+  batch_.compile(sys_.circuit(), pattern_, n_, x, xPrev, t1, t2);
+  batchVersion_ = patternVersion_;
+  ++growth_;
+  diag::memCharge(batch_.bytes());
 }
 
 void MnaWorkspace::evalBivariate(const RVec& x, Real t1, Real t2,
@@ -92,28 +123,39 @@ void MnaWorkspace::evalBivariate(const RVec& x, Real t1, Real t2,
   const perf::Timer timer;
 
   if (!wantMatrices) {
-    // Vector-only evaluation needs no pattern machinery.
+    // Vector-only evaluation needs no pattern machinery. A stale batch (older
+    // pattern version) is fine here: f/q/b assembly never touches CSR slots.
     f_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite — the
                          // buffers hold n_ entries after the first call
     q_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
     b_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
     Stamp s(f_, q_, b_, nullptr, nullptr, t1, t2);
-    for (const auto& dev : sys_.circuit().devices()) dev->stamp(x, xPrev, s);
+    const bool useBatch = batched_ && batch_.compiled();
+    if (useBatch) {
+      batch_.eval(x, xPrev, s, nullptr, nullptr, scratch_, nullptr);
+    } else {
+      for (const auto& dev : sys_.circuit().devices()) dev->stamp(x, xPrev, s);
+    }
     const auto ns = timer.ns();
-    counters_.addEval(ns);
-    perf::global().addEval(ns);
+    if (useBatch) {
+      counters_.addEvalBatch(1, ns);
+      perf::global().addEvalBatch(1, ns);
+    } else {
+      counters_.addEval(ns);
+      perf::global().addEval(ns);
+    }
     return;
   }
 
   // rt: allow(rt-alloc) first-call pattern discovery — early-returns once
   // the pattern exists, so steady-state iterations never enter it
   ensurePattern(x, t1, t2, xPrev);
+  maybeCompileBatch(x, xPrev, t1, t2);
+  const bool useBatch = batched_ && batch_.compiled();
   for (;;) {
     f_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
     q_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
     b_.assign(n_, 0.0);  // rt: allow(rt-alloc) same-size overwrite
-    std::fill(gVals_.begin(), gVals_.end(), 0.0);
-    std::fill(cVals_.begin(), cVals_.end(), 0.0);
     gOv_.reset(n_, n_);
     cOv_.reset(n_, n_);
 
@@ -124,17 +166,224 @@ void MnaWorkspace::evalBivariate(const RVec& x, Real t1, Real t2,
     pt.gOverflow = &gOv_;
     pt.cOverflow = &cOv_;
     Stamp s(f_, q_, b_, pt, t1, t2);
-    for (const auto& dev : sys_.circuit().devices()) dev->stamp(x, xPrev, s);
+    if (useBatch) {
+      // The batch prefills gVals_/cVals_ with the constant linear template
+      // (same-size assign), so the zero-fill is skipped on this path.
+      batch_.eval(x, xPrev, s, &gVals_, &cVals_, scratch_, nullptr);
+    } else {
+      std::fill(gVals_.begin(), gVals_.end(), 0.0);
+      std::fill(cVals_.begin(), cVals_.end(), 0.0);
+      for (const auto& dev : sys_.circuit().devices()) dev->stamp(x, xPrev, s);
+    }
 
     if (gOv_.entries().empty() && cOv_.entries().empty()) break;
     // rt: allow(rt-alloc) self-healing pattern growth — taken only when a
     // device stamps a position outside the cached pattern (rare, and each
     // growth is permanent, so the path is visited a bounded number of times)
     growPattern();
+    maybeCompileBatch(x, xPrev, t1, t2);
   }
   const auto ns = timer.ns();
-  counters_.addEval(ns);
-  perf::global().addEval(ns);
+  if (useBatch) {
+    counters_.addEvalBatch(1, ns);
+    perf::global().addEvalBatch(1, ns);
+  } else {
+    counters_.addEval(ns);
+    perf::global().addEval(ns);
+  }
+}
+
+void MnaWorkspace::evalSamples(const numeric::RMat& xs, const Real* t1,
+                               const Real* t2, bool wantMatrices,
+                               numeric::RMat& fS, numeric::RMat& qS,
+                               numeric::RMat& bS,
+                               std::vector<std::vector<Real>>* gOut,
+                               std::vector<std::vector<Real>>* cOut) {
+  const std::size_t S = xs.cols();
+  RFIC_REQUIRE(xs.rows() == n_, "MnaWorkspace::evalSamples: state dim");
+  RFIC_REQUIRE(fS.rows() == n_ && fS.cols() >= S && qS.rows() == n_ &&
+                   qS.cols() >= S && bS.rows() == n_ && bS.cols() >= S,
+               "MnaWorkspace::evalSamples: result shape");
+  RFIC_REQUIRE(!wantMatrices || (gOut != nullptr && cOut != nullptr &&
+                                 gOut->size() >= S && cOut->size() >= S),
+               "MnaWorkspace::evalSamples: matrix outputs required");
+  if (S == 0) return;
+  const perf::Timer timer;
+
+  // Fixed lane count: each lane owns a contiguous chunk of samples, and
+  // samples are mutually independent, so the results are bitwise identical
+  // whether the chunks run serially or across a pool of any size.
+  const std::size_t lanes = std::min<std::size_t>(
+      S, sweepPool_ != nullptr ? sweepPool_->concurrency() : 1);
+  if (lanes_.size() < lanes) {
+    lanes_.resize(lanes);  // rt: allow(rt-alloc) grow-once lane pool
+    ++growth_;
+  }
+  for (std::size_t k = 0; k < lanes; ++k) {
+    SweepLane& ln = lanes_[k];
+    if (ln.x.size() != n_) {
+      ln.x.assign(n_, 0.0);  // rt: allow(rt-alloc) grow-once lane buffers
+      ln.f.assign(n_, 0.0);  // rt: allow(rt-alloc) grow-once lane buffers
+      ln.q.assign(n_, 0.0);  // rt: allow(rt-alloc) grow-once lane buffers
+      ln.b.assign(n_, 0.0);  // rt: allow(rt-alloc) grow-once lane buffers
+      ln.gOv.reset(n_, n_);
+      ln.cOv.reset(n_, n_);
+      ++growth_;
+      diag::memCharge(4 * n_ * sizeof(Real));
+    }
+  }
+
+  const std::size_t colS = xs.cols();
+  const auto gather = [&](SweepLane& ln, std::size_t s) {
+    const Real* xp = xs.data() + s;
+    for (std::size_t u = 0; u < n_; ++u, xp += colS) ln.x[u] = *xp;
+  };
+
+  if (wantMatrices) {
+    gather(lanes_[0], 0);
+    // rt: allow(rt-alloc) first-call pattern discovery
+    ensurePattern(lanes_[0].x, t1[0], t2[0], nullptr);
+    maybeCompileBatch(lanes_[0].x, nullptr, t1[0], t2[0]);
+  }
+  const bool useBatch = batched_ && batch_.compiled() &&
+                        (!wantMatrices || batchVersion_ == patternVersion_);
+
+  // Waveform-value cache: source evaluations depend only on the sample
+  // times, which are fixed for a given HB/shooting grid — compute them once
+  // and reuse across every Newton iteration of the pass.
+  const std::size_t nw = useBatch ? batch_.numWaveforms() : 0;
+  const Real* wv = nullptr;
+  if (nw > 0) {
+    const bool stale =
+        waveVersion_ != batchVersion_ || waveT1_.size() != S ||
+        !std::equal(waveT1_.begin(), waveT1_.end(), t1) ||
+        !std::equal(waveT2_.begin(), waveT2_.end(), t2);
+    if (stale) {
+      if (waveVals_.size() != S * nw) {
+        ++growth_;
+        diag::memCharge((S * nw + 2 * S) * sizeof(Real));
+      }
+      waveVals_.resize(S * nw);  // rt: allow(rt-alloc) grow-once wave cache
+      waveT1_.assign(t1, t1 + S);  // rt: allow(rt-alloc) grow-once wave cache
+      waveT2_.assign(t2, t2 + S);  // rt: allow(rt-alloc) grow-once wave cache
+      for (std::size_t s = 0; s < S; ++s)
+        batch_.evalWaveforms(t1[s], t2[s], waveVals_.data() + s * nw);
+      waveVersion_ = batchVersion_;
+    }
+    wv = waveVals_.data();
+  }
+
+  const std::size_t chunk = (S + lanes - 1) / lanes;
+  for (;;) {
+    const auto runLane = [&](std::size_t k) {
+      SweepLane& ln = lanes_[k];
+      ln.overflowed = false;
+      const std::size_t lo = k * chunk;
+      const std::size_t hi = std::min(S, lo + chunk);
+      const bool blockVec =
+          useBatch && !wantMatrices && !batch_.hasGenericOps();
+      for (std::size_t cs = lo; cs < hi; cs += DeviceBatch::kSweepChunk) {
+        const std::size_t cn = std::min(DeviceBatch::kSweepChunk, hi - cs);
+        // Sample-major kernel phase for the block, then per-sample assembly
+        // (blocking is invisible in the results: every (instance, sample)
+        // output is an independent kernel call either way).
+        if (useBatch) batch_.evalKernelsSweep(xs, cs, cn, wantMatrices, ln.sweep);
+        if (blockVec) {
+          // Vector-only, all-compiled circuit: assemble the whole block
+          // straight into the result rows — no lane buffers, no Stamp.
+          batch_.assembleSweepVec(xs, cs, cn, fS, qS, bS, ln.sweep, wv, nw,
+                                  t1, t2);
+          continue;
+        }
+        for (std::size_t j = 0; j < cn; ++j) {
+          const std::size_t s = cs + j;
+          gather(ln, s);
+          ln.f.setZero();
+          ln.q.setZero();
+          ln.b.setZero();
+          if (wantMatrices) {
+            if (!ln.gOv.entries().empty()) ln.gOv.reset(n_, n_);
+            if (!ln.cOv.entries().empty()) ln.cOv.reset(n_, n_);
+            Stamp::PatternTarget pt;
+            pt.pattern = &pattern_;
+            pt.gVals = &(*gOut)[s];
+            pt.cVals = &(*cOut)[s];
+            pt.gOverflow = &ln.gOv;
+            pt.cOverflow = &ln.cOv;
+            Stamp st(ln.f, ln.q, ln.b, pt, t1[s], t2[s]);
+            if (useBatch) {
+              batch_.assemble(ln.x, st, pt.gVals, pt.cVals, ln.sweep, j,
+                              wv != nullptr ? wv + s * nw : nullptr);
+            } else {
+              // rt: allow(rt-alloc) same-size overwrite after first sweep
+              (*gOut)[s].assign(pattern_.nnz(), 0.0);
+              // rt: allow(rt-alloc) same-size overwrite after first sweep
+              (*cOut)[s].assign(pattern_.nnz(), 0.0);
+              for (const auto& dev : sys_.circuit().devices())
+                dev->stamp(ln.x, nullptr, st);
+            }
+            if (!ln.gOv.entries().empty() || !ln.cOv.entries().empty())
+              ln.overflowed = true;
+          } else {
+            Stamp st(ln.f, ln.q, ln.b, nullptr, nullptr, t1[s], t2[s]);
+            if (useBatch) {
+              batch_.assemble(ln.x, st, nullptr, nullptr, ln.sweep, j,
+                              wv != nullptr ? wv + s * nw : nullptr);
+            } else {
+              for (const auto& dev : sys_.circuit().devices())
+                dev->stamp(ln.x, nullptr, st);
+            }
+          }
+          Real* fp = fS.data() + s;
+          Real* qp = qS.data() + s;
+          Real* bp = bS.data() + s;
+          const std::size_t fCols = fS.cols(), qCols = qS.cols(),
+                            bCols = bS.cols();
+          for (std::size_t u = 0; u < n_; ++u) {
+            *fp = ln.f[u];
+            *qp = ln.q[u];
+            *bp = ln.b[u];
+            fp += fCols;
+            qp += qCols;
+            bp += bCols;
+          }
+        }
+      }
+    };
+    if (sweepPool_ != nullptr && lanes > 1) {
+      sweepPool_->parallelFor(lanes, runLane, 1);
+    } else {
+      for (std::size_t k = 0; k < lanes; ++k) runLane(k);
+    }
+
+    bool overflow = false;
+    for (std::size_t k = 0; k < lanes; ++k) overflow |= lanes_[k].overflowed;
+    if (!overflow) break;
+
+    // rt: allow(rt-alloc) self-healing pattern growth — merge every lane's
+    // misses, grow once, recompile the batch, and restart the sweep so all
+    // samples see the same (final) pattern
+    gOv_.reset(n_, n_);
+    cOv_.reset(n_, n_);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      for (const auto& en : lanes_[k].gOv.entries())
+        gOv_.add(en.row, en.col, 0.0);
+      for (const auto& en : lanes_[k].cOv.entries())
+        cOv_.add(en.row, en.col, 0.0);
+    }
+    growPattern();
+    gather(lanes_[0], 0);
+    maybeCompileBatch(lanes_[0].x, nullptr, t1[0], t2[0]);
+  }
+
+  const auto ns = timer.ns();
+  if (useBatch) {
+    counters_.addEvalBatch(S, ns);
+    perf::global().addEvalBatch(S, ns);
+  } else {
+    counters_.addEvals(S, ns);
+    perf::global().addEvals(S, ns);
+  }
 }
 
 diag::SolverStatus MnaWorkspace::factorJacobian(Real cCoeff, Real gCoeff,

@@ -24,16 +24,19 @@
 
 #include <vector>
 
+#include "circuit/device_batch.hpp"
 #include "circuit/mna.hpp"
 #include "diag/convergence.hpp"
 #include "perf/perf.hpp"
+#include "perf/thread_pool.hpp"
 #include "sparse/symbolic_lu.hpp"
 
 namespace rfic::circuit {
 
 class MnaWorkspace {
  public:
-  explicit MnaWorkspace(const MnaSystem& sys) : sys_(sys), n_(sys.dim()) {}
+  explicit MnaWorkspace(const MnaSystem& sys)
+      : sys_(sys), n_(sys.dim()), batched_(batchedEvalDefault()) {}
 
   std::size_t dim() const { return n_; }
   const MnaSystem& system() const { return sys_; }
@@ -50,6 +53,39 @@ class MnaWorkspace {
   /// pattern grows the pattern and repeats the evaluation.
   void evalBivariate(const RVec& x, Real t1, Real t2, bool wantMatrices,
                      const RVec* xPrev = nullptr);
+
+  /// Multi-sample sweep: evaluate all S = xs.cols() states at their sample
+  /// times in one pass — the HB/shooting inner loop. Column s of the n×S
+  /// matrices carries sample s: state in `xs`, results in fS/qS/bS; when
+  /// wantMatrices, (*gOut)[s]/(*cOut)[s] receive the G/C value arrays over
+  /// pattern() (sized here; pass vectors of length ≥ S). Samples are
+  /// independent, so the sweep fans out over setSweepPool()'s lanes in
+  /// fixed chunks — results are bitwise identical for every thread count,
+  /// and identical to S sequential evalBivariate calls. Pattern growth
+  /// mid-sweep restarts the sweep internally; on return the pattern is
+  /// consistent across all samples. Steady-state calls (same S, same
+  /// pattern) perform no allocation.
+  void evalSamples(const numeric::RMat& xs, const Real* t1, const Real* t2,
+                   bool wantMatrices, numeric::RMat& fS, numeric::RMat& qS,
+                   numeric::RMat& bS, std::vector<std::vector<Real>>* gOut,
+                   std::vector<std::vector<Real>>* cOut);
+
+  /// Toggle the batched SoA evaluation engine for this workspace (bitwise
+  /// identical either way; `rficsim --no-batch-eval` pins the scalar walk).
+  void setBatchedEval(bool on) { batched_ = on; }
+  bool batchedEval() const { return batched_; }
+  /// Process-wide default picked up by new workspaces (CLI flag plumbing).
+  static void setBatchedEvalDefault(bool on);
+  static bool batchedEvalDefault();
+
+  /// Thread pool used by evalSamples (nullptr = serial). The chunking is
+  /// over a fixed lane count, so results do not depend on the pool size.
+  void setSweepPool(perf::ThreadPool* pool) { sweepPool_ = pool; }
+
+  /// Buffer-growth events (pattern discovery/growth, batch compiles, sweep
+  /// lane pools): stable across steady-state iterations — the counter the
+  /// zero-allocation tests pin.
+  std::uint64_t workspaceGrowth() const { return growth_; }
 
   const RVec& f() const { return f_; }
   const RVec& q() const { return q_; }
@@ -99,6 +135,18 @@ class MnaWorkspace {
  private:
   void ensurePattern(const RVec& x, Real t1, Real t2, const RVec* xPrev);
   void growPattern();
+  /// (Re)compile the device batch when the pattern changed since the last
+  /// compile. Probes generic devices at (x, xPrev, t1, t2).
+  void maybeCompileBatch(const RVec& x, const RVec* xPrev, Real t1, Real t2);
+
+  /// Per-lane sweep state: each evalSamples lane evaluates its chunk of
+  /// samples through its own buffers, so lanes never share mutable state.
+  struct SweepLane {
+    RVec x, f, q, b;
+    sparse::RTriplets gOv, cOv;
+    DeviceBatch::SweepScratch sweep;  ///< kernel outputs per sweep block
+    bool overflowed = false;
+  };
 
   const MnaSystem& sys_;
   std::size_t n_;
@@ -109,6 +157,17 @@ class MnaWorkspace {
   std::vector<std::size_t> diagSlot_;    ///< CSR position of (i, i)
   sparse::RTriplets gOv_, cOv_;          ///< pattern misses (rare)
   std::size_t patternVersion_ = 0;
+
+  bool batched_;                         ///< this workspace's toggle
+  DeviceBatch batch_;
+  DeviceBatch::Scratch scratch_;         ///< single-eval kernel outputs
+  std::size_t batchVersion_ = 0;         ///< patternVersion_ at last compile
+  perf::ThreadPool* sweepPool_ = nullptr;
+  std::vector<SweepLane> lanes_;         ///< grow-once sweep lane pool
+  std::vector<Real> waveVals_;           ///< cached waveform values, S × nw
+  std::vector<Real> waveT1_, waveT2_;    ///< sample times the cache is for
+  std::size_t waveVersion_ = 0;          ///< batchVersion_ the cache is for
+  std::uint64_t growth_ = 0;             ///< buffer-growth events
 
   std::vector<Real> jVals_;              ///< combined Jacobian values
   sparse::RSymbolicLU lu_;

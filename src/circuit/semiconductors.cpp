@@ -2,78 +2,20 @@
 
 #include <cmath>
 
+#include "circuit/device_batch.hpp"
+
+// The actual junction math lives in circuit/junction_kernels.hpp — shared
+// verbatim with the batched evaluation engine so the two paths are bitwise
+// identical. This file only adapts device instances to the kernels.
+
 namespace rfic::circuit {
 
 namespace {
-
 constexpr Real kKT = 1.380649e-23 * 300.0;
-// Beyond this junction voltage the exponential is continued linearly to
-// keep Newton iterates finite.
-constexpr Real kExpLimit = 80.0;
-
-// exp(v/nvt) with linear continuation, plus derivative.
-struct JunctionExp {
-  Real i;   // Is*(exp-1)
-  Real gd;  // dI/dv
-};
-JunctionExp junctionCurrent(Real v, Real is, Real nvt) {
-  JunctionExp out;
-  const Real arg = v / nvt;
-  if (arg > kExpLimit) {
-    const Real e = std::exp(kExpLimit);
-    out.i = is * (e * (1.0 + (arg - kExpLimit)) - 1.0);
-    out.gd = is * e / nvt;
-  } else if (arg < -kExpLimit) {
-    out.i = -is;
-    out.gd = 0.0;
-  } else {
-    const Real e = std::exp(arg);
-    out.i = is * (e - 1.0);
-    out.gd = is * e / nvt;
-  }
-  return out;
-}
-
-// Depletion charge and capacitance of a graded junction with SPICE's
-// linearization above fc*vj.
-struct JunctionCharge {
-  Real q, c;
-};
-JunctionCharge depletionCharge(Real v, Real cj0, Real vj, Real m, Real fc) {
-  JunctionCharge out{0, 0};
-  if (cj0 <= 0) return out;
-  const Real vth = fc * vj;
-  if (v < vth) {
-    const Real u = 1.0 - v / vj;
-    const Real um = std::pow(u, -m);
-    out.c = cj0 * um;
-    out.q = cj0 * vj / (1.0 - m) * (1.0 - u * um);  // = cj0*vj/(1-m)*(1-u^{1-m})
-  } else {
-    // Linear continuation with matching value and slope at vth.
-    const Real u = 1.0 - fc;
-    const Real um = std::pow(u, -m);
-    const Real cAt = cj0 * um;
-    const Real qAt = cj0 * vj / (1.0 - m) * (1.0 - u * um);
-    const Real dcdv = cj0 * m / vj * std::pow(u, -m - 1.0);
-    const Real dv = v - vth;
-    out.c = cAt + dcdv * dv;
-    out.q = qAt + cAt * dv + 0.5 * dcdv * dv * dv;
-  }
-  return out;
-}
-
 }  // namespace
 
 Real pnjLimit(Real vNew, Real vOld, Real vt, Real vcrit) {
-  if (vNew > vcrit && std::abs(vNew - vOld) > 2.0 * vt) {
-    if (vOld > 0) {
-      const Real arg = 1.0 + (vNew - vOld) / vt;
-      vNew = (arg > 0) ? vOld + vt * std::log(arg) : vcrit;
-    } else {
-      vNew = vt * std::log(vNew / vt);
-    }
-  }
-  return vNew;
+  return kernels::pnjLimit(vNew, vOld, vt, vcrit);
 }
 
 // ---------------------------------------------------------------- Diode
@@ -85,51 +27,49 @@ Diode::Diode(std::string name, int anode, int cathode, Params p)
   vcrit_ = nvt * std::log(nvt / (std::sqrt(2.0) * p_.is));
 }
 
+kernels::DiodeParams Diode::kparams() const {
+  return {p_.is, p_.n * kVt300, vcrit_, p_.gmin,
+          p_.cj0, p_.vj, p_.m, p_.fc, p_.tt};
+}
+
 Real Diode::current(Real v) const {
-  return junctionCurrent(v, p_.is, p_.n * kVt300).i + p_.gmin * v;
+  return kernels::junctionCurrent(v, p_.is, p_.n * kVt300).i + p_.gmin * v;
 }
 
 void Diode::stamp(const RVec& x, const RVec* xPrev, Stamp& s) const {
   const Real vRaw = nodeVoltage(x, na_) - nodeVoltage(x, nc_);
-  Real v = vRaw;
-  if (xPrev) {
-    const Real vOld = nodeVoltage(*xPrev, na_) - nodeVoltage(*xPrev, nc_);
-    v = pnjLimit(v, vOld, p_.n * kVt300, vcrit_);
-  }
-  // Evaluate at the limited voltage and extend linearly to the raw iterate
-  // (SPICE convention): keeps the Newton residual consistent with the
-  // Jacobian while the exponential is tamed.
-  const auto [ilim, gd] = junctionCurrent(v, p_.is, p_.n * kVt300);
-  const Real idio = ilim + gd * (vRaw - v);
-  const Real i = idio + p_.gmin * vRaw;
-  const Real g = gd + p_.gmin;
-  s.addF(na_, i);
-  s.addF(nc_, -i);
-
-  const auto [qj, cj] = depletionCharge(v, p_.cj0, p_.vj, p_.m, p_.fc);
-  const Real q = qj + p_.tt * idio;
-  const Real c = cj + p_.tt * gd;
-  if (q != 0 || c != 0) {
-    s.addQ(na_, q);
-    s.addQ(nc_, -q);
+  const Real vOld =
+      xPrev ? nodeVoltage(*xPrev, na_) - nodeVoltage(*xPrev, nc_) : 0.0;
+  const kernels::DiodeOut o =
+      kernels::diodeEval(kparams(), vRaw, vOld, xPrev != nullptr);
+  s.addF(na_, o.i);
+  s.addF(nc_, -o.i);
+  if (o.q != 0 || o.c != 0) {
+    s.addQ(na_, o.q);
+    s.addQ(nc_, -o.q);
   }
   if (s.wantMatrices()) {
-    s.addG(na_, na_, g);
-    s.addG(na_, nc_, -g);
-    s.addG(nc_, na_, -g);
-    s.addG(nc_, nc_, g);
-    if (c != 0) {
-      s.addC(na_, na_, c);
-      s.addC(na_, nc_, -c);
-      s.addC(nc_, na_, -c);
-      s.addC(nc_, nc_, c);
+    s.addG(na_, na_, o.g);
+    s.addG(na_, nc_, -o.g);
+    s.addG(nc_, na_, -o.g);
+    s.addG(nc_, nc_, o.g);
+    if (o.c != 0) {
+      s.addC(na_, na_, o.c);
+      s.addC(na_, nc_, -o.c);
+      s.addC(nc_, na_, -o.c);
+      s.addC(nc_, nc_, o.c);
     }
   }
 }
 
+void Diode::compileBatch(BatchCompiler& bc) const {
+  bc.diode(na_, nc_, kparams());
+}
+
 void Diode::noiseSources(const RVec& x, std::vector<NoiseSource>& out) const {
   const Real v = nodeVoltage(x, na_) - nodeVoltage(x, nc_);
-  const Real i = std::abs(junctionCurrent(v, p_.is, p_.n * kVt300).i);
+  const Real i =
+      std::abs(kernels::junctionCurrent(v, p_.is, p_.n * kVt300).i);
   NoiseSource n;
   n.nodePlus = na_;
   n.nodeMinus = nc_;
@@ -153,99 +93,62 @@ BJT::BJT(std::string name, int collector, int base, int emitter, Params p,
   vcrit_ = kVt300 * std::log(kVt300 / (std::sqrt(2.0) * p_.is));
 }
 
+kernels::BJTParams BJT::kparams() const {
+  return {p_.is, p_.bf, p_.br, p_.vaf,
+          p_.cje, p_.cjc, p_.vje, p_.mje, p_.vjc, p_.mjc, p_.fc, p_.tf,
+          p_.tr, p_.gmin,
+          (type_ == Type::npn) ? 1.0 : -1.0, kVt300, vcrit_};
+}
+
 void BJT::stamp(const RVec& x, const RVec* xPrev, Stamp& s) const {
-  // PNP handled by polarity reversal of both junction voltages and all
-  // resulting currents/charges.
-  const Real sign = (type_ == Type::npn) ? 1.0 : -1.0;
-  const Real vbeRaw = sign * (nodeVoltage(x, nb_) - nodeVoltage(x, ne_));
-  const Real vbcRaw = sign * (nodeVoltage(x, nb_) - nodeVoltage(x, nc_));
-  Real vbe = vbeRaw, vbc = vbcRaw;
+  const Real vb = nodeVoltage(x, nb_);
+  const Real ve = nodeVoltage(x, ne_);
+  const Real vc = nodeVoltage(x, nc_);
+  Real vbOld = 0, veOld = 0, vcOld = 0;
   if (xPrev) {
-    const Real vbeOld =
-        sign * (nodeVoltage(*xPrev, nb_) - nodeVoltage(*xPrev, ne_));
-    const Real vbcOld =
-        sign * (nodeVoltage(*xPrev, nb_) - nodeVoltage(*xPrev, nc_));
-    vbe = pnjLimit(vbe, vbeOld, kVt300, vcrit_);
-    vbc = pnjLimit(vbc, vbcOld, kVt300, vcrit_);
+    vbOld = nodeVoltage(*xPrev, nb_);
+    veOld = nodeVoltage(*xPrev, ne_);
+    vcOld = nodeVoltage(*xPrev, nc_);
   }
+  const kernels::BJTOut o =
+      kernels::bjtEval(kparams(), vb, ve, vc, vbOld, veOld, vcOld,
+                       xPrev != nullptr, s.wantMatrices());
 
-  // Junction currents at the limited voltages, extended linearly to the raw
-  // iterate (SPICE convention — keeps residual and Jacobian consistent).
-  auto fwd = junctionCurrent(vbe, p_.is, kVt300);  // Icc
-  auto rev = junctionCurrent(vbc, p_.is, kVt300);  // Iec
-  fwd.i += fwd.gd * (vbeRaw - vbe);
-  rev.i += rev.gd * (vbcRaw - vbc);
-
-  // Early effect on the transport current only: the SPICE first-order form
-  // Ict = (Icc − Iec)·(1 − vbc/vaf); vbc < 0 in forward-active, so the
-  // factor exceeds 1 and grows with collector swing.
-  Real kq = 1.0, dkq_dvbc = 0.0;
-  if (p_.vaf > 0) {
-    kq = 1.0 - vbc / p_.vaf;
-    dkq_dvbc = -1.0 / p_.vaf;
-  }
-  const Real ict = kq * (fwd.i - rev.i);
-  const Real ib = fwd.i / p_.bf + rev.i / p_.br + p_.gmin * (vbeRaw + vbcRaw);
-  const Real icStd = ict - rev.i / p_.br - p_.gmin * vbcRaw;
-  const Real ieStd = -ict - fwd.i / p_.bf - p_.gmin * vbeRaw;
-
-  // Node currents (type-normalized direction).
-  s.addF(nc_, sign * icStd);
-  s.addF(nb_, sign * ib);
-  s.addF(ne_, sign * ieStd);
-
-  // Charges.
-  const auto qbeJ = depletionCharge(vbe, p_.cje, p_.vje, p_.mje, p_.fc);
-  const auto qbcJ = depletionCharge(vbc, p_.cjc, p_.vjc, p_.mjc, p_.fc);
-  const Real qbe = qbeJ.q + p_.tf * fwd.i;
-  const Real qbc = qbcJ.q + p_.tr * rev.i;
-  const Real cbe = qbeJ.c + p_.tf * fwd.gd;
-  const Real cbc = qbcJ.c + p_.tr * rev.gd;
-  s.addQ(nb_, sign * (qbe + qbc));
-  s.addQ(ne_, sign * (-qbe));
-  s.addQ(nc_, sign * (-qbc));
+  s.addF(nc_, o.fC);
+  s.addF(nb_, o.fB);
+  s.addF(ne_, o.fE);
+  s.addQ(nb_, o.qB);
+  s.addQ(ne_, o.qE);
+  s.addQ(nc_, o.qC);
 
   if (!s.wantMatrices()) return;
 
-  // Derivatives w.r.t. (vbe, vbc); chain rule to node voltages is applied
-  // through the helper below. d(vbe)/d(vb,ve) = sign·(+1,−1) etc., and the
-  // outer sign on the currents cancels the inner one, so stamps are in
-  // terms of the actual node voltages with no residual sign.
-  const Real dic_dvbe = kq * fwd.gd;
-  const Real dic_dvbc =
-      dkq_dvbc * (fwd.i - rev.i) - kq * rev.gd - rev.gd / p_.br - p_.gmin;
-  const Real dib_dvbe = fwd.gd / p_.bf + p_.gmin;
-  const Real dib_dvbc = rev.gd / p_.br + p_.gmin;
-  const Real die_dvbe = -kq * fwd.gd - fwd.gd / p_.bf - p_.gmin;
-  const Real die_dvbc = -dkq_dvbc * (fwd.i - rev.i) + kq * rev.gd;
+  // Kernel block layout: G rows (collector, base, emitter), C rows (base,
+  // emitter, collector), columns (base, emitter, collector).
+  const int gRows[3] = {nc_, nb_, ne_};
+  for (int r = 0; r < 3; ++r) {
+    s.addG(gRows[r], nb_, o.g[3 * r + 0]);
+    s.addG(gRows[r], ne_, o.g[3 * r + 1]);
+    s.addG(gRows[r], nc_, o.g[3 * r + 2]);
+  }
+  const int cRows[3] = {nb_, ne_, nc_};
+  for (int r = 0; r < 3; ++r) {
+    s.addC(cRows[r], nb_, o.c[3 * r + 0]);
+    s.addC(cRows[r], ne_, o.c[3 * r + 1]);
+    s.addC(cRows[r], nc_, o.c[3 * r + 2]);
+  }
+}
 
-  auto stampPair = [&s, this](int row, Real dvbe, Real dvbc) {
-    // v_be = sign(v_b − v_e), v_bc = sign(v_b − v_c); outer current sign
-    // multiplies, so total factor is sign² = 1 on node-voltage stamps.
-    s.addG(row, nb_, dvbe + dvbc);
-    s.addG(row, ne_, -dvbe);
-    s.addG(row, nc_, -dvbc);
-  };
-  stampPair(nc_, dic_dvbe, dic_dvbc);
-  stampPair(nb_, dib_dvbe, dib_dvbc);
-  stampPair(ne_, die_dvbe, die_dvbc);
-
-  auto stampCapPair = [&s, this](int row, Real dvbe, Real dvbc) {
-    s.addC(row, nb_, dvbe + dvbc);
-    s.addC(row, ne_, -dvbe);
-    s.addC(row, nc_, -dvbc);
-  };
-  stampCapPair(nb_, cbe, cbc);
-  stampCapPair(ne_, -cbe, 0.0);
-  stampCapPair(nc_, 0.0, -cbc);
+void BJT::compileBatch(BatchCompiler& bc) const {
+  bc.bjt(nc_, nb_, ne_, kparams());
 }
 
 void BJT::noiseSources(const RVec& x, std::vector<NoiseSource>& out) const {
   const Real sign = (type_ == Type::npn) ? 1.0 : -1.0;
   const Real vbe = sign * (nodeVoltage(x, nb_) - nodeVoltage(x, ne_));
   const Real vbc = sign * (nodeVoltage(x, nb_) - nodeVoltage(x, nc_));
-  const auto fwd = junctionCurrent(vbe, p_.is, kVt300);
-  const auto rev = junctionCurrent(vbc, p_.is, kVt300);
+  const auto fwd = kernels::junctionCurrent(vbe, p_.is, kVt300);
+  const auto rev = kernels::junctionCurrent(vbc, p_.is, kVt300);
   const Real ic = std::abs(fwd.i - rev.i);
   const Real ib = std::abs(fwd.i / p_.bf + rev.i / p_.br);
 
@@ -274,90 +177,46 @@ MOSFET::MOSFET(std::string name, int drain, int gate, int source, Params p,
   RFIC_REQUIRE(p_.kp > 0, "MOSFET: kp must be positive");
 }
 
-MOSFET::OpPoint MOSFET::evalCurrent(Real vgs, Real vds) const {
-  OpPoint op{0, 0, 0};
-  const Real vov = vgs - p_.vt0;
-  if (vov <= 0) return op;  // cutoff
-  const Real cl = 1.0 + p_.lambda * vds;
-  if (vds < vov) {
-    // Triode.
-    op.id = p_.kp * (vov * vds - 0.5 * vds * vds) * cl;
-    op.gm = p_.kp * vds * cl;
-    op.gds = p_.kp * (vov - vds) * cl +
-             p_.kp * (vov * vds - 0.5 * vds * vds) * p_.lambda;
-  } else {
-    // Saturation.
-    op.id = 0.5 * p_.kp * vov * vov * cl;
-    op.gm = p_.kp * vov * cl;
-    op.gds = 0.5 * p_.kp * vov * vov * p_.lambda;
-  }
-  return op;
+kernels::MOSFETParams MOSFET::kparams() const {
+  return {p_.vt0, p_.kp, p_.lambda, p_.cgs, p_.cgd, p_.gmin,
+          (type_ == Type::nmos) ? 1.0 : -1.0};
 }
 
 void MOSFET::stamp(const RVec& x, const RVec* xPrev, Stamp& s) const {
-  const Real sign = (type_ == Type::nmos) ? 1.0 : -1.0;
-  Real vgs = sign * (nodeVoltage(x, ng_) - nodeVoltage(x, ns_));
-  Real vds = sign * (nodeVoltage(x, nd_) - nodeVoltage(x, ns_));
+  const Real vd = nodeVoltage(x, nd_);
+  const Real vg = nodeVoltage(x, ng_);
+  const Real vs = nodeVoltage(x, ns_);
+  Real vdOld = 0, vgOld = 0, vsOld = 0;
   if (xPrev) {
-    // Simple step limiting: keep the gate drive change bounded so the
-    // square law cannot overshoot wildly.
-    const Real vgsOld = sign * (nodeVoltage(*xPrev, ng_) - nodeVoltage(*xPrev, ns_));
-    const Real dv = vgs - vgsOld;
-    const Real maxStep = 1.0;
-    if (std::abs(dv) > maxStep) vgs = vgsOld + (dv > 0 ? maxStep : -maxStep);
+    vdOld = nodeVoltage(*xPrev, nd_);
+    vgOld = nodeVoltage(*xPrev, ng_);
+    vsOld = nodeVoltage(*xPrev, ns_);
   }
+  const kernels::MOSFETOut o =
+      kernels::mosfetEval(kparams(), vd, vg, vs, vdOld, vgOld, vsOld,
+                          xPrev != nullptr, s.wantMatrices());
 
-  // Source-drain symmetry: operate on the terminal pair with vds >= 0.
-  bool swapped = false;
-  Real vgsEff = vgs, vdsEff = vds;
-  if (vds < 0) {
-    swapped = true;
-    vdsEff = -vds;
-    vgsEff = vgs - vds;  // gate-to-(effective source = drain terminal)
-  }
-  const OpPoint op = evalCurrent(vgsEff, vdsEff);
-  const Real idFlow = swapped ? -op.id : op.id;  // current drain->source
-  const Real i = sign * idFlow + sign * p_.gmin * vds;
-
-  s.addF(nd_, i);
-  s.addF(ns_, -i);
+  s.addF(nd_, o.i);
+  s.addF(ns_, -o.i);
 
   // Fixed overlap capacitances (linear).
-  const Real vgd = nodeVoltage(x, ng_) - nodeVoltage(x, nd_);
-  const Real vgsRaw = nodeVoltage(x, ng_) - nodeVoltage(x, ns_);
   if (p_.cgs > 0) {
-    s.addQ(ng_, p_.cgs * vgsRaw);
-    s.addQ(ns_, -p_.cgs * vgsRaw);
+    s.addQ(ng_, o.qGS);
+    s.addQ(ns_, -o.qGS);
   }
   if (p_.cgd > 0) {
-    s.addQ(ng_, p_.cgd * vgd);
-    s.addQ(nd_, -p_.cgd * vgd);
+    s.addQ(ng_, o.qGD);
+    s.addQ(nd_, -o.qGD);
   }
 
   if (!s.wantMatrices()) return;
 
-  // Map derivatives back to the unswapped terminals.
-  Real gm, gds_eff, gmSrc;  // di/dvg, di/dvd, di/dvs with i = drain current
-  if (!swapped) {
-    gm = op.gm;
-    gds_eff = op.gds;
-    gmSrc = -(op.gm + op.gds);
-  } else {
-    // i = -id(vgs', vds') with vgs' = vgs - vds (gate to real drain),
-    // vds' = -vds. d i/d vg = -gm'; d i/d vd = gm' + gds'; chain rule:
-    gm = -op.gm;
-    gds_eff = op.gm + op.gds;
-    gmSrc = -op.gds;
-  }
-  // Type sign: for PMOS both the controlling voltages and the current flip,
-  // so conductances stamp positively in node coordinates (sign²).
-  const Real gmin = p_.gmin;
-  s.addG(nd_, ng_, gm);
-  s.addG(nd_, nd_, gds_eff + gmin);
-  s.addG(nd_, ns_, gmSrc - gmin);
-  s.addG(ns_, ng_, -gm);
-  s.addG(ns_, nd_, -gds_eff - gmin);
-  s.addG(ns_, ns_, -gmSrc + gmin);
+  s.addG(nd_, ng_, o.g[0]);
+  s.addG(nd_, nd_, o.g[1]);
+  s.addG(nd_, ns_, o.g[2]);
+  s.addG(ns_, ng_, o.g[3]);
+  s.addG(ns_, nd_, o.g[4]);
+  s.addG(ns_, ns_, o.g[5]);
 
   if (p_.cgs > 0) {
     s.addC(ng_, ng_, p_.cgs);
@@ -373,6 +232,10 @@ void MOSFET::stamp(const RVec& x, const RVec* xPrev, Stamp& s) const {
   }
 }
 
+void MOSFET::compileBatch(BatchCompiler& bc) const {
+  bc.mosfet(nd_, ng_, ns_, kparams());
+}
+
 void MOSFET::noiseSources(const RVec& x, std::vector<NoiseSource>& out) const {
   const Real sign = (type_ == Type::nmos) ? 1.0 : -1.0;
   Real vgs = sign * (nodeVoltage(x, ng_) - nodeVoltage(x, ns_));
@@ -382,7 +245,8 @@ void MOSFET::noiseSources(const RVec& x, std::vector<NoiseSource>& out) const {
     vds = -vds;
     vgs = v;
   }
-  const OpPoint op = evalCurrent(vgs, vds);
+  const kernels::MOSFETOpPoint op =
+      kernels::mosfetCurrent(vgs, vds, p_.kp, p_.vt0, p_.lambda);
   NoiseSource n;
   n.nodePlus = nd_;
   n.nodeMinus = ns_;

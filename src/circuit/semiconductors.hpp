@@ -6,6 +6,7 @@
 #pragma once
 
 #include "circuit/circuit.hpp"
+#include "circuit/junction_kernels.hpp"
 
 namespace rfic::circuit {
 
@@ -33,12 +34,15 @@ class Diode final : public Device {
 
   Diode(std::string name, int anode, int cathode, Params p);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
   void noiseSources(const RVec& x, std::vector<NoiseSource>& out) const override;
 
   /// Static current at junction voltage v (exposed for tests).
   Real current(Real v) const;
 
  private:
+  kernels::DiodeParams kparams() const;
+
   int na_, nc_;
   Params p_;
   Real vcrit_;
@@ -68,9 +72,12 @@ class BJT final : public Device {
   BJT(std::string name, int collector, int base, int emitter, Params p,
       Type type = Type::npn);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
   void noiseSources(const RVec& x, std::vector<NoiseSource>& out) const override;
 
  private:
+  kernels::BJTParams kparams() const;
+
   int nc_, nb_, ne_;
   Params p_;
   Type type_;
@@ -95,14 +102,11 @@ class MOSFET final : public Device {
   MOSFET(std::string name, int drain, int gate, int source, Params p,
          Type type = Type::nmos);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
   void noiseSources(const RVec& x, std::vector<NoiseSource>& out) const override;
 
  private:
-  // Drain current and derivatives for vds >= 0 (type-normalized).
-  struct OpPoint {
-    Real id, gm, gds;
-  };
-  OpPoint evalCurrent(Real vgs, Real vds) const;
+  kernels::MOSFETParams kparams() const;
 
   int nd_, ng_, ns_;
   Params p_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuit/device_batch.hpp"
+
 namespace rfic::circuit {
 
 Real SquareWave::value(Real t) const {
@@ -92,6 +94,10 @@ void VSource::stamp(const RVec& x, const RVec*, Stamp& s) const {
   }
 }
 
+void VSource::compileBatch(BatchCompiler& bc) const {
+  bc.vsource(np_, nm_, br_, w_.get(), axis_);
+}
+
 ISource::ISource(std::string name, int nPlus, int nMinus,
                  std::shared_ptr<const Waveform> w, TimeAxis axis)
     : Device(std::move(name)),
@@ -106,6 +112,10 @@ void ISource::stamp(const RVec&, const RVec*, Stamp& s) const {
   const Real i = w_->value(s.time(axis_));
   s.addB(np_, -i);
   s.addB(nm_, i);
+}
+
+void ISource::compileBatch(BatchCompiler& bc) const {
+  bc.isource(np_, nm_, w_.get(), axis_);
 }
 
 }  // namespace rfic::circuit

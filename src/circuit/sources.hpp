@@ -111,6 +111,7 @@ class VSource final : public Device {
   VSource(std::string name, int nPlus, int nMinus, int branch,
           std::shared_ptr<const Waveform> w, TimeAxis axis = TimeAxis::slow);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
   int branch() const { return br_; }
 
  private:
@@ -127,6 +128,7 @@ class ISource final : public Device {
   ISource(std::string name, int nPlus, int nMinus,
           std::shared_ptr<const Waveform> w, TimeAxis axis = TimeAxis::slow);
   void stamp(const RVec& x, const RVec* xPrev, Stamp& s) const override;
+  void compileBatch(BatchCompiler& bc) const override;
 
  private:
   int np_, nm_;

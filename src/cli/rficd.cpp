@@ -58,6 +58,7 @@
 #include <thread>
 #include <vector>
 
+#include "circuit/mna_workspace.hpp"
 #include "diag/thread_annotations.hpp"
 #include "engine/json.hpp"
 #include "engine/scheduler.hpp"
@@ -461,11 +462,15 @@ int main(int argc, char** argv) {
         return 1;
       }
       sopts.preflight.maxNodes = static_cast<std::size_t>(n);
+    } else if (flag == "--no-batch-eval") {
+      // Pin the scalar reference device walk (bitwise identical; debug aid).
+      circuit::MnaWorkspace::setBatchedEvalDefault(false);
     } else {
       std::fprintf(stderr,
                    "usage: rficd --socket <path> [--workers <n>] "
                    "[--queue-depth <n>] [--threads <n>] [--high-water <n>] "
-                   "[--aging <n>] [--max-devices <n>] [--max-nodes <n>]\n");
+                   "[--aging <n>] [--max-devices <n>] [--max-nodes <n>] "
+                   "[--no-batch-eval]\n");
       return 1;
     }
   }

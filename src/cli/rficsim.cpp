@@ -30,6 +30,9 @@
 // --checkpoint and --resume serialize and restore transient integrator state
 // (see diag/resilience.hpp); --inject-fault arms a fault point
 // ("name" or "name:count", same spec as RFIC_INJECT_FAULT).
+// --no-batch-eval pins the scalar virtual-stamp device walk (the golden
+// reference path) instead of the batched SoA evaluation engine; outputs
+// are bitwise identical either way, so this is a verification/debug aid.
 //
 // Since the engine refactor this file is a thin client: it parses flags
 // into an engine::JobSpec, runs it through engine::Engine, and replays the
@@ -43,6 +46,7 @@
 #include <sstream>
 #include <string>
 
+#include "circuit/mna_workspace.hpp"
 #include "diag/fe_trap.hpp"
 #include "diag/resilience.hpp"
 #include "engine/engine.hpp"
@@ -122,6 +126,8 @@ int main(int argc, char** argv) {
       spec.checkpointPath = takeValue(flag);
     } else if (flag == "--resume") {
       spec.resume = true;
+    } else if (flag == "--no-batch-eval") {
+      circuit::MnaWorkspace::setBatchedEvalDefault(false);
     } else if (flag == "--inject-fault") {
       try {
         diag::FaultInjector::global().arm(takeValue(flag));
@@ -141,7 +147,7 @@ int main(int argc, char** argv) {
                  "usage: rficsim [--fe-trap] [--stats] [--threads <n>] "
                  "[--timeout <sec>] [--max-bytes <n>] "
                  "[--checkpoint <file>] [--resume] [--inject-fault <spec>] "
-                 "<netlist-file | ->\n");
+                 "[--no-batch-eval] <netlist-file | ->\n");
     return 1;
   }
   if (spec.resume && spec.checkpointPath.empty()) {

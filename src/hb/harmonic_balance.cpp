@@ -266,6 +266,9 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
   // One workspace for the whole solve: every sample stamps into the same
   // cached pattern, so the per-sample Jacobians are plain value arrays.
   circuit::MnaWorkspace ws(sys_);
+  // Samples are independent: fan the per-sample sweep over the process
+  // pool (fixed chunking keeps results thread-count invariant).
+  ws.setSweepPool(&perf::ThreadPool::global());
 
   // Hot-loop buffers live in the engine workspace: they grow to their
   // high-water mark on the first solve and are then reused — steady-state
@@ -282,6 +285,7 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
   RVec xs(n_);
   RVec r, bPack, xPack, xNew, dx, dxp;
   std::vector<Real> gAvgVals, cAvgVals;
+  std::vector<Real> tS1, tS2;  // per-sample (slow, fast) times, filled once
 
   // Evaluate the packed HB residual at `coeffs`; when gOut/cOut are given
   // also collect the per-sample Jacobian values (over ws.pattern()) and
@@ -296,34 +300,66 @@ HBSolution HarmonicBalance::solveAttempt(const RVec& dcOp,
     work_.need(bS, n_, msamp_);
     const bool wantMat = gOut != nullptr;
     const Real avgW = 1.0 / static_cast<Real>(msamp_);
-    for (bool done = false; !done;) {
-      // The pattern can grow mid-sweep (conditional device stamps); value
-      // arrays copied before a growth are stale, so restart the sweep.
-      std::size_t ver = 0;
-      done = true;
-      for (std::size_t s = 0; s < msamp_; ++s) {
-        for (std::size_t u = 0; u < n_; ++u) xs[u] = samples(u, s);
-        const auto [t1, t2] = sampleTimes(s);
-        ws.evalBivariate(xs, t1, t2, wantMat);
-        for (std::size_t u = 0; u < n_; ++u) {
-          fS(u, s) = ws.f()[u];
-          qS(u, s) = ws.q()[u];
-          bS(u, s) = ws.b()[u];
+    if (ws.batchedEval()) {
+      // Batched path: one multi-sample sweep through the SoA engine. The
+      // sweep handles pattern growth internally, so no restart loop is
+      // needed; the time averages accumulate in the same (s, then p) order
+      // as the scalar walk below for bitwise-identical results.
+      if (tS1.size() != msamp_) {
+        tS1.resize(msamp_);
+        tS2.resize(msamp_);
+        for (std::size_t s = 0; s < msamp_; ++s) {
+          const auto [t1, t2] = sampleTimes(s);
+          tS1[s] = t1;
+          tS2[s] = t2;
         }
-        if (!wantMat) continue;
-        if (s == 0) {
-          ver = ws.patternVersion();
-          gAvgVals.assign(ws.pattern().nnz(), 0.0);
-          cAvgVals.assign(ws.pattern().nnz(), 0.0);
-        } else if (ws.patternVersion() != ver) {
-          done = false;
-          break;
+      }
+      ws.evalSamples(samples, tS1.data(), tS2.data(), wantMat, fS, qS, bS,
+                     gOut, cOut);
+      if (wantMat) {
+        gAvgVals.assign(ws.pattern().nnz(), 0.0);
+        cAvgVals.assign(ws.pattern().nnz(), 0.0);
+        for (std::size_t s = 0; s < msamp_; ++s) {
+          const std::vector<Real>& gv = (*gOut)[s];
+          const std::vector<Real>& cv = (*cOut)[s];
+          for (std::size_t p = 0; p < gAvgVals.size(); ++p) {
+            gAvgVals[p] += gv[p] * avgW;
+            cAvgVals[p] += cv[p] * avgW;
+          }
         }
-        (*gOut)[s] = ws.gValues();
-        (*cOut)[s] = ws.cValues();
-        for (std::size_t p = 0; p < gAvgVals.size(); ++p) {
-          gAvgVals[p] += ws.gValues()[p] * avgW;
-          cAvgVals[p] += ws.cValues()[p] * avgW;
+      }
+    } else {
+      // Scalar reference path (`rficsim --no-batch-eval`): per-sample
+      // evaluations through the virtual stamp walk.
+      for (bool done = false; !done;) {
+        // The pattern can grow mid-sweep (conditional device stamps); value
+        // arrays copied before a growth are stale, so restart the sweep.
+        std::size_t ver = 0;
+        done = true;
+        for (std::size_t s = 0; s < msamp_; ++s) {
+          for (std::size_t u = 0; u < n_; ++u) xs[u] = samples(u, s);
+          const auto [t1, t2] = sampleTimes(s);
+          ws.evalBivariate(xs, t1, t2, wantMat);
+          for (std::size_t u = 0; u < n_; ++u) {
+            fS(u, s) = ws.f()[u];
+            qS(u, s) = ws.q()[u];
+            bS(u, s) = ws.b()[u];
+          }
+          if (!wantMat) continue;
+          if (s == 0) {
+            ver = ws.patternVersion();
+            gAvgVals.assign(ws.pattern().nnz(), 0.0);
+            cAvgVals.assign(ws.pattern().nnz(), 0.0);
+          } else if (ws.patternVersion() != ver) {
+            done = false;
+            break;
+          }
+          (*gOut)[s] = ws.gValues();
+          (*cOut)[s] = ws.cValues();
+          for (std::size_t p = 0; p < gAvgVals.size(); ++p) {
+            gAvgVals[p] += ws.gValues()[p] * avgW;
+            cAvgVals[p] += ws.cValues()[p] * avgW;
+          }
         }
       }
     }

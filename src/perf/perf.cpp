@@ -45,6 +45,7 @@ std::string format(const Snapshot& s) {
   };
   std::snprintf(buf, sizeof(buf),
                 "evals            %10llu  (%10.3f ms)\n"
+                "  batched        %10llu  (%10.3f ms)\n"
                 "factorizations   %10llu  (%10.3f ms)\n"
                 "refactorizations %10llu  (%10.3f ms)\n"
                 "solves           %10llu  (%10.3f ms)\n"
@@ -57,6 +58,8 @@ std::string format(const Snapshot& s) {
                 "retries          %10llu\n"
                 "fallbacks        %10llu\n",
                 static_cast<unsigned long long>(s.evals), ms(s.evalNs),
+                static_cast<unsigned long long>(s.evalBatched),
+                ms(s.evalBatchNs),
                 static_cast<unsigned long long>(s.factorizations),
                 ms(s.factorNs),
                 static_cast<unsigned long long>(s.refactorizations),

@@ -45,7 +45,11 @@ struct Snapshot {
   std::uint64_t memPeakBytes = 0;      ///< largest per-job workspace peak
                                        ///< observed (diag::MemAccount);
                                        ///< merges by max, not sum
+  std::uint64_t evalBatched = 0;       ///< evaluations served by the batched
+                                       ///< SoA device engine (subset of evals)
   std::uint64_t evalNs = 0;
+  std::uint64_t evalBatchNs = 0;       ///< wall time of the batched subset
+                                       ///< (subset of evalNs)
   std::uint64_t factorNs = 0;
   std::uint64_t refactorNs = 0;
   std::uint64_t solveNs = 0;
@@ -71,7 +75,9 @@ struct Snapshot {
     // A peak is a high-water mark, not a flow: folding two scopes keeps
     // the larger peak rather than summing.
     if (o.memPeakBytes > memPeakBytes) memPeakBytes = o.memPeakBytes;
+    evalBatched += o.evalBatched;
     evalNs += o.evalNs;
+    evalBatchNs += o.evalBatchNs;
     factorNs += o.factorNs;
     refactorNs += o.refactorNs;
     solveNs += o.solveNs;
@@ -88,6 +94,20 @@ struct Snapshot {
 class Counters {
  public:
   void addEval(std::uint64_t ns) { bump(evals_, evalNs_, ns); }
+  /// One sweep of `count` evaluations timed as a whole (multi-sample
+  /// evalSamples passes time the sweep, not each sample).
+  void addEvals(std::uint64_t count, std::uint64_t ns) {
+    evals_.fetch_add(count, std::memory_order_relaxed);
+    evalNs_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  /// `count` evaluations served by the batched SoA device engine. Also
+  /// counted in evals/evalNs: the batched counters are a subset, so
+  /// evals − evalBatched is the scalar-walk share.
+  void addEvalBatch(std::uint64_t count, std::uint64_t ns) {
+    addEvals(count, ns);
+    evalBatched_.fetch_add(count, std::memory_order_relaxed);
+    evalBatchNs_.fetch_add(ns, std::memory_order_relaxed);
+  }
   void addFactorization(std::uint64_t ns) { bump(factor_, factorNs_, ns); }
   void addRefactorization(std::uint64_t ns) { bump(refactor_, refactorNs_, ns); }
   void addSolve(std::uint64_t ns) { bump(solves_, solveNs_, ns); }
@@ -144,7 +164,9 @@ class Counters {
     ctxHits_.fetch_add(s.ctxHits, std::memory_order_relaxed);
     ctxMisses_.fetch_add(s.ctxMisses, std::memory_order_relaxed);
     noteMemPeak(s.memPeakBytes);
+    evalBatched_.fetch_add(s.evalBatched, std::memory_order_relaxed);
     evalNs_.fetch_add(s.evalNs, std::memory_order_relaxed);
+    evalBatchNs_.fetch_add(s.evalBatchNs, std::memory_order_relaxed);
     factorNs_.fetch_add(s.factorNs, std::memory_order_relaxed);
     refactorNs_.fetch_add(s.refactorNs, std::memory_order_relaxed);
     solveNs_.fetch_add(s.solveNs, std::memory_order_relaxed);
@@ -171,7 +193,9 @@ class Counters {
     s.ctxHits = ctxHits_.load(std::memory_order_relaxed);
     s.ctxMisses = ctxMisses_.load(std::memory_order_relaxed);
     s.memPeakBytes = memPeak_.load(std::memory_order_relaxed);
+    s.evalBatched = evalBatched_.load(std::memory_order_relaxed);
     s.evalNs = evalNs_.load(std::memory_order_relaxed);
+    s.evalBatchNs = evalBatchNs_.load(std::memory_order_relaxed);
     s.factorNs = factorNs_.load(std::memory_order_relaxed);
     s.refactorNs = refactorNs_.load(std::memory_order_relaxed);
     s.solveNs = solveNs_.load(std::memory_order_relaxed);
@@ -183,11 +207,12 @@ class Counters {
   }
 
   void reset() {
-    for (auto* a : {&evals_, &factor_, &refactor_, &solves_, &retries_,
-                    &fallbacks_, &ffts_, &planHits_, &planMisses_, &matvecs_,
-                    &extractBuilds_, &ctxHits_, &ctxMisses_, &memPeak_,
-                    &evalNs_, &factorNs_, &refactorNs_, &solveNs_, &fftNs_,
-                    &matvecNs_, &extractBuildNs_, &extractCompressNs_})
+    for (auto* a : {&evals_, &evalBatched_, &factor_, &refactor_, &solves_,
+                    &retries_, &fallbacks_, &ffts_, &planHits_, &planMisses_,
+                    &matvecs_, &extractBuilds_, &ctxHits_, &ctxMisses_,
+                    &memPeak_, &evalNs_, &evalBatchNs_, &factorNs_,
+                    &refactorNs_, &solveNs_, &fftNs_, &matvecNs_,
+                    &extractBuildNs_, &extractCompressNs_})
       a->store(0, std::memory_order_relaxed);
   }
 
@@ -198,15 +223,16 @@ class Counters {
     ns.fetch_add(dt, std::memory_order_relaxed);
   }
 
-  std::atomic<std::uint64_t> evals_{0}, factor_{0}, refactor_{0}, solves_{0};
+  std::atomic<std::uint64_t> evals_{0}, evalBatched_{0}, factor_{0},
+      refactor_{0}, solves_{0};
   std::atomic<std::uint64_t> retries_{0}, fallbacks_{0};
   std::atomic<std::uint64_t> ffts_{0}, planHits_{0}, planMisses_{0};
   std::atomic<std::uint64_t> matvecs_{0}, extractBuilds_{0};
   std::atomic<std::uint64_t> ctxHits_{0}, ctxMisses_{0};
   std::atomic<std::uint64_t> memPeak_{0};
-  std::atomic<std::uint64_t> evalNs_{0}, factorNs_{0}, refactorNs_{0},
-      solveNs_{0}, fftNs_{0}, matvecNs_{0}, extractBuildNs_{0},
-      extractCompressNs_{0};
+  std::atomic<std::uint64_t> evalNs_{0}, evalBatchNs_{0}, factorNs_{0},
+      refactorNs_{0}, solveNs_{0}, fftNs_{0}, matvecNs_{0},
+      extractBuildNs_{0}, extractCompressNs_{0};
 };
 
 /// The true process-wide accumulator. Scoped contributions (see

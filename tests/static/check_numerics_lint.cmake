@@ -1,0 +1,39 @@
+# Selftest driver for the numerics-lint scalar-exp rule: runs the lint on
+# the seeded fixture tree and asserts the rule fires on the inline junction
+# exponential while honoring the justified suppression. (Entry-check /
+# status findings about the fixture's missing solver files are expected
+# noise — the assertions below pin only the scalar-exp behaviour.)
+#
+# Invoked by ctest as:
+#   cmake -DPYTHON=... -DLINT=... -DFIXTURE=... -P check_numerics_lint.cmake
+
+execute_process(
+  COMMAND "${PYTHON}" "${LINT}" "${FIXTURE}"
+  OUTPUT_VARIABLE lint_out
+  ERROR_VARIABLE lint_err
+  RESULT_VARIABLE lint_rc)
+string(APPEND lint_out "${lint_err}")
+
+if(NOT lint_rc EQUAL 1)
+  message(FATAL_ERROR
+          "numerics_lint selftest: expected exit code 1 on the seeded "
+          "fixture, got ${lint_rc}. Output:\n${lint_out}")
+endif()
+
+# The seeded inline exponential must be flagged by the scalar-exp rule.
+string(FIND "${lint_out}" "seeded_exp.cpp:9: [scalar-exp]" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+          "numerics_lint selftest: expected scalar-exp finding at "
+          "seeded_exp.cpp:9. Output:\n${lint_out}")
+endif()
+
+# The justified `lint: allow-scalar-exp` suppression must be honored.
+string(FIND "${lint_out}" "seeded_exp.cpp:15" pos)
+if(NOT pos EQUAL -1)
+  message(FATAL_ERROR
+          "numerics_lint selftest: the justified suppression at "
+          "seeded_exp.cpp:15 must not be flagged. Output:\n${lint_out}")
+endif()
+
+message(STATUS "numerics_lint selftest: all assertions passed")

@@ -1,0 +1,17 @@
+// Seeded violation for the numerics-lint scalar-exp selftest: a junction
+// exponential written inline in device-eval code instead of through the
+// shared kernels in junction_kernels.hpp.
+#include <cmath>
+
+namespace fixture {
+
+double deviceEvalBad(double v) {
+  return 1e-14 * (std::exp(v / 0.025852) - 1.0);
+}
+
+double deviceEvalJustified(double v) {
+  // Not a junction law — a decay envelope; suppression is justified.
+  return std::exp(-v);  // lint: allow-scalar-exp
+}
+
+}  // namespace fixture

@@ -32,6 +32,13 @@ drifting into silent-wrong-answer territory:
                 private copy — workspace handles silently diverge across
                 workers. Capture workspaces by reference (the pool joins
                 before the dispatch returns) or keep the lambda immutable.
+  scalar-exp    No std::exp/std::expm1 in src/circuit device-evaluation
+                code outside junction_kernels.hpp. The batched SoA engine
+                and the scalar stamp walk are bitwise-identical only
+                because both evaluate junction exponentials through the
+                same shared inline kernels; a stray scalar exponential in a
+                device file forks the implementations and silently breaks
+                the --no-batch-eval golden-reference contract.
 
 Escape hatch: append  // lint: allow-<rule>  to a flagged line when the
 pattern is intentional (used sparingly; each use is visible in review).
@@ -111,6 +118,8 @@ MUTABLE_LAMBDA_RE = re.compile(
 POOL_DISPATCH_RE = re.compile(r"\bparallelFor\s*\(")
 BY_VALUE_CAPTURE_RE = re.compile(r"(?:^|,)\s*(?:=|\w+\s*(?:,|$))")
 
+SCALAR_EXP_RE = re.compile(r"\bstd::(?:exp|expm1)\s*\(")
+
 NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_:<]")
 DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[A-Za-z_(*]")
 DATA_CAPTURE_RE = re.compile(r"[*&]?\s*(\w+)\s*=\s*(\w+)\.data\(\)")
@@ -172,6 +181,8 @@ class Linter:
         in_solver = any(rel.startswith(d) for d in SOLVER_DIRS)
         in_library = rel.startswith("src/")
         in_pool_impl = rel.startswith("src/perf")
+        in_device_eval = (rel.startswith("src/circuit/")
+                          and not rel.endswith("junction_kernels.hpp"))
 
         self.lint_pool_dispatches(path, clean, lines)
 
@@ -210,6 +221,16 @@ class Linter:
                     self.flag(path, num, "float-eq",
                               "floating-point == / != — use an explicit "
                               "tolerance or diag::exactlyZero()")
+
+            # scalar-exp: junction exponentials belong in the shared
+            # kernels header, where both evaluation paths inline them.
+            if in_device_eval and not allowed(line, "scalar-exp") \
+                    and SCALAR_EXP_RE.search(line):
+                self.flag(path, num, "scalar-exp",
+                          "scalar std::exp in device-eval code — move the "
+                          "expression into junction_kernels.hpp so the "
+                          "batched and scalar paths share one bitwise "
+                          "implementation")
 
             # detached-thread: raw std::thread in library code (src/perf is
             # the sanctioned owner); .detach() everywhere.
