@@ -400,6 +400,8 @@ diag::SolverStatus MnaWorkspace::factorJacobian(Real cCoeff, Real gCoeff,
   if (gDiag != 0.0)  // lint: allow-float-eq (exact sentinel for "no shunt")
     for (std::size_t i = 0; i < n_; ++i) jVals_[diagSlot_[i]] += gDiag;
 
+  lu_.setPool(sweepPool_ != nullptr ? sweepPool_ : &perf::ThreadPool::global());
+
   const perf::Timer timer;
   // !lu_.analyzed() covers a previous factorization attempt that threw on a
   // singular matrix: the workspace pattern is still current, but the LU
@@ -407,7 +409,9 @@ diag::SolverStatus MnaWorkspace::factorJacobian(Real cCoeff, Real gCoeff,
   if (!luPatternCurrent_ || !lu_.analyzed()) {
     sparse::RCSR j = pattern_;
     j.values() = jVals_;
-    lu_.factor(j);
+    sparse::RSymbolicLU::Options o;
+    o.ordering = ordering_;
+    lu_.factor(j, o);
     luPatternCurrent_ = true;
     const auto ns = timer.ns();
     counters_.addFactorization(ns);

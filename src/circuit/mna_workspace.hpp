@@ -80,7 +80,20 @@ class MnaWorkspace {
 
   /// Thread pool used by evalSamples (nullptr = serial). The chunking is
   /// over a fixed lane count, so results do not depend on the pool size.
+  /// factorJacobian's level-parallel refactorization shares the same pool
+  /// (falling back to the process-global pool when none is installed).
   void setSweepPool(perf::ThreadPool* pool) { sweepPool_ = pool; }
+
+  /// Pivot pre-ordering for factorJacobian (sparse/ordering.hpp). Defaults
+  /// to effectiveOrdering() at construction; changing it invalidates the
+  /// cached symbolic factorization so the next factor re-analyzes. Auto
+  /// re-resolves against the current per-thread/process setting.
+  void setOrdering(sparse::Ordering o) {
+    const sparse::Ordering r = sparse::resolveOrdering(o);
+    if (r != ordering_) luPatternCurrent_ = false;
+    ordering_ = r;
+  }
+  sparse::Ordering ordering() const { return ordering_; }
 
   /// Buffer-growth events (pattern discovery/growth, batch compiles, sweep
   /// lane pools): stable across steady-state iterations — the counter the
@@ -170,6 +183,7 @@ class MnaWorkspace {
   std::uint64_t growth_ = 0;             ///< buffer-growth events
 
   std::vector<Real> jVals_;              ///< combined Jacobian values
+  sparse::Ordering ordering_ = sparse::effectiveOrdering();
   sparse::RSymbolicLU lu_;
   bool luPatternCurrent_ = false;        ///< lu_ analyzed this pattern
   RVec solveY_, solveZ_;                 ///< solve(rhs, x) scratch, grow-once

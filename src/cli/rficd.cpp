@@ -6,7 +6,7 @@
 //
 //   {"cmd":"submit","netlist":"...","label":"lna","timeout":5,
 //    "newton":0,"krylov":0,"threads":1,"priority":"high|normal|batch",
-//    "maxbytes":0}
+//    "maxbytes":0,"ordering":"natural|amd"}
 //       → {"event":"accepted","job":7}
 //         (or {"event":"rejected","reason":"queue-full|shutting-down|
 //          spec-invalid|shed","detail":"...","degraded":false})
@@ -43,6 +43,7 @@
 // Usage: rficd --socket <path> [--workers <n>] [--queue-depth <n>]
 //              [--threads <n>] [--high-water <n>] [--aging <n>]
 //              [--max-devices <n>] [--max-nodes <n>]
+//              [--no-batch-eval] [--ordering <natural|amd>]
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -64,6 +65,7 @@
 #include "engine/scheduler.hpp"
 #include "perf/perf.hpp"
 #include "perf/thread_pool.hpp"
+#include "sparse/ordering.hpp"
 
 namespace {
 
@@ -286,6 +288,18 @@ void handleConnection(engine::Scheduler& sched,
               ",\"degraded\":false}");
           continue;
         }
+        if (req.count("ordering")) {
+          sparse::Ordering ord;
+          if (!sparse::parseOrdering(req["ordering"], ord)) {
+            sink->writeLine(
+                "{\"event\":\"rejected\",\"reason\":\"spec-invalid\","
+                "\"detail\":" +
+                engine::jsonString("unknown ordering: " + req["ordering"]) +
+                ",\"degraded\":false}");
+            continue;
+          }
+          spec.ordering = req["ordering"];
+        }
         // Empty/malformed netlists are refused by the scheduler's
         // pre-flight check and arrive below as a SpecInvalid rejection.
         // Hold job events until the accepted line is on the wire: a worker
@@ -465,12 +479,22 @@ int main(int argc, char** argv) {
     } else if (flag == "--no-batch-eval") {
       // Pin the scalar reference device walk (bitwise identical; debug aid).
       circuit::MnaWorkspace::setBatchedEvalDefault(false);
+    } else if (flag == "--ordering") {
+      // Process-default pivot pre-ordering; jobs can override per submit.
+      const std::string v = value();
+      sparse::Ordering ord;
+      if (!sparse::parseOrdering(v, ord)) {
+        std::fprintf(stderr, "--ordering: expected natural|amd, got '%s'\n",
+                     v.c_str());
+        return 1;
+      }
+      sparse::setOrderingDefault(ord);
     } else {
       std::fprintf(stderr,
                    "usage: rficd --socket <path> [--workers <n>] "
                    "[--queue-depth <n>] [--threads <n>] [--high-water <n>] "
                    "[--aging <n>] [--max-devices <n>] [--max-nodes <n>] "
-                   "[--no-batch-eval]\n");
+                   "[--no-batch-eval] [--ordering <natural|amd>]\n");
       return 1;
     }
   }

@@ -33,6 +33,10 @@
 // --no-batch-eval pins the scalar virtual-stamp device walk (the golden
 // reference path) instead of the batched SoA evaluation engine; outputs
 // are bitwise identical either way, so this is a verification/debug aid.
+// --ordering selects the sparse-LU pivot pre-ordering: "natural" (the
+// default) pins today's full Markowitz search, "amd" enables the
+// fill-reducing approximate-minimum-degree pre-order plus level-parallel
+// refactorization for large circuits (DESIGN.md §13).
 //
 // Since the engine refactor this file is a thin client: it parses flags
 // into an engine::JobSpec, runs it through engine::Engine, and replays the
@@ -52,6 +56,7 @@
 #include "engine/engine.hpp"
 #include "perf/perf.hpp"
 #include "perf/thread_pool.hpp"
+#include "sparse/ordering.hpp"
 
 namespace {
 
@@ -128,6 +133,15 @@ int main(int argc, char** argv) {
       spec.resume = true;
     } else if (flag == "--no-batch-eval") {
       circuit::MnaWorkspace::setBatchedEvalDefault(false);
+    } else if (flag == "--ordering") {
+      const std::string v = takeValue(flag);
+      sparse::Ordering ord;
+      if (!sparse::parseOrdering(v, ord)) {
+        std::fprintf(stderr, "--ordering: expected natural|amd, got '%s'\n",
+                     v.c_str());
+        return 1;
+      }
+      sparse::setOrderingDefault(ord);
     } else if (flag == "--inject-fault") {
       try {
         diag::FaultInjector::global().arm(takeValue(flag));
@@ -147,7 +161,8 @@ int main(int argc, char** argv) {
                  "usage: rficsim [--fe-trap] [--stats] [--threads <n>] "
                  "[--timeout <sec>] [--max-bytes <n>] "
                  "[--checkpoint <file>] [--resume] [--inject-fault <spec>] "
-                 "[--no-batch-eval] <netlist-file | ->\n");
+                 "[--no-batch-eval] [--ordering <natural|amd>] "
+                 "<netlist-file | ->\n");
     return 1;
   }
   if (spec.resume && spec.checkpointPath.empty()) {

@@ -20,6 +20,7 @@
 #include "hb/spectrum.hpp"
 #include "perf/perf.hpp"
 #include "perf/thread_pool.hpp"
+#include "sparse/ordering.hpp"
 
 namespace rfic::engine {
 
@@ -576,9 +577,28 @@ JobResult Engine::run(const JobSpec& spec, EventSink& sink,
     diag::MemScope memScope(budget->memAccount());
     std::optional<perf::ThreadPool::ScopedLaneCap> lanes;
     if (spec.threadShare > 0) lanes.emplace(spec.threadShare);
+    // Per-job pivot ordering: install a thread-local override so every
+    // factorization this job performs (workspace, HB blocks, one-shot AC
+    // LUs) resolves Auto to the job's choice without racing other jobs.
+    std::optional<sparse::ScopedOrderingOverride> orderingOverride;
+    if (!spec.ordering.empty()) {
+      sparse::Ordering ord;
+      if (!sparse::parseOrdering(spec.ordering, ord)) {
+        res.error = "unknown ordering '" + spec.ordering + "'";
+        r.errf("error: %s (expected natural|amd)\n", res.error.c_str());
+        res.exitCode = 2;
+        res.perf = jobCounters.snapshot();
+        r.flush();
+        return res;
+      }
+      orderingOverride.emplace(ord);
+    }
     std::unique_ptr<Context> ctx;
     try {
       ctx = acquireContext(spec.netlist);
+      // Pooled contexts may have been created under a different ordering;
+      // re-resolve so the cached workspace re-analyzes if it changed.
+      ctx->ws->setOrdering(sparse::effectiveOrdering());
       res.exitCode = runCards(spec, ctx->ckt, *ctx->sys, *ctx->ws, budget, r,
                               res);
     } catch (const std::exception& e) {

@@ -64,6 +64,12 @@ struct JobSpec {
   /// of the job.
   std::size_t threadShare = 0;
 
+  /// Sparse-LU pivot pre-ordering for this job: "natural", "amd", or ""
+  /// for the process default (sparse::ScopedOrderingOverride for the
+  /// duration of the job). Unrecognized values reject the job with exit
+  /// code 2 before any analysis runs.
+  std::string ordering;
+
   // --- CLI passthrough (unused by the daemon) -------------------------
   std::string checkpointPath;  ///< transient checkpoint file ("" = off)
   bool resume = false;         ///< resume from checkpointPath

@@ -97,6 +97,10 @@ void HBBlockPreconditioner::update(const sparse::RTriplets& gAvg,
 
   const std::size_t nnz = packed_.nnz();
   const auto& pv = packed_.values();
+  // Resolve the ordering on the calling thread: per-job ScopedOrderingOverride
+  // is thread-local and would not be visible from the pool's workers.
+  sparse::CSymbolicLU::Options luOpts;
+  luOpts.ordering = sparse::effectiveOrdering();
   auto& pool = perf::ThreadPool::global();
   pool.parallelFor(blocks_.size(), [&](std::size_t j) {
     const Real w = eng_.omega(j);
@@ -119,7 +123,7 @@ void HBBlockPreconditioner::update(const sparse::RTriplets& gAvg,
     } else {
       sparse::CCSR block = packed_;
       block.values() = vals;
-      blocks_[j].factor(block);
+      blocks_[j].factor(block, luOpts);
       counters_.addFactorization(timer.ns());
       perf::global().addFactorization(timer.ns());
     }

@@ -39,15 +39,19 @@ Counters* CounterScope::exchange(Counters* c) {
 }
 
 std::string format(const Snapshot& s) {
-  char buf[1536];
+  char buf[2048];
   const auto ms = [](std::uint64_t ns) {
     return static_cast<double>(ns) * 1e-6;
   };
   std::snprintf(buf, sizeof(buf),
                 "evals            %10llu  (%10.3f ms)\n"
                 "  batched        %10llu  (%10.3f ms)\n"
+                "ordering                     (%10.3f ms)\n"
                 "factorizations   %10llu  (%10.3f ms)\n"
+                "  fill nnz       %10llu\n"
                 "refactorizations %10llu  (%10.3f ms)\n"
+                "  parallel                   (%10.3f ms)\n"
+                "  levels         %10llu\n"
                 "solves           %10llu  (%10.3f ms)\n"
                 "ffts             %10llu  (%10.3f ms)\n"
                 "plan cache       %10llu hits / %llu misses\n"
@@ -59,11 +63,13 @@ std::string format(const Snapshot& s) {
                 "fallbacks        %10llu\n",
                 static_cast<unsigned long long>(s.evals), ms(s.evalNs),
                 static_cast<unsigned long long>(s.evalBatched),
-                ms(s.evalBatchNs),
+                ms(s.evalBatchNs), ms(s.orderingNs),
                 static_cast<unsigned long long>(s.factorizations),
                 ms(s.factorNs),
+                static_cast<unsigned long long>(s.factorFillNnz),
                 static_cast<unsigned long long>(s.refactorizations),
-                ms(s.refactorNs),
+                ms(s.refactorNs), ms(s.refactorParallelNs),
+                static_cast<unsigned long long>(s.refactorLevels),
                 static_cast<unsigned long long>(s.solves), ms(s.solveNs),
                 static_cast<unsigned long long>(s.fftCount), ms(s.fftNs),
                 static_cast<unsigned long long>(s.planCacheHits),

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "perf/perf.hpp"
+
 namespace rfic::sparse {
 
 namespace {
@@ -50,6 +52,26 @@ void SparseLU<T>::factor(
     std::vector<std::vector<std::pair<std::size_t, T>>> rowsIn,
     const Options& opts) {
   n_ = rowsIn.size();
+
+  // Fill-reducing column pre-order (same stage the symbolic path uses, so
+  // one-shot users — AC sweeps, S-parameters — scale the same way).
+  std::vector<std::uint32_t> colOrder;
+  if (resolveOrdering(opts.ordering) == Ordering::Amd && n_ > 0) {
+    std::vector<std::size_t> rowPtr(n_ + 1, 0);
+    std::vector<std::uint32_t> colIdx;
+    std::size_t nnz = 0;
+    for (const auto& row : rowsIn) nnz += row.size();
+    colIdx.reserve(nnz);
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (const auto& [c, v] : rowsIn[r])
+        colIdx.push_back(static_cast<std::uint32_t>(c));
+      rowPtr[r + 1] = colIdx.size();
+    }
+    const perf::Timer timer;
+    colOrder = amdOrder(n_, rowPtr, colIdx);
+    perf::global().addOrdering(timer.ns());
+  }
+
   std::vector<std::unordered_map<std::size_t, T>> work(n_);
   std::vector<std::unordered_set<std::size_t>> colRows(n_);
   for (std::size_t r = 0; r < n_; ++r) {
@@ -83,7 +105,36 @@ void SparseLU<T>::factor(
     std::size_t bestMark = std::numeric_limits<std::size_t>::max();
     Real bestMag = 0;
 
-    if (opts.preferDiagonal) {
+    if (!colOrder.empty()) {
+      // Pre-ordered column: threshold row pivoting inside it, preferring
+      // the diagonal, else the shortest acceptable row.
+      const std::size_t pc = colOrder[k];
+      const Real cmax = columnMax(pc);
+      if (cmax == 0) failNumerical("SparseLU: matrix is singular");
+      if (opts.preferDiagonal && rowActive[pc]) {
+        const auto it = work[pc].find(pc);
+        if (it != work[pc].end() && it->second != T{} &&
+            std::abs(it->second) >= opts.pivotThreshold * cmax) {
+          bestR = bestC = pc;
+          bestMag = std::abs(it->second);
+        }
+      }
+      if (bestR == n_) {
+        std::size_t bestLen = std::numeric_limits<std::size_t>::max();
+        for (std::size_t r : colRows[pc]) {
+          const Real mag = std::abs(work[r].at(pc));
+          if (mag < opts.pivotThreshold * cmax) continue;
+          const std::size_t len = work[r].size();
+          if (len < bestLen || (len == bestLen && mag > bestMag)) {
+            bestR = r;
+            bestC = pc;
+            bestLen = len;
+            bestMag = mag;
+          }
+        }
+      }
+      if (bestR == n_) failNumerical("SparseLU: matrix is singular");
+    } else if (opts.preferDiagonal) {
       for (std::size_t j = 0; j < n_; ++j) {
         if (!colActive[j] || !rowActive[j]) continue;
         const auto it = work[j].find(j);

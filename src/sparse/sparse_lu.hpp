@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "sparse/ordering.hpp"
 #include "sparse/sparse_matrix.hpp"
 
 namespace rfic::sparse {
@@ -21,6 +22,11 @@ class SparseLU {
   struct Options {
     Real pivotThreshold = 1e-3;  ///< relative threshold vs column max
     bool preferDiagonal = true;  ///< MNA matrices nearly always allow it
+    /// Pivot pre-ordering: Natural keeps the full Markowitz search; Amd
+    /// pre-orders columns (sparse/ordering.hpp) and restricts the numeric
+    /// search to threshold row pivoting inside each column. Auto resolves
+    /// to the process default / per-job override at factor time.
+    Ordering ordering = Ordering::Auto;
   };
 
   SparseLU() = default;
